@@ -1,0 +1,161 @@
+package waflfs
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"waflfs/internal/experiments"
+)
+
+// benchScale controls how large the figure benchmarks run; override with
+// WAFL_BENCH_SCALE=1.0 for full-scale reproduction (slower). The default
+// keeps the complete bench suite in CI time while preserving every
+// comparison's direction and approximate magnitude.
+func benchScale() float64 {
+	if s := os.Getenv("WAFL_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.35
+}
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = benchScale()
+	return cfg
+}
+
+// BenchmarkFig6 regenerates Figure 6 (§4.1): AA-cache latency/throughput
+// curves, pick quality, SSD write amplification, and CPU/op. Reported
+// metrics: peak throughput gain from each cache and the WA pair.
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(cfg, io.Discard)
+		b.ReportMetric(res.AggThroughputGainPct, "aggCacheGain%")
+		b.ReportMetric(res.VolThroughputGainPct, "volCacheGain%")
+		b.ReportMetric(res.WAOn, "WA-cacheOn")
+		b.ReportMetric(res.WAOff, "WA-cacheOff")
+		b.ReportMetric(100*res.AggPickedOn, "pickedFree%-on")
+		b.ReportMetric(100*res.AggPickedOff, "pickedFree%-off")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (§4.2): per-disk and per-RAID-group
+// write rates under OLTP with imbalanced aging.
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(cfg, io.Discard)
+		b.ReportMetric(res.FreshToAgedBlockRatio, "fresh/aged-blocks")
+		b.ReportMetric(res.BlocksPerTetris[0], "aged-blocks/tetris")
+		b.ReportMetric(res.BlocksPerTetris[2], "fresh-blocks/tetris")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (§4.3): SSD AA sizing.
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig8(cfg, io.Discard)
+		b.ReportMetric(res.ThroughputGainPct, "largeAAGain%")
+		b.ReportMetric(res.WASmall, "WA-hddAA")
+		b.ReportMetric(res.WALarge, "WA-largeAA")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (§4.3): SMR AA sizing with AZCS.
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(cfg, io.Discard)
+		b.ReportMetric(res.ThroughputGainPct, "alignedGain%")
+		b.ReportMetric(float64(res.RandomChecksumSmall), "randCS-hddAA")
+		b.ReportMetric(float64(res.RandomChecksumLarge), "randCS-smrAA")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (§4.4): first-CP time after mount
+// with and without TopAA metafiles.
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig10(cfg, io.Discard)
+		last := res.SizeSweep[len(res.SizeSweep)-1]
+		b.ReportMetric(float64(last.WithoutTopAA)/float64(last.WithTopAA), "walk/topaa-time")
+		b.ReportMetric(float64(last.TopAAReads), "topaaBlockReads")
+		b.ReportMetric(float64(last.BitmapPages), "bitmapPagesWalked")
+	}
+}
+
+// BenchmarkWritePath measures the end-to-end simulated write path: client
+// write -> CP -> dual allocation -> tetris flush, on an aged system.
+func BenchmarkWritePath(b *testing.B) {
+	spec := GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 1 << 17, Media: MediaHDD}
+	sys := NewSystem([]GroupSpec{spec, spec},
+		[]VolSpec{{Name: "v", Blocks: 1 << 21}}, DefaultTunables(), 1)
+	lun := sys.Agg.Vols()[0].CreateLUN("l", 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	Age(sys, []*LUN{lun}, rng, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Write(lun, uint64(rng.Intn(1<<20)), 1)
+	}
+	b.StopTimer()
+	sys.CP()
+}
+
+// BenchmarkCacheOverhead quantifies the §4.1.2 claim that AA-cache
+// maintenance is a vanishing share of the code path: it reports the modeled
+// cache CPU as a fraction of total CPU over a measurement window.
+func BenchmarkCacheOverhead(b *testing.B) {
+	spec := GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 1 << 16, Media: MediaHDD}
+	sys := NewSystem([]GroupSpec{spec},
+		[]VolSpec{{Name: "v", Blocks: 1 << 20}}, DefaultTunables(), 2)
+	lun := sys.Agg.Vols()[0].CreateLUN("l", 300_000)
+	rng := rand.New(rand.NewSource(2))
+	Age(sys, []*LUN{lun}, rng, 0.2)
+	before := sys.Counters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Write(lun, uint64(rng.Intn(300_000)), 1)
+	}
+	b.StopTimer()
+	sys.CP()
+	d := sys.Counters().Sub(before)
+	if d.CPUTime > 0 {
+		b.ReportMetric(100*float64(d.CacheCPUTime)/float64(d.CPUTime), "cacheCPU%")
+	}
+}
+
+// BenchmarkMountSeeded measures the TopAA seeded-mount path end to end.
+func BenchmarkMountSeeded(b *testing.B) {
+	spec := GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 1 << 17, Media: MediaHDD}
+	sys := NewSystem([]GroupSpec{spec, spec},
+		[]VolSpec{{Name: "v", Blocks: 1 << 21}}, DefaultTunables(), 3)
+	lun := sys.Agg.Vols()[0].CreateLUN("l", 1<<19)
+	rng := rand.New(rand.NewSource(3))
+	Age(sys, []*LUN{lun}, rng, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Agg.Remount(true)
+	}
+}
+
+// BenchmarkMountWalk measures the fallback full-bitmap-walk mount.
+func BenchmarkMountWalk(b *testing.B) {
+	spec := GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 1 << 17, Media: MediaHDD}
+	sys := NewSystem([]GroupSpec{spec, spec},
+		[]VolSpec{{Name: "v", Blocks: 1 << 21}}, DefaultTunables(), 4)
+	lun := sys.Agg.Vols()[0].CreateLUN("l", 1<<19)
+	rng := rand.New(rand.NewSource(4))
+	Age(sys, []*LUN{lun}, rng, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Agg.Remount(false)
+	}
+}

@@ -1,0 +1,123 @@
+// Command fsinspect builds a simulated WAFL system, optionally ages it, and
+// dumps the allocator-visible state: per-RAID-group AA score distributions,
+// the heap cache's best AAs, each FlexVol's HBPS histogram, and bitmap
+// fragmentation statistics.
+//
+// Usage:
+//
+//	fsinspect [-media hdd|ssd|smr] [-groups 2] [-fill 0.5] [-churn 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/wafl"
+	"waflfs/internal/workload"
+)
+
+func main() {
+	mediaName := flag.String("media", "hdd", "device media: hdd, ssd, or smr")
+	groups := flag.Int("groups", 2, "RAID groups")
+	devices := flag.Int("devices", 6, "data devices per group")
+	perDev := flag.Uint64("blocks", 1<<17, "blocks per device")
+	fill := flag.Float64("fill", 0.5, "fraction of the aggregate to fill")
+	churn := flag.Float64("churn", 0.5, "random-overwrite churn factor applied after fill")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var media aa.Media
+	switch strings.ToLower(*mediaName) {
+	case "hdd":
+		media = aa.MediaHDD
+	case "ssd":
+		media = aa.MediaSSD
+	case "smr":
+		media = aa.MediaSMR
+	default:
+		fmt.Fprintf(os.Stderr, "unknown media %q\n", *mediaName)
+		os.Exit(2)
+	}
+
+	spec := wafl.GroupSpec{
+		DataDevices: *devices, ParityDevices: 1,
+		BlocksPerDevice: *perDev, Media: media,
+	}
+	specs := make([]wafl.GroupSpec, *groups)
+	for i := range specs {
+		specs[i] = spec
+	}
+	aggBlocks := uint64(*groups) * uint64(*devices) * *perDev
+	lunBlocks := uint64(float64(aggBlocks) * *fill)
+	volBlocks := lunBlocks * 2
+	if volBlocks == 0 {
+		volBlocks = aa.RAIDAgnosticBlocks
+	}
+
+	s := wafl.NewSystem(specs, []wafl.VolSpec{{Name: "vol0", Blocks: volBlocks}}, wafl.DefaultTunables(), *seed)
+	rng := rand.New(rand.NewSource(*seed))
+	if lunBlocks > 0 {
+		lun := s.Agg.Vols()[0].CreateLUN("lun0", lunBlocks)
+		workload.Age(s, []*wafl.LUN{lun}, rng, *churn)
+	}
+
+	fmt.Printf("aggregate: %d blocks (%d groups x %d devices x %d), %.1f%% used\n",
+		s.Agg.Blocks(), *groups, *devices, *perDev, 100*s.Agg.UsedFraction())
+
+	for _, g := range s.Agg.Groups() {
+		topo := g.Topology()
+		fmt.Printf("\nRAID group %d: media=%s stripes/AA=%d AAs=%d\n",
+			g.Index, g.Spec.Media, topo.StripesPerAA(), topo.NumAAs())
+
+		// Score histogram over 10 buckets of fullness.
+		var buckets [10]int
+		maxScore := topo.BlocksPerAA()
+		for id := 0; id < topo.NumAAs(); id++ {
+			sc := aa.Score(topo, s.Agg.Bitmap(), aa.ID(id))
+			b := int(10 * sc / (maxScore + 1))
+			buckets[b]++
+		}
+		fmt.Println("  AA free-fraction histogram (0-10% .. 90-100% free):")
+		fmt.Print("  ")
+		for _, n := range buckets {
+			fmt.Printf("%6d", n)
+		}
+		fmt.Println()
+
+		top := g.Cache().TopK(5)
+		fmt.Println("  best AAs (heap cache):")
+		for _, e := range top {
+			fmt.Printf("    AA %-6d score %-6d (%.1f%% free)\n",
+				e.ID, e.Score, 100*float64(e.Score)/float64(maxScore))
+		}
+	}
+
+	for _, v := range s.Agg.Vols() {
+		// Round-trip the volume's HBPS through its TopAA metafile — the
+		// same bytes a mount would read — so the tool inspects exactly
+		// what is persisted.
+		h, err := s.Agg.Store().LoadAgnostic(v.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: TopAA metafile for %s unreadable: %v\n", v.Name, err)
+			continue
+		}
+		fmt.Printf("\nFlexVol %q: %d blocks, %.1f%% used; HBPS: %d AAs tracked, %d listed\n",
+			v.Name, v.Blocks(), 100*v.UsedFraction(), h.Total(), h.ListLen())
+		fmt.Println("  histogram bins (best to worst score range):")
+		fmt.Print("  ")
+		for b := 0; b < h.NumBins(); b++ {
+			if b > 0 && b%16 == 0 {
+				fmt.Print("\n  ")
+			}
+			fmt.Printf("%5d", h.BinCount(b))
+		}
+		fmt.Println()
+	}
+
+	reads, writes := s.Agg.Store().Stats()
+	fmt.Printf("\nTopAA metafile store: %d block reads, %d block writes\n", reads, writes)
+}

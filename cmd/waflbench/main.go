@@ -1,0 +1,91 @@
+// Command waflbench regenerates the paper's evaluation figures.
+//
+// Each experiment builds the configuration the paper describes, ages it
+// with the stated workload, measures per-operation service demands in the
+// simulator, and prints the same rows/series the figure reports.
+//
+// Usage:
+//
+//	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
+//
+// Absolute numbers are simulation-scale; the comparisons (who wins, by what
+// factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
+// for paper-versus-measured tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"waflfs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig6..fig10 or all")
+	scale := flag.Float64("scale", 1.0, "working-set scale factor (smaller = faster)")
+	seed := flag.Int64("seed", 42, "random seed")
+	cores := flag.Int("cores", 20, "storage-server CPU cores for the queueing model")
+	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "with -exp all, run the experiments concurrently")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Cores = *cores
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
+		start := time.Now()
+		e.Run(cfg, os.Stdout)
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		if *parallel {
+			runAllParallel(cfg)
+			return
+		}
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	run(e)
+}
+
+// runAllParallel executes every experiment concurrently (they share nothing)
+// and prints each one's buffered output in order as it completes.
+func runAllParallel(cfg experiments.Config) {
+	all := experiments.All()
+	outs := make([]chan string, len(all))
+	for i, e := range all {
+		outs[i] = make(chan string, 1)
+		go func(e experiments.Experiment, out chan<- string) {
+			var buf strings.Builder
+			start := time.Now()
+			fmt.Fprintf(&buf, "### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
+			e.Run(cfg, &buf)
+			fmt.Fprintf(&buf, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+			out <- buf.String()
+		}(e, outs[i])
+	}
+	for _, out := range outs {
+		fmt.Print(<-out)
+	}
+}

@@ -1,0 +1,66 @@
+// failover demonstrates the TopAA metafile (§3.4): after a crash, the
+// partner node must mount the aggregate and its FlexVols and cannot begin
+// write allocation until the AA caches are operational. With TopAA the
+// caches are seeded from a few metafile blocks; without it (or when the
+// metafile is damaged), a linear walk of the bitmap metafiles is needed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waflfs"
+)
+
+func main() {
+	spec := waflfs.GroupSpec{
+		DataDevices: 6, ParityDevices: 1,
+		BlocksPerDevice: 1 << 17, Media: waflfs.MediaHDD,
+	}
+	var vols []waflfs.VolSpec
+	for i := 0; i < 10; i++ {
+		vols = append(vols, waflfs.VolSpec{
+			Name:   fmt.Sprintf("vol%d", i),
+			Blocks: 8 * waflfs.RAIDAgnosticAABlocks,
+		})
+	}
+	sys := waflfs.NewSystem([]waflfs.GroupSpec{spec, spec}, vols, waflfs.DefaultTunables(), 3)
+
+	// Run some traffic so the file system has real state, ending on a CP
+	// (which persists the TopAA metafiles).
+	lun := sys.Agg.Vols()[0].CreateLUN("lun0", 150_000)
+	rng := rand.New(rand.NewSource(3))
+	waflfs.Age(sys, []*waflfs.LUN{lun}, rng, 0.4)
+
+	// Crash + takeover: remount reading the TopAA metafiles.
+	ms := sys.Agg.Remount(true)
+	fmt.Println("mount with TopAA metafiles:")
+	fmt.Printf("  metafile blocks read: %d (1 per RAID group + 2 per volume)\n", ms.TopAABlockReads)
+	fmt.Printf("  bitmap pages walked:  %d\n", ms.BitmapPagesRead)
+	fmt.Printf("  cache inserts:        %d (seeded with the 512 best AAs per group)\n", ms.CacheInserts)
+
+	// Client operations are served on the seed while background work
+	// rebuilds the full heaps.
+	for i := 0; i < 5_000; i++ {
+		sys.Write(lun, uint64(rng.Intn(150_000)), 1)
+	}
+	sys.CP()
+	inserted := sys.Agg.CompleteBackgroundFill()
+	fmt.Printf("  background fill inserted %d remaining AAs after service resumed\n\n", inserted)
+
+	// Same crash, but without TopAA: the mount must walk every bitmap.
+	ms = sys.Agg.Remount(false)
+	fmt.Println("mount without TopAA metafiles (full bitmap walk):")
+	fmt.Printf("  bitmap pages walked:  %d — grows linearly with file-system size\n", ms.BitmapPagesRead)
+
+	// Damage one volume's TopAA metafile: mount falls back to the walk for
+	// that volume only (the recomputation WAFL Iron performs online).
+	sys.CP() // re-persist metafiles
+	if err := sys.Agg.Store().Corrupt("vol3", 5); err != nil {
+		panic(err)
+	}
+	ms = sys.Agg.Remount(true)
+	fmt.Println("\nmount with one damaged TopAA metafile:")
+	fmt.Printf("  fallbacks: %d (only vol3 walked its bitmap: %d pages)\n",
+		ms.Fallbacks, ms.BitmapPagesRead)
+}

@@ -1,0 +1,3 @@
+module waflfs
+
+go 1.22

@@ -1,0 +1,98 @@
+package aa
+
+import "waflfs/internal/block"
+
+// Media identifies the storage media beneath a RAID group for AA sizing
+// (§3.2). RAID-agnostic spaces (FlexVols, object stores) always use
+// RAIDAgnosticBlocks and do not consult this.
+type Media int
+
+// Media types with distinct AA-sizing rules.
+const (
+	// MediaHDD is a conventional (non-shingled) hard drive.
+	MediaHDD Media = iota
+	// MediaSSD is a flash drive with an FTL.
+	MediaSSD
+	// MediaSMR is a drive-managed shingled magnetic recording drive.
+	MediaSMR
+)
+
+// String implements fmt.Stringer.
+func (m Media) String() string {
+	switch m {
+	case MediaHDD:
+		return "HDD"
+	case MediaSSD:
+		return "SSD"
+	case MediaSMR:
+		return "SMR"
+	}
+	return "unknown"
+}
+
+// SizingParams carries the device attributes AA sizing depends on.
+type SizingParams struct {
+	Media Media
+	// EraseBlockBlocks is the SSD erase-unit size in 4KiB blocks (the
+	// effective unit may be a multi-die superblock, much larger than a
+	// single NAND erase block).
+	EraseBlockBlocks uint64
+	// ZoneBlocks is the SMR shingle-zone size in 4KiB blocks.
+	ZoneBlocks uint64
+	// AZCS is true when the device uses advanced zone checksums, in which
+	// case the AA size is aligned to a multiple of the AZCS region size so
+	// that checksum blocks are written sequentially (§3.2.4, Fig. 4 C).
+	// Because AA sizes count data blocks while AZCS regions occupy 64
+	// on-disk blocks for 63 data blocks, alignment means a multiple of 63
+	// data blocks: that way every AA's on-disk span starts and ends on a
+	// region boundary.
+	AZCS bool
+}
+
+// StripesPerAA returns the AA size, in stripes, for a RAID group with the
+// given device attributes. Because an AA of k stripes is a k-block
+// contiguous run on each data device, the per-device run length is what the
+// sizing rules constrain:
+//
+//   - HDD: the historical default of 4k stripes (§3.2.1).
+//   - SSD: several erase blocks, so that picking the emptiest AA and
+//     writing it fully consumes whole erase units and minimizes FTL
+//     relocation (§3.2.2, Fig. 4 B). We use 4 erase units.
+//   - SMR: much larger than the shingle zone, so AA switches rarely land
+//     mid-zone (§3.2.3); we use 2 zones, optionally rounded up to a
+//     multiple of the AZCS region size (§3.2.4, Fig. 4 C).
+func StripesPerAA(p SizingParams) uint64 {
+	switch p.Media {
+	case MediaSSD:
+		if p.EraseBlockBlocks == 0 {
+			return DefaultHDDStripes
+		}
+		n := 4 * p.EraseBlockBlocks
+		if p.AZCS {
+			n = roundUpMultiple(n, block.AZCSRegionDataBlocks)
+		}
+		return n
+	case MediaSMR:
+		if p.ZoneBlocks == 0 {
+			return DefaultHDDStripes
+		}
+		n := 2 * p.ZoneBlocks
+		if p.AZCS {
+			n = roundUpMultiple(n, block.AZCSRegionDataBlocks)
+		}
+		return n
+	default:
+		n := uint64(DefaultHDDStripes)
+		if p.AZCS {
+			n = roundUpMultiple(n, block.AZCSRegionDataBlocks)
+		}
+		return n
+	}
+}
+
+func roundUpMultiple(n, m uint64) uint64 {
+	if m == 0 {
+		return n
+	}
+	return (n + m - 1) / m * m
+}

@@ -1,0 +1,395 @@
+// Package bitmap implements WAFL-style bitmap metafiles.
+//
+// WAFL stores free-space information in internal files called bitmap
+// metafiles, which are flat and indexed by VBN: the i-th bit tracks the
+// state of the i-th block of the file system (§2.5 of the paper). One 4KiB
+// metafile block holds 32k bits.
+//
+// Beyond the bit operations themselves, this package provides the two
+// facilities the paper's algorithms are built on:
+//
+//   - popcount range scans, used to compute AA scores ("the number of free
+//     blocks in the AA, computed by consulting bitmap metafiles", §3.3); and
+//   - dirty metafile-page accounting, used to measure how many metafile
+//     blocks a consistency point must write back. Minimizing I/O to metafile
+//     blocks is the explicit goal of RAID-agnostic allocation (§2.5), so the
+//     experiments need this number.
+//
+// A Bitmap is not safe for concurrent mutation; WAFL serializes bitmap
+// updates within a consistency point, and this library follows that model.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"waflfs/internal/block"
+)
+
+const (
+	wordBits = 64
+	// wordsPerPage is the number of 64-bit words per 4KiB metafile block.
+	wordsPerPage = block.BitsPerBitmapBlock / wordBits
+)
+
+// Bitmap tracks the allocated/free state of every block in one flat VBN
+// space. Bit value 1 means allocated (in use); 0 means free, matching the
+// convention that a freshly created file system is all zeroes.
+type Bitmap struct {
+	nbits uint64
+	words []uint64
+	used  uint64
+
+	// dirty marks metafile pages (4KiB blocks of the bitmap itself) whose
+	// contents changed since the last Flush. The page index of VBN v is
+	// v / 32768.
+	dirty map[uint64]struct{}
+
+	// Counters for the experiment harnesses.
+	totalDirtied uint64 // pages ever marked dirty (including re-dirtying after flush)
+	totalFlushed uint64 // pages written back by Flush
+	totalReads   uint64 // metafile page reads charged by scans
+}
+
+// New creates a bitmap covering n blocks, all free.
+func New(n uint64) *Bitmap {
+	nw := (n + wordBits - 1) / wordBits
+	return &Bitmap{
+		nbits: n,
+		words: make([]uint64, nw),
+		dirty: make(map[uint64]struct{}),
+	}
+}
+
+// Size returns the number of blocks tracked.
+func (b *Bitmap) Size() uint64 { return b.nbits }
+
+// Used returns the number of allocated blocks.
+func (b *Bitmap) Used() uint64 { return b.used }
+
+// Free returns the number of free blocks.
+func (b *Bitmap) Free() uint64 { return b.nbits - b.used }
+
+// Pages returns the number of 4KiB metafile blocks backing the bitmap.
+func (b *Bitmap) Pages() uint64 {
+	return (b.nbits + block.BitsPerBitmapBlock - 1) / block.BitsPerBitmapBlock
+}
+
+func (b *Bitmap) check(v block.VBN) {
+	if uint64(v) >= b.nbits {
+		panic(fmt.Sprintf("bitmap: VBN %d out of range [0,%d)", uint64(v), b.nbits))
+	}
+}
+
+// Test reports whether block v is allocated.
+func (b *Bitmap) Test(v block.VBN) bool {
+	b.check(v)
+	return b.words[uint64(v)/wordBits]&(1<<(uint64(v)%wordBits)) != 0
+}
+
+func (b *Bitmap) markDirty(v block.VBN) {
+	page := v.BitmapBlock()
+	if _, ok := b.dirty[page]; !ok {
+		b.dirty[page] = struct{}{}
+		b.totalDirtied++
+	}
+}
+
+// Set marks block v allocated. It returns true if the bit changed, false if
+// the block was already allocated. The containing metafile page is marked
+// dirty only when the bit actually changes.
+func (b *Bitmap) Set(v block.VBN) bool {
+	b.check(v)
+	w, m := uint64(v)/wordBits, uint64(1)<<(uint64(v)%wordBits)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.used++
+	b.markDirty(v)
+	return true
+}
+
+// Clear marks block v free. It returns true if the bit changed.
+func (b *Bitmap) Clear(v block.VBN) bool {
+	b.check(v)
+	w, m := uint64(v)/wordBits, uint64(1)<<(uint64(v)%wordBits)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.used--
+	b.markDirty(v)
+	return true
+}
+
+// SetRange marks every block in r allocated and returns the number of bits
+// that changed. It works a word at a time — the bulk path used when seeding
+// aged file systems and applying large free batches.
+func (b *Bitmap) SetRange(r block.Range) uint64 {
+	return b.bulk(r, true)
+}
+
+// ClearRange marks every block in r free and returns the number of bits that
+// changed.
+func (b *Bitmap) ClearRange(r block.Range) uint64 {
+	return b.bulk(r, false)
+}
+
+// bulk applies one bit value across r word-at-a-time, maintaining the used
+// count and dirty-page set from the per-word change masks.
+func (b *Bitmap) bulk(r block.Range, set bool) uint64 {
+	r = b.clampRange(r)
+	if r.Len() == 0 {
+		return 0
+	}
+	start, end := uint64(r.Start), uint64(r.End)
+	var changed uint64
+	for w := start / wordBits; w <= (end-1)/wordBits; w++ {
+		lo, hi := w*wordBits, (w+1)*wordBits
+		mask := ^uint64(0)
+		if start > lo {
+			mask &= maskFrom(start - lo)
+		}
+		if end < hi {
+			mask &= maskUpto(end - lo)
+		}
+		var delta uint64
+		if set {
+			delta = mask &^ b.words[w] // bits that flip 0->1
+			b.words[w] |= mask
+			b.used += uint64(bits.OnesCount64(delta))
+		} else {
+			delta = mask & b.words[w] // bits that flip 1->0
+			b.words[w] &^= mask
+			b.used -= uint64(bits.OnesCount64(delta))
+		}
+		if delta != 0 {
+			changed += uint64(bits.OnesCount64(delta))
+			b.markDirty(block.VBN(lo))
+		}
+	}
+	return changed
+}
+
+// clampRange truncates r to the bitmap's extent.
+func (b *Bitmap) clampRange(r block.Range) block.Range {
+	if uint64(r.End) > b.nbits {
+		r.End = block.VBN(b.nbits)
+	}
+	if r.Start > r.End {
+		r.Start = r.End
+	}
+	return r
+}
+
+// CountUsed returns the number of allocated blocks in r, using word-level
+// popcount. This is the primitive behind AA score computation.
+func (b *Bitmap) CountUsed(r block.Range) uint64 {
+	r = b.clampRange(r)
+	if r.Len() == 0 {
+		return 0
+	}
+	start, end := uint64(r.Start), uint64(r.End)
+	firstWord, lastWord := start/wordBits, (end-1)/wordBits
+	var n uint64
+	if firstWord == lastWord {
+		mask := maskRange(start%wordBits, (end-1)%wordBits+1)
+		return uint64(bits.OnesCount64(b.words[firstWord] & mask))
+	}
+	n += uint64(bits.OnesCount64(b.words[firstWord] & maskFrom(start%wordBits)))
+	for w := firstWord + 1; w < lastWord; w++ {
+		n += uint64(bits.OnesCount64(b.words[w]))
+	}
+	n += uint64(bits.OnesCount64(b.words[lastWord] & maskUpto((end-1)%wordBits+1)))
+	return n
+}
+
+// CountFree returns the number of free blocks in r. For an allocation area
+// this is exactly the paper's "AA score".
+func (b *Bitmap) CountFree(r block.Range) uint64 {
+	r = b.clampRange(r)
+	return r.Len() - b.CountUsed(r)
+}
+
+// maskFrom returns a word mask with bits [from, 64) set.
+func maskFrom(from uint64) uint64 { return ^uint64(0) << from }
+
+// maskUpto returns a word mask with bits [0, upto) set.
+func maskUpto(upto uint64) uint64 {
+	if upto >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << upto) - 1
+}
+
+// maskRange returns a word mask with bits [from, upto) set.
+func maskRange(from, upto uint64) uint64 { return maskFrom(from) & maskUpto(upto) }
+
+// NextFree returns the first free block at or after v within r, or
+// (InvalidVBN, false) if none exists. The scan is word-at-a-time.
+func (b *Bitmap) NextFree(v block.VBN, r block.Range) (block.VBN, bool) {
+	return b.scan(v, r, false)
+}
+
+// NextUsed returns the first allocated block at or after v within r.
+func (b *Bitmap) NextUsed(v block.VBN, r block.Range) (block.VBN, bool) {
+	return b.scan(v, r, true)
+}
+
+func (b *Bitmap) scan(v block.VBN, r block.Range, wantSet bool) (block.VBN, bool) {
+	r = b.clampRange(r)
+	if v < r.Start {
+		v = r.Start
+	}
+	if v >= r.End {
+		return block.InvalidVBN, false
+	}
+	pos, end := uint64(v), uint64(r.End)
+	for pos < end {
+		w := b.words[pos/wordBits]
+		if !wantSet {
+			w = ^w
+		}
+		w &= maskFrom(pos % wordBits)
+		if rem := end - (pos / wordBits * wordBits); rem < wordBits {
+			w &= maskUpto(rem)
+		}
+		if w != 0 {
+			bit := uint64(bits.TrailingZeros64(w))
+			found := pos/wordBits*wordBits + bit
+			if found < end {
+				return block.VBN(found), true
+			}
+			return block.InvalidVBN, false
+		}
+		pos = (pos/wordBits + 1) * wordBits
+	}
+	return block.InvalidVBN, false
+}
+
+// FreeRuns returns the maximal runs of contiguous free blocks within r, in
+// ascending order. Runs of contiguous free space on a device are what permit
+// the long write chains of §2.4; the RAID layer uses this to cost writes.
+func (b *Bitmap) FreeRuns(r block.Range) []block.Range {
+	r = b.clampRange(r)
+	var runs []block.Range
+	pos := r.Start
+	for {
+		start, ok := b.NextFree(pos, r)
+		if !ok {
+			return runs
+		}
+		endUsed, ok := b.NextUsed(start, r)
+		if !ok {
+			runs = append(runs, block.Range{Start: start, End: r.End})
+			return runs
+		}
+		runs = append(runs, block.Range{Start: start, End: endUsed})
+		pos = endUsed
+	}
+}
+
+// LongestFreeRun returns the length of the longest contiguous free run in r.
+func (b *Bitmap) LongestFreeRun(r block.Range) uint64 {
+	var best uint64
+	for _, run := range b.FreeRuns(r) {
+		if l := run.Len(); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// DirtyPages returns the number of metafile pages modified since the last
+// Flush. This is the per-CP metafile write I/O the paper's RAID-agnostic AA
+// selection minimizes (§2.5).
+func (b *Bitmap) DirtyPages() int { return len(b.dirty) }
+
+// DirtyPageList returns the sorted-unspecified set of dirty page indices.
+func (b *Bitmap) DirtyPageList() []uint64 {
+	out := make([]uint64, 0, len(b.dirty))
+	for p := range b.dirty {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Flush simulates writing all dirty metafile pages back to storage at a CP
+// boundary. It returns the number of pages written and resets the dirty set.
+func (b *Bitmap) Flush() int {
+	n := len(b.dirty)
+	b.totalFlushed += uint64(n)
+	if n > 0 {
+		b.dirty = make(map[uint64]struct{})
+	}
+	return n
+}
+
+// ChargeScan records that a linear walk read the metafile pages covering r.
+// Rebuilding AA caches without a TopAA metafile requires such a walk (§3.4);
+// the Fig. 10 experiment charges its cost through this counter.
+func (b *Bitmap) ChargeScan(r block.Range) uint64 {
+	r = b.clampRange(r)
+	if r.Len() == 0 {
+		return 0
+	}
+	first := r.Start.BitmapBlock()
+	last := (r.End - 1).BitmapBlock()
+	n := last - first + 1
+	b.totalReads += n
+	return n
+}
+
+// Stats is a snapshot of the bitmap's accounting counters.
+type Stats struct {
+	PagesDirtied uint64 // pages marked dirty over the bitmap's lifetime
+	PagesFlushed uint64 // pages written back by Flush
+	PageReads    uint64 // pages read by charged scans
+}
+
+// Stats returns the lifetime counters.
+func (b *Bitmap) Stats() Stats {
+	return Stats{PagesDirtied: b.totalDirtied, PagesFlushed: b.totalFlushed, PageReads: b.totalReads}
+}
+
+// Grow extends the bitmap to track n blocks (n must not shrink it). The new
+// blocks start free; the metafile pages that come into existence are marked
+// dirty so the next CP persists them. This is the path behind growing an
+// aggregate by adding RAID groups (§4.2).
+func (b *Bitmap) Grow(n uint64) {
+	if n < b.nbits {
+		panic(fmt.Sprintf("bitmap: Grow(%d) would shrink %d-block bitmap", n, b.nbits))
+	}
+	if n == b.nbits {
+		return
+	}
+	oldPages := b.Pages()
+	nw := (n + wordBits - 1) / wordBits
+	for uint64(len(b.words)) < nw {
+		b.words = append(b.words, 0)
+	}
+	b.nbits = n
+	for p := oldPages; p < b.Pages(); p++ {
+		if _, ok := b.dirty[p]; !ok {
+			b.dirty[p] = struct{}{}
+			b.totalDirtied++
+		}
+	}
+}
+
+// Clone returns a deep copy of the bitmap including dirty state. It exists
+// so experiments can snapshot an aged file system and replay different
+// policies against identical fragmentation.
+func (b *Bitmap) Clone() *Bitmap {
+	nb := &Bitmap{
+		nbits: b.nbits,
+		words: append([]uint64(nil), b.words...),
+		used:  b.used,
+		dirty: make(map[uint64]struct{}, len(b.dirty)),
+	}
+	for p := range b.dirty {
+		nb.dirty[p] = struct{}{}
+	}
+	return nb
+}

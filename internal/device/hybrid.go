@@ -1,0 +1,220 @@
+package device
+
+import "fmt"
+
+// Translator is the interface both FTL models implement; SSD composes one.
+type Translator interface {
+	// Write records a host write of logical page lpn, returning the number
+	// of pages the FTL had to relocate/copy as a consequence.
+	Write(lpn uint64) (relocated uint64)
+	// Trim invalidates logical page lpn.
+	Trim(lpn uint64)
+	// Stats returns lifetime accounting.
+	Stats() FTLStats
+	// WriteAmplification returns NAND/host writes (0 before any write).
+	WriteAmplification() float64
+	// LogicalBlocks returns the exported LBA-space size in pages.
+	LogicalBlocks() uint64
+}
+
+var (
+	_ Translator = (*FTL)(nil)
+	_ Translator = (*HybridFTL)(nil)
+)
+
+// HybridFTL models a log-structured hybrid-mapped flash translation layer
+// (FAST/BAST family): the drive keeps a small page-mapped log area
+// (overprovisioned space) and data blocks mapped at erase-block
+// granularity. Host writes append to the log; when the log fills, the FTL
+// merges a victim logical erase block: the log's pages for that block plus
+// every still-valid page of its home erase block are rewritten into a fresh
+// erase block.
+//
+// This is the FTL behaviour §3.2.2 (Fig. 4 A) describes — "the FTL must
+// first relocate all active data in the erase block elsewhere on the drive
+// and then erase the entire block before writing new data there" — and it
+// is what makes AA sizing matter: writing all free pages of an
+// erase-block-multiple region dirties whole erase blocks, so merges copy
+// little (a "switch merge" copies nothing), whereas writes scattered at
+// sub-erase-block granularity force merges that copy most of the block.
+type HybridFTL struct {
+	logicalBlocks uint64
+	ebPages       uint64
+	numLEB        int
+
+	// Per logical page state, packed as bitsets indexed by lpn.
+	live  []uint64 // page's current data lives in its home erase block
+	dirty []uint64 // page's current data lives in the log
+
+	// Per logical erase block occupancy.
+	dirtyCount []uint32 // pages currently dirty (latest version in log)
+	logPages   []uint32 // log pages consumed (including superseded ones)
+
+	logUsed uint64
+	logCap  uint64
+
+	hostWrites uint64
+	nandWrites uint64
+	relocated  uint64
+	erases     uint64
+	trims      uint64
+	merges     uint64
+	switchMrgs uint64
+}
+
+// HybridFTLConfig configures a HybridFTL.
+type HybridFTLConfig struct {
+	// LogicalBlocks is the exported LBA space in pages.
+	LogicalBlocks uint64
+	// PagesPerEraseBlock is the erase-block (merge) granularity.
+	PagesPerEraseBlock uint64
+	// Overprovision sizes the log area as a fraction of the logical space.
+	Overprovision float64
+}
+
+// NewHybridFTL builds the model.
+func NewHybridFTL(cfg HybridFTLConfig) *HybridFTL {
+	if cfg.LogicalBlocks == 0 || cfg.PagesPerEraseBlock == 0 {
+		panic("device: hybrid FTL requires non-zero sizes")
+	}
+	if cfg.Overprovision <= 0 {
+		cfg.Overprovision = 0.07
+	}
+	numLEB := int((cfg.LogicalBlocks + cfg.PagesPerEraseBlock - 1) / cfg.PagesPerEraseBlock)
+	logCap := uint64(float64(cfg.LogicalBlocks) * cfg.Overprovision)
+	if logCap < cfg.PagesPerEraseBlock {
+		logCap = cfg.PagesPerEraseBlock
+	}
+	words := (cfg.LogicalBlocks + 63) / 64
+	return &HybridFTL{
+		logicalBlocks: cfg.LogicalBlocks,
+		ebPages:       cfg.PagesPerEraseBlock,
+		numLEB:        numLEB,
+		live:          make([]uint64, words),
+		dirty:         make([]uint64, words),
+		dirtyCount:    make([]uint32, numLEB),
+		logPages:      make([]uint32, numLEB),
+		logCap:        logCap,
+	}
+}
+
+// LogicalBlocks implements Translator.
+func (h *HybridFTL) LogicalBlocks() uint64 { return h.logicalBlocks }
+
+// EraseBlockPages returns the merge granularity in pages.
+func (h *HybridFTL) EraseBlockPages() uint64 { return h.ebPages }
+
+func getBit(bs []uint64, i uint64) bool { return bs[i/64]&(1<<(i%64)) != 0 }
+func setBit(bs []uint64, i uint64)      { bs[i/64] |= 1 << (i % 64) }
+func clearBit(bs []uint64, i uint64)    { bs[i/64] &^= 1 << (i % 64) }
+
+// Write implements Translator.
+func (h *HybridFTL) Write(lpn uint64) (relocated uint64) {
+	if lpn >= h.logicalBlocks {
+		panic(fmt.Sprintf("device: LPN %d outside logical space %d", lpn, h.logicalBlocks))
+	}
+	h.hostWrites++
+	h.nandWrites++ // program into the log
+	leb := lpn / h.ebPages
+	if !getBit(h.dirty, lpn) {
+		setBit(h.dirty, lpn)
+		h.dirtyCount[leb]++
+	}
+	h.logPages[leb]++
+	h.logUsed++
+	for h.logUsed > h.logCap {
+		relocated += h.merge(h.pickVictim())
+	}
+	return relocated
+}
+
+// pickVictim selects the logical erase block occupying the most log pages.
+func (h *HybridFTL) pickVictim() int {
+	best, bestN := -1, uint32(0)
+	for i, n := range h.logPages {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	if best < 0 {
+		panic("device: hybrid FTL log full with no occupants")
+	}
+	return best
+}
+
+// merge folds logical erase block leb's log pages into a fresh home erase
+// block, copying every live page that is not superseded by the log.
+func (h *HybridFTL) merge(leb int) (copied uint64) {
+	base := uint64(leb) * h.ebPages
+	end := base + h.ebPages
+	if end > h.logicalBlocks {
+		end = h.logicalBlocks
+	}
+	for lpn := base; lpn < end; lpn++ {
+		switch {
+		case getBit(h.dirty, lpn):
+			// Latest version comes from the log: it is rewritten into the
+			// new home block. (The program is charged, matching a real
+			// merge; a pure switch merge has no such pages copied from
+			// home, only log pages adopted — modeled below.)
+			clearBit(h.dirty, lpn)
+			setBit(h.live, lpn)
+		case getBit(h.live, lpn):
+			// Valid page only in the old home block: copy it.
+			copied++
+		}
+	}
+	if copied == 0 {
+		// Switch merge: the log block(s) become the home block; no data
+		// moves and no extra programs happen.
+		h.switchMrgs++
+	} else {
+		h.nandWrites += copied
+		h.relocated += copied
+	}
+	h.merges++
+	h.erases++
+	h.logUsed -= uint64(h.logPages[leb])
+	h.logPages[leb] = 0
+	h.dirtyCount[leb] = 0
+	return copied
+}
+
+// Trim implements Translator.
+func (h *HybridFTL) Trim(lpn uint64) {
+	if lpn >= h.logicalBlocks {
+		panic(fmt.Sprintf("device: LPN %d outside logical space %d", lpn, h.logicalBlocks))
+	}
+	h.trims++
+	leb := lpn / h.ebPages
+	if getBit(h.dirty, lpn) {
+		clearBit(h.dirty, lpn)
+		h.dirtyCount[leb]--
+	}
+	clearBit(h.live, lpn)
+}
+
+// Stats implements Translator.
+func (h *HybridFTL) Stats() FTLStats {
+	return FTLStats{
+		HostWrites: h.hostWrites,
+		NANDWrites: h.nandWrites,
+		Relocated:  h.relocated,
+		Erases:     h.erases,
+		Trims:      h.trims,
+	}
+}
+
+// Merges returns (total merges, switch merges).
+func (h *HybridFTL) Merges() (total, switches uint64) { return h.merges, h.switchMrgs }
+
+// WriteAmplification implements Translator.
+func (h *HybridFTL) WriteAmplification() float64 {
+	if h.hostWrites == 0 {
+		return 0
+	}
+	return float64(h.nandWrites) / float64(h.hostWrites)
+}
+
+// LogUsed returns the current log occupancy in pages (for tests).
+func (h *HybridFTL) LogUsed() uint64 { return h.logUsed }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/stats"
+	"waflfs/internal/wafl"
+	"waflfs/internal/workload"
+)
+
+// Fig10Result reproduces §4.4: the time to complete the first consistency
+// point after mount, with and without the TopAA metafiles, as (A) the
+// FlexVol volume size grows and (B) the number of FlexVol volumes grows.
+// With TopAA the cost is a fixed small number of metafile block reads per
+// file-system instance; without it, every bitmap-metafile page must be
+// walked, so the cost grows linearly with total volume size.
+type Fig10Result struct {
+	// SizeSweep: first-CP time versus per-volume size (fixed count).
+	SizeSweep []Fig10Point
+	// CountSweep: first-CP time versus volume count (fixed size).
+	CountSweep []Fig10Point
+}
+
+// Fig10Point is one mount measurement.
+type Fig10Point struct {
+	Vols      int
+	VolBlocks uint64
+	// WithTopAA and WithoutTopAA are the modeled first-CP gate times.
+	WithTopAA, WithoutTopAA time.Duration
+	// The raw work counts behind the model.
+	TopAAReads, BitmapPages uint64
+}
+
+// Mount-time cost constants: a random 4KiB metafile-block read from HDD
+// storage, and the CPU cost of one cache insert.
+const (
+	mountBlockReadLatency = 1 * time.Millisecond
+	mountInsertCPU        = 150 * time.Nanosecond
+)
+
+func mountTime(ms wafl.MountStats) time.Duration {
+	return time.Duration(ms.TopAABlockReads+ms.BitmapPagesRead)*mountBlockReadLatency +
+		time.Duration(ms.CacheInserts)*mountInsertCPU
+}
+
+func fig10Point(cfg Config, nvols int, volBlocks uint64) Fig10Point {
+	tun := wafl.DefaultTunables()
+	specs := []wafl.GroupSpec{{
+		DataDevices: 6, ParityDevices: 1,
+		BlocksPerDevice: cfg.scaled(1<<17, 1<<14), Media: aa.MediaHDD,
+	}}
+	var vols []wafl.VolSpec
+	for i := 0; i < nvols; i++ {
+		vols = append(vols, wafl.VolSpec{Name: fmt.Sprintf("vol%d", i), Blocks: volBlocks})
+	}
+	s := wafl.NewSystem(specs, vols, tun, cfg.Seed)
+	// A little activity so the mount is realistic, then a CP to persist the
+	// TopAA metafiles.
+	lun := s.Agg.Vols()[0].CreateLUN("l", 4096)
+	workload.SequentialFill(s, lun, 8)
+	s.CP()
+
+	p := Fig10Point{Vols: nvols, VolBlocks: volBlocks}
+	msTop := s.Agg.Remount(true)
+	p.WithTopAA = mountTime(msTop)
+	p.TopAAReads = msTop.TopAABlockReads
+	msWalk := s.Agg.Remount(false)
+	p.WithoutTopAA = mountTime(msWalk)
+	p.BitmapPages = msWalk.BitmapPagesRead
+	return p
+}
+
+// RunFig10 regenerates Figure 10 (both panels).
+func RunFig10(cfg Config, w io.Writer) *Fig10Result {
+	res := &Fig10Result{}
+
+	// Panel A: 8 volumes, growing per-volume size.
+	base := uint64(16) * aa.RAIDAgnosticBlocks
+	for _, mult := range []uint64{1, 2, 4, 8, 16} {
+		res.SizeSweep = append(res.SizeSweep, fig10Point(cfg, 8, base*mult))
+	}
+	// Panel B: fixed-size volumes, growing count.
+	for _, n := range []int{5, 10, 20, 40} {
+		res.CountSweep = append(res.CountSweep, fig10Point(cfg, n, base))
+	}
+
+	norm := res.SizeSweep[0].WithoutTopAA
+	tbA := stats.Table{
+		Title:   "Fig 10 (A): first-CP time vs FlexVol size (8 volumes; normalized to smallest no-TopAA point)",
+		Columns: []string{"vol blocks", "with TopAA", "without TopAA", "TopAA reads", "bitmap pages"},
+	}
+	for _, p := range res.SizeSweep {
+		tbA.AddRow(p.VolBlocks,
+			fmt.Sprintf("%.3f", float64(p.WithTopAA)/float64(norm)),
+			fmt.Sprintf("%.3f", float64(p.WithoutTopAA)/float64(norm)),
+			p.TopAAReads, p.BitmapPages)
+	}
+	fmt.Fprintln(w, tbA.String())
+
+	normB := res.CountSweep[0].WithoutTopAA
+	tbB := stats.Table{
+		Title:   "Fig 10 (B): first-CP time vs FlexVol count (fixed size; normalized to smallest no-TopAA point)",
+		Columns: []string{"volumes", "with TopAA", "without TopAA", "TopAA reads", "bitmap pages"},
+	}
+	for _, p := range res.CountSweep {
+		tbB.AddRow(p.Vols,
+			fmt.Sprintf("%.3f", float64(p.WithTopAA)/float64(normB)),
+			fmt.Sprintf("%.3f", float64(p.WithoutTopAA)/float64(normB)),
+			p.TopAAReads, p.BitmapPages)
+	}
+	fmt.Fprintln(w, tbB.String())
+	fmt.Fprintln(w, "paper: TopAA time flat in both sweeps; no-TopAA time linear in total volume size")
+	fmt.Fprintln(w)
+	return res
+}

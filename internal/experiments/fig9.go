@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/stats"
+	"waflfs/internal/wafl"
+	"waflfs/internal/workload"
+)
+
+// Fig9Result reproduces §4.3's SMR data point: sequential writes to an
+// unaged file system on drive-managed SMR drives with AZCS, comparing the
+// historical HDD AA size (whose on-disk span is not aligned to AZCS
+// regions, forcing random checksum-block writes at every AA switch) against
+// an AA larger than the shingle zone and aligned to AZCS regions. The paper
+// reports 7% higher drive throughput and 11% lower latency.
+type Fig9Result struct {
+	Curves []Curve // "hdd-aa", "smr-aa"
+	// Random (out-of-band) checksum-block writes observed per config.
+	RandomChecksumSmall, RandomChecksumLarge uint64
+	// Shingle-zone interventions observed per config.
+	InterventionsSmall, InterventionsLarge uint64
+	// Peak-load comparison (large/aligned vs small).
+	ThroughputGainPct, LatencyChangePct float64
+}
+
+func fig9RunOne(cfg Config, label string, stripesPerAA uint64) (Curve, uint64, uint64) {
+	tun := wafl.DefaultTunables()
+	per := cfg.scaled(1<<19, 1<<17)
+	spec := wafl.GroupSpec{
+		DataDevices:     3,
+		ParityDevices:   1,
+		BlocksPerDevice: per,
+		Media:           aa.MediaSMR,
+		ZoneBlocks:      16384, // 64MiB shingle zones
+		AZCS:            true,
+		StripesPerAA:    stripesPerAA, // 0 = media-derived (2 zones, AZCS-aligned)
+	}
+	aggBlocks := 3 * per
+	lunBlocks := uint64(float64(aggBlocks) * 0.70)
+
+	s := wafl.NewSystem([]wafl.GroupSpec{spec},
+		[]wafl.VolSpec{{Name: "vol0", Blocks: lunBlocks + 8*aa.RAIDAgnosticBlocks}}, tun, cfg.Seed)
+	lun := s.Agg.Vols()[0].CreateLUN("lun0", lunBlocks)
+
+	// Unaged system, sequential writes only (64KiB operations).
+	s.ResetMetrics()
+	m := measure(s, func() {
+		workload.SequentialFill(s, lun, 16)
+		s.CP()
+	})
+	var rndCS, interventions uint64
+	for _, g := range s.Agg.Groups() {
+		gm := g.Metrics()
+		rndCS += gm.AZCSRandom
+		for _, d := range g.Devices() {
+			if smr, ok := d.(interface{ Interventions() uint64 }); ok {
+				interventions += smr.Interventions()
+			}
+		}
+	}
+	return curveFrom(label, m, cfg), rndCS, interventions
+}
+
+// RunFig9 regenerates Figure 9.
+func RunFig9(cfg Config, w io.Writer) *Fig9Result {
+	small, csSmall, ivSmall := fig9RunOne(cfg, "hdd-aa", aa.DefaultHDDStripes)
+	large, csLarge, ivLarge := fig9RunOne(cfg, "smr-aa", 0)
+
+	res := &Fig9Result{
+		Curves:              []Curve{small, large},
+		RandomChecksumSmall: csSmall,
+		RandomChecksumLarge: csLarge,
+		InterventionsSmall:  ivSmall,
+		InterventionsLarge:  ivLarge,
+	}
+	sp, lp := small.Peak(), large.Peak()
+	res.ThroughputGainPct = gain(lp.Throughput, sp.Throughput)
+	res.LatencyChangePct = gain(lp.LatencyMs, sp.LatencyMs)
+
+	printCurves(w, "Fig 9: SMR AA sizing (sequential writes, unaged, AZCS)", res.Curves)
+	tb := stats.Table{Title: "Fig 9 / §4.3 headline metrics", Columns: []string{"metric", "paper", "measured"}}
+	tb.AddRow("peak throughput gain (SMR vs HDD AA)", "+7%", fmt.Sprintf("%+.1f%%", res.ThroughputGainPct))
+	tb.AddRow("peak latency change (SMR vs HDD AA)", "-11%", fmt.Sprintf("%+.1f%%", res.LatencyChangePct))
+	tb.AddRow("random checksum writes, HDD AA", ">0", fmt.Sprint(res.RandomChecksumSmall))
+	tb.AddRow("random checksum writes, SMR AA", "0", fmt.Sprint(res.RandomChecksumLarge))
+	tb.AddRow("zone interventions, HDD AA", "-", fmt.Sprint(res.InterventionsSmall))
+	tb.AddRow("zone interventions, SMR AA", "-", fmt.Sprint(res.InterventionsLarge))
+	fmt.Fprintln(w, tb.String())
+	return res
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(cfg Config, w io.Writer)
+}
+
+// All returns the experiments in figure order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			Name:        "fig6",
+			Description: "AA cache performance: latency vs throughput, pick quality, WA, CPU/op (§4.1)",
+			Run:         func(cfg Config, w io.Writer) { RunFig6(cfg, w) },
+		},
+		{
+			Name:        "fig7",
+			Description: "Imbalanced aging: per-disk/per-RG write rates under OLTP (§4.2)",
+			Run:         func(cfg Config, w io.Writer) { RunFig7(cfg, w) },
+		},
+		{
+			Name:        "fig8",
+			Description: "SSD AA sizing: erase-block-aligned AAs vs HDD-sized AAs (§4.3)",
+			Run:         func(cfg Config, w io.Writer) { RunFig8(cfg, w) },
+		},
+		{
+			Name:        "fig9",
+			Description: "SMR AA sizing: zone+AZCS-aligned AAs vs HDD-sized AAs (§4.3)",
+			Run:         func(cfg Config, w io.Writer) { RunFig9(cfg, w) },
+		},
+		{
+			Name:        "fig10",
+			Description: "TopAA metafile: first-CP time after mount vs volume size/count (§4.4)",
+			Run:         func(cfg Config, w io.Writer) { RunFig10(cfg, w) },
+		},
+		{
+			Name:        "ablations",
+			Description: "design-choice ablations: HBPS bin width, AA size, write-bias threshold",
+			Run:         func(cfg Config, w io.Writer) { RunAblations(cfg, w) },
+		},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, len(All()))
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("unknown experiment %q (have %v)", name, names)
+}

@@ -1,0 +1,426 @@
+// Package hbps implements the paper's novel histogram-based partial sort
+// (HBPS) data structure (§3.3.2, Fig. 5), used as the RAID-agnostic
+// allocation-area cache for FlexVol volumes and natively redundant storage,
+// and elsewhere in WAFL where millions of items must be kept in
+// close-to-optimal order within a bounded memory budget.
+//
+// The structure uses at least two 4KiB pages:
+//
+//   - The histogram page counts the number of AAs in each score-range bin.
+//     For RAID-agnostic AAs the best score is 32k (an empty AA) and bins
+//     cover ranges of 1k, so there are 32 bins; the first covers scores in
+//     (31k, 32k], the second (30k, 31k], and so on. Each bin also holds an
+//     index pointing at the first element of its segment in the list.
+//
+//   - The list page(s) store the IDs of all the AAs from the best bins,
+//     contiguously, segment by segment in bin order. AAs within a bin are
+//     deliberately left unsorted — the benefit of sorting within a 3.125%
+//     score range was found to be negligible (hence "partial sort") — which
+//     is what makes updates cheap: inserting or removing an element moves
+//     at most one element per bin.
+//
+// The write allocator always picks the first AA in the list, which is
+// guaranteed to have a score within one bin width (1k/32k = 3.125%) of the
+// best tracked score. Counts remain accurate for every bin even when a
+// bin's AAs do not qualify for the list; a background replenish scan refills
+// the list from the bitmap when the allocator drains it.
+//
+// The two pages serialize verbatim into the RAID-agnostic TopAA metafile
+// (§3.4): see Marshal and Load.
+package hbps
+
+import (
+	"fmt"
+
+	"waflfs/internal/aa"
+)
+
+// Default geometry for RAID-agnostic AA caches.
+const (
+	// DefaultMaxScore is the best possible RAID-agnostic AA score: 32k free
+	// blocks in an empty AA.
+	DefaultMaxScore = 32768
+	// DefaultBinWidth is the score range covered by one histogram bin.
+	DefaultBinWidth = 1024
+	// DefaultListCap is the number of AA IDs stored in the single default
+	// list page ("this second page stores 1,000 AAs").
+	DefaultListCap = 1000
+)
+
+// Config parameterizes an HBPS instance.
+type Config struct {
+	// MaxScore is the best possible item score (inclusive).
+	MaxScore uint32
+	// BinWidth is the score range per histogram bin; MaxScore must be a
+	// multiple of BinWidth.
+	BinWidth uint32
+	// ListCap is the maximum number of items held in the list component.
+	// It must fit in the configured number of list pages when the
+	// structure is serialized (1024 IDs per 4KiB page).
+	ListCap int
+}
+
+// DefaultConfig returns the RAID-agnostic AA cache geometry from the paper.
+func DefaultConfig() Config {
+	return Config{MaxScore: DefaultMaxScore, BinWidth: DefaultBinWidth, ListCap: DefaultListCap}
+}
+
+// HBPS is the histogram-based partial sort. It is not safe for concurrent
+// use; WAFL applies updates in batches at the consistency-point boundary.
+type HBPS struct {
+	cfg     Config
+	numBins int
+
+	// counts[b] is the number of tracked items whose score falls in bin b.
+	// It is accurate for ALL tracked items, listed or not.
+	counts []uint32
+	// listed[b] is the number of items of bin b currently in the list.
+	listed []uint32
+	// index[b] is the list offset of bin b's first element, -1 if none.
+	index []int32
+	// list holds item IDs, segment by segment in bin order, compactly.
+	list []aa.ID
+	// pos maps a listed ID to its list offset. This in-memory acceleration
+	// is rebuilt on load and does not count against the two-page budget.
+	pos map[aa.ID]int32
+
+	total uint64 // tracked items across all bins
+}
+
+// New creates an empty HBPS.
+func New(cfg Config) *HBPS {
+	if cfg.MaxScore == 0 || cfg.BinWidth == 0 || cfg.MaxScore%cfg.BinWidth != 0 {
+		panic(fmt.Sprintf("hbps: invalid geometry max=%d width=%d", cfg.MaxScore, cfg.BinWidth))
+	}
+	if cfg.ListCap <= 0 {
+		panic("hbps: non-positive list capacity")
+	}
+	nb := int(cfg.MaxScore / cfg.BinWidth)
+	h := &HBPS{
+		cfg:     cfg,
+		numBins: nb,
+		counts:  make([]uint32, nb),
+		listed:  make([]uint32, nb),
+		index:   make([]int32, nb),
+		list:    make([]aa.ID, 0, cfg.ListCap),
+		pos:     make(map[aa.ID]int32, cfg.ListCap),
+	}
+	for b := range h.index {
+		h.index[b] = -1
+	}
+	return h
+}
+
+// Config returns the instance geometry.
+func (h *HBPS) Config() Config { return h.cfg }
+
+// NumBins returns the number of histogram bins.
+func (h *HBPS) NumBins() int { return h.numBins }
+
+// Bin returns the bin index for a score: bin 0 is the best range
+// (MaxScore-BinWidth, MaxScore]; the worst bin additionally includes score 0.
+func (h *HBPS) Bin(score uint32) int {
+	if score > h.cfg.MaxScore {
+		panic(fmt.Sprintf("hbps: score %d exceeds max %d", score, h.cfg.MaxScore))
+	}
+	b := int((h.cfg.MaxScore - score) / h.cfg.BinWidth)
+	if b == h.numBins { // score == 0
+		b = h.numBins - 1
+	}
+	return b
+}
+
+// BinFloor returns the smallest score that maps into bin b (0 for the worst
+// bin).
+func (h *HBPS) BinFloor(b int) uint32 {
+	if b == h.numBins-1 {
+		return 0
+	}
+	return h.cfg.MaxScore - uint32(b+1)*h.cfg.BinWidth + 1
+}
+
+// Total returns the number of tracked items.
+func (h *HBPS) Total() uint64 { return h.total }
+
+// ListLen returns the number of items currently in the list component.
+func (h *HBPS) ListLen() int { return len(h.list) }
+
+// BinCount returns the histogram count of bin b.
+func (h *HBPS) BinCount(b int) uint32 { return h.counts[b] }
+
+// BinListed returns how many of bin b's items are in the list.
+func (h *HBPS) BinListed(b int) uint32 { return h.listed[b] }
+
+// Listed reports whether item id is currently in the list.
+func (h *HBPS) Listed(id aa.ID) bool {
+	_, ok := h.pos[id]
+	return ok
+}
+
+// Track starts tracking a new item with the given score, inserting it into
+// the list if it qualifies. The caller must not Track an id twice without an
+// intervening Untrack.
+func (h *HBPS) Track(id aa.ID, score uint32) {
+	b := h.Bin(score)
+	h.counts[b]++
+	h.total++
+	h.tryList(id, b)
+}
+
+// Untrack removes an item entirely; score must be the last score the
+// structure was told about (HBPS stores no per-item scores, by design).
+func (h *HBPS) Untrack(id aa.ID, score uint32) {
+	b := h.Bin(score)
+	if h.counts[b] == 0 {
+		panic(fmt.Sprintf("hbps: untrack underflow in bin %d", b))
+	}
+	h.counts[b]--
+	h.total--
+	if h.Listed(id) {
+		h.removeListed(id)
+	}
+}
+
+// Update moves an item from oldScore to newScore. Updates are batched by
+// the caller at the CP boundary; each call is O(bins). An item whose score
+// rises into one of the top ranges is inserted into the list (§3.3.2).
+func (h *HBPS) Update(id aa.ID, oldScore, newScore uint32) {
+	bo, bn := h.Bin(oldScore), h.Bin(newScore)
+	if bo != bn {
+		if h.counts[bo] == 0 {
+			panic(fmt.Sprintf("hbps: update underflow in bin %d", bo))
+		}
+		h.counts[bo]--
+		h.counts[bn]++
+	}
+	if h.Listed(id) {
+		if bo == bn {
+			return
+		}
+		h.removeListed(id)
+		h.tryList(id, bn)
+		return
+	}
+	if bo != bn {
+		h.tryList(id, bn)
+	}
+}
+
+// PeekBest returns the first AA in the list — an item from the highest
+// populated range present in the list — without removing it.
+func (h *HBPS) PeekBest() (aa.ID, bool) {
+	if len(h.list) == 0 {
+		return 0, false
+	}
+	return h.list[0], true
+}
+
+// PopBest removes and returns the first AA in the list. The item remains
+// tracked in the histogram; the caller reports its consumption through
+// Update (or Untrack) later, as WAFL does at the CP boundary.
+func (h *HBPS) PopBest() (aa.ID, bool) {
+	if len(h.list) == 0 {
+		return 0, false
+	}
+	id := h.list[0]
+	h.removeListed(id)
+	return id, true
+}
+
+// worstListedBin returns the highest-index bin with a list segment, or -1.
+func (h *HBPS) worstListedBin() int {
+	for b := h.numBins - 1; b >= 0; b-- {
+		if h.listed[b] > 0 {
+			return b
+		}
+	}
+	return -1
+}
+
+// tryList inserts id (whose score falls in bin b) into the list if it
+// qualifies: there is spare capacity, or b is strictly better than the worst
+// listed bin (in which case the last element is evicted).
+func (h *HBPS) tryList(id aa.ID, b int) bool {
+	if len(h.list) >= h.cfg.ListCap {
+		w := h.worstListedBin()
+		if w < 0 || b >= w {
+			return false
+		}
+		h.evictLast(w)
+	}
+	// Open a slot at the end of segment b by moving one element per listed
+	// bin after b: each bin's first element becomes its last, shifting the
+	// vacancy left ("only one AA needs to be moved down from each bin").
+	h.list = append(h.list, 0)
+	for c := h.numBins - 1; c > b; c-- {
+		if h.listed[c] == 0 {
+			continue
+		}
+		first := h.index[c]
+		dest := first + int32(h.listed[c])
+		moved := h.list[first]
+		h.list[dest] = moved
+		h.pos[moved] = dest
+		h.index[c] = first + 1
+	}
+	// The vacancy now sits at the end of segment b: the prefix sum of
+	// listed counts through b.
+	var slot int32
+	for c := 0; c <= b; c++ {
+		slot += int32(h.listed[c])
+	}
+	h.list[slot] = id
+	h.pos[id] = slot
+	if h.listed[b] == 0 {
+		h.index[b] = slot
+	}
+	h.listed[b]++
+	return true
+}
+
+// evictLast drops the final list element, which belongs to worst listed bin w.
+func (h *HBPS) evictLast(w int) {
+	last := len(h.list) - 1
+	delete(h.pos, h.list[last])
+	h.list = h.list[:last]
+	h.listed[w]--
+	if h.listed[w] == 0 {
+		h.index[w] = -1
+	}
+}
+
+// binOfListPos finds the bin whose segment contains list offset p.
+func (h *HBPS) binOfListPos(p int32) int {
+	for b := 0; b < h.numBins; b++ {
+		if h.listed[b] == 0 {
+			continue
+		}
+		if p >= h.index[b] && p < h.index[b]+int32(h.listed[b]) {
+			return b
+		}
+	}
+	panic(fmt.Sprintf("hbps: list position %d not in any segment", p))
+}
+
+// removeListed removes id from the list, closing the gap by moving one
+// element per bin.
+func (h *HBPS) removeListed(id aa.ID) {
+	p, ok := h.pos[id]
+	if !ok {
+		panic(fmt.Sprintf("hbps: item %d not listed", id))
+	}
+	b := h.binOfListPos(p)
+	// Replace p with the last element of its own segment.
+	segLast := h.index[b] + int32(h.listed[b]) - 1
+	if p != segLast {
+		moved := h.list[segLast]
+		h.list[p] = moved
+		h.pos[moved] = p
+	}
+	h.listed[b]--
+	if h.listed[b] == 0 {
+		h.index[b] = -1
+	}
+	// The gap is at segLast; slide one element up from each later segment.
+	gap := segLast
+	for c := b + 1; c < h.numBins; c++ {
+		if h.listed[c] == 0 {
+			continue
+		}
+		last := h.index[c] + int32(h.listed[c]) - 1
+		moved := h.list[last]
+		h.list[gap] = moved
+		h.pos[moved] = gap
+		h.index[c]--
+		gap = last
+	}
+	h.list = h.list[:len(h.list)-1]
+	delete(h.pos, id)
+}
+
+// NeedsReplenish reports whether the list has run dry while the histogram
+// still tracks items — the rare case where the allocator consumes AAs
+// faster than frees insert them, requiring a background bitmap walk
+// (§3.3.2).
+func (h *HBPS) NeedsReplenish() bool {
+	return len(h.list) == 0 && h.total > 0
+}
+
+// Replenish rebuilds the list (and recomputes the histogram) from an
+// authoritative enumeration of every tracked item, as the background scan
+// of the bitmap metafiles does. The iterator must yield each tracked item
+// exactly once.
+func (h *HBPS) Replenish(items func(yield func(id aa.ID, score uint32))) {
+	for b := range h.counts {
+		h.counts[b] = 0
+		h.listed[b] = 0
+		h.index[b] = -1
+	}
+	h.list = h.list[:0]
+	h.pos = make(map[aa.ID]int32, h.cfg.ListCap)
+	h.total = 0
+
+	// Bucket IDs by bin, keeping at most ListCap of the best.
+	buckets := make([][]aa.ID, h.numBins)
+	items(func(id aa.ID, score uint32) {
+		b := h.Bin(score)
+		h.counts[b]++
+		h.total++
+		buckets[b] = append(buckets[b], id)
+	})
+	for b := 0; b < h.numBins && len(h.list) < h.cfg.ListCap; b++ {
+		for _, id := range buckets[b] {
+			if len(h.list) >= h.cfg.ListCap {
+				break
+			}
+			if h.listed[b] == 0 {
+				h.index[b] = int32(len(h.list))
+			}
+			h.list = append(h.list, id)
+			h.pos[id] = int32(len(h.list) - 1)
+			h.listed[b]++
+		}
+	}
+}
+
+// CheckInvariants verifies internal consistency; tests call it after every
+// mutation sequence.
+func (h *HBPS) CheckInvariants() error {
+	var sumListed, sumCounts uint64
+	running := int32(0)
+	for b := 0; b < h.numBins; b++ {
+		sumCounts += uint64(h.counts[b])
+		sumListed += uint64(h.listed[b])
+		if h.listed[b] > h.counts[b] {
+			return fmt.Errorf("bin %d: listed %d > count %d", b, h.listed[b], h.counts[b])
+		}
+		if h.listed[b] == 0 {
+			if h.index[b] != -1 {
+				return fmt.Errorf("bin %d: empty but index %d", b, h.index[b])
+			}
+			continue
+		}
+		if h.index[b] != running {
+			return fmt.Errorf("bin %d: index %d, want %d (segments not compact)", b, h.index[b], running)
+		}
+		running += int32(h.listed[b])
+	}
+	if sumCounts != h.total {
+		return fmt.Errorf("counts sum %d != total %d", sumCounts, h.total)
+	}
+	if int(sumListed) != len(h.list) {
+		return fmt.Errorf("listed sum %d != list len %d", sumListed, len(h.list))
+	}
+	if len(h.list) > h.cfg.ListCap {
+		return fmt.Errorf("list len %d exceeds cap %d", len(h.list), h.cfg.ListCap)
+	}
+	if len(h.pos) != len(h.list) {
+		return fmt.Errorf("pos map size %d != list len %d", len(h.pos), len(h.list))
+	}
+	for i, id := range h.list {
+		if p, ok := h.pos[id]; !ok || p != int32(i) {
+			return fmt.Errorf("pos[%d] = %d,%v; want %d", id, p, ok, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package hbps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+)
+
+// On-disk layout. The HBPS serializes to (1 + listPages) 4KiB pages: the
+// histogram page followed by the list page(s). These are the exact bytes
+// the RAID-agnostic TopAA metafile pins in the buffer cache (§3.4), so
+// mounting a FlexVol needs only a two-block read and an O(list) index
+// rebuild.
+const (
+	// PageSize is the metafile block size.
+	PageSize = block.BlockSize
+	// IDsPerListPage is how many 4-byte AA IDs fit in one list page.
+	IDsPerListPage = PageSize / 4
+
+	magic   = 0x53504248 // "HBPS" little-endian
+	version = 1
+
+	offMagic    = 0
+	offVersion  = 4
+	offBinCount = 6
+	offBinWidth = 8
+	offMaxScore = 12
+	offTotal    = 16
+	offListLen  = 24
+	offListCap  = 28
+	offBins     = 64
+	binStride   = 12 // count u32, listed u32, index i32
+)
+
+// MaxBins is the largest bin count one histogram page can describe.
+const MaxBins = (PageSize - offBins) / binStride
+
+// ListPages returns the number of list pages needed for the configured
+// capacity.
+func (c Config) ListPages() int {
+	return (c.ListCap + IDsPerListPage - 1) / IDsPerListPage
+}
+
+// MarshaledSize returns the serialized size in bytes.
+func (c Config) MarshaledSize() int { return (1 + c.ListPages()) * PageSize }
+
+// Marshal serializes the structure into its page representation.
+func (h *HBPS) Marshal() []byte {
+	if h.numBins > MaxBins {
+		panic(fmt.Sprintf("hbps: %d bins exceed one histogram page (max %d)", h.numBins, MaxBins))
+	}
+	buf := make([]byte, h.cfg.MarshaledSize())
+	le := binary.LittleEndian
+	le.PutUint32(buf[offMagic:], magic)
+	le.PutUint16(buf[offVersion:], version)
+	le.PutUint16(buf[offBinCount:], uint16(h.numBins))
+	le.PutUint32(buf[offBinWidth:], h.cfg.BinWidth)
+	le.PutUint32(buf[offMaxScore:], h.cfg.MaxScore)
+	le.PutUint64(buf[offTotal:], h.total)
+	le.PutUint32(buf[offListLen:], uint32(len(h.list)))
+	le.PutUint32(buf[offListCap:], uint32(h.cfg.ListCap))
+	for b := 0; b < h.numBins; b++ {
+		o := offBins + b*binStride
+		le.PutUint32(buf[o:], h.counts[b])
+		le.PutUint32(buf[o+4:], h.listed[b])
+		le.PutUint32(buf[o+8:], uint32(h.index[b]))
+	}
+	for i, id := range h.list {
+		le.PutUint32(buf[PageSize+4*i:], uint32(id))
+	}
+	return buf
+}
+
+// Load reconstructs an HBPS from its page representation, rebuilding the
+// in-memory position index. It returns an error (never panics) on corrupt
+// input, so callers can fall back to a full bitmap walk, as WAFL does when
+// a TopAA metafile is damaged.
+func Load(buf []byte) (*HBPS, error) {
+	if len(buf) < 2*PageSize {
+		return nil, fmt.Errorf("hbps: %d bytes, need at least two pages", len(buf))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[offMagic:]) != magic {
+		return nil, errors.New("hbps: bad magic")
+	}
+	if v := le.Uint16(buf[offVersion:]); v != version {
+		return nil, fmt.Errorf("hbps: unsupported version %d", v)
+	}
+	nb := int(le.Uint16(buf[offBinCount:]))
+	bw := le.Uint32(buf[offBinWidth:])
+	ms := le.Uint32(buf[offMaxScore:])
+	if nb == 0 || nb > MaxBins || bw == 0 || ms != bw*uint32(nb) {
+		return nil, fmt.Errorf("hbps: inconsistent geometry bins=%d width=%d max=%d", nb, bw, ms)
+	}
+	listCap := int(le.Uint32(buf[offListCap:]))
+	listLen := int(le.Uint32(buf[offListLen:]))
+	cfg := Config{MaxScore: ms, BinWidth: bw, ListCap: listCap}
+	if listCap <= 0 || len(buf) < cfg.MarshaledSize() {
+		return nil, fmt.Errorf("hbps: buffer %d bytes too small for capacity %d", len(buf), listCap)
+	}
+	if listLen > listCap {
+		return nil, fmt.Errorf("hbps: list length %d exceeds capacity %d", listLen, listCap)
+	}
+	h := New(cfg)
+	h.total = le.Uint64(buf[offTotal:])
+	for b := 0; b < nb; b++ {
+		o := offBins + b*binStride
+		h.counts[b] = le.Uint32(buf[o:])
+		h.listed[b] = le.Uint32(buf[o+4:])
+		h.index[b] = int32(le.Uint32(buf[o+8:]))
+	}
+	h.list = h.list[:0]
+	for i := 0; i < listLen; i++ {
+		id := aa.ID(le.Uint32(buf[PageSize+4*i:]))
+		h.list = append(h.list, id)
+		h.pos[id] = int32(i)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("hbps: corrupt pages: %w", err)
+	}
+	return h, nil
+}

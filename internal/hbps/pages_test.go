@@ -1,0 +1,154 @@
+package hbps
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+func populated(seed int64, n int) (*HBPS, map[aa.ID]uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	h := New(DefaultConfig())
+	scores := map[aa.ID]uint32{}
+	for i := 0; i < n; i++ {
+		s := uint32(rng.Intn(32769))
+		scores[aa.ID(i)] = s
+		h.Track(aa.ID(i), s)
+	}
+	return h, scores
+}
+
+func TestMarshaledSize(t *testing.T) {
+	cfg := DefaultConfig()
+	// Default: one histogram page + one list page = exactly two 4KiB
+	// blocks, the paper's memory bound.
+	if cfg.ListPages() != 1 {
+		t.Fatalf("list pages = %d", cfg.ListPages())
+	}
+	if cfg.MarshaledSize() != 2*PageSize {
+		t.Fatalf("size = %d", cfg.MarshaledSize())
+	}
+	big := Config{MaxScore: 32768, BinWidth: 1024, ListCap: 3000}
+	if big.ListPages() != 3 || big.MarshaledSize() != 4*PageSize {
+		t.Fatalf("big: pages=%d size=%d", big.ListPages(), big.MarshaledSize())
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	h := New(DefaultConfig())
+	got, err := Load(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 0 || got.ListLen() != 0 {
+		t.Fatal("empty round trip not empty")
+	}
+}
+
+func TestRoundTripPopulated(t *testing.T) {
+	h, scores := populated(3, 5000)
+	// Churn a little so listed/counts diverge.
+	for i := 0; i < 500; i++ {
+		id := aa.ID(i)
+		h.Update(id, scores[id], scores[id]/2)
+		scores[id] /= 2
+	}
+	for i := 0; i < 100; i++ {
+		h.PopBest()
+	}
+	data := h.Marshal()
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != h.Total() || got.ListLen() != h.ListLen() {
+		t.Fatalf("total %d/%d list %d/%d", got.Total(), h.Total(), got.ListLen(), h.ListLen())
+	}
+	for b := 0; b < h.NumBins(); b++ {
+		if got.BinCount(b) != h.BinCount(b) || got.BinListed(b) != h.BinListed(b) {
+			t.Fatalf("bin %d mismatch", b)
+		}
+	}
+	// Serialization is deterministic: marshal(load(marshal(x))) == marshal(x).
+	if !bytes.Equal(got.Marshal(), data) {
+		t.Fatal("re-marshal differs")
+	}
+	// Behavioural equivalence: both pop the same sequence.
+	for i := 0; i < 50; i++ {
+		a, aok := h.PopBest()
+		b, bok := got.PopBest()
+		if a != b || aok != bok {
+			t.Fatalf("pop %d: %d,%v vs %d,%v", i, a, aok, b, bok)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	h, _ := populated(4, 2000)
+	good := h.Marshal()
+
+	corrupt := func(mutate func([]byte)) error {
+		buf := append([]byte(nil), good...)
+		mutate(buf)
+		_, err := Load(buf)
+		return err
+	}
+
+	cases := map[string]func([]byte){
+		"magic":           func(b []byte) { b[0] ^= 0xff },
+		"version":         func(b []byte) { b[offVersion] = 99 },
+		"bin count zero":  func(b []byte) { b[offBinCount] = 0; b[offBinCount+1] = 0 },
+		"geometry":        func(b []byte) { b[offBinWidth] ^= 0x01 },
+		"list len > cap":  func(b []byte) { b[offListLen] = 0xff; b[offListLen+1] = 0xff },
+		"broken index":    func(b []byte) { b[offBins+8] ^= 0x3f },
+		"count underflow": func(b []byte) { b[offBins] = 0; b[offBins+1] = 0; b[offBins+2] = 0; b[offBins+3] = 0 },
+	}
+	for name, m := range cases {
+		if err := corrupt(m); err == nil {
+			t.Errorf("%s corruption not detected", name)
+		}
+	}
+	if _, err := Load(good[:PageSize]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+	// The pristine buffer still loads.
+	if _, err := Load(good); err != nil {
+		t.Fatalf("pristine buffer rejected: %v", err)
+	}
+}
+
+func TestLoadDetectsDuplicateListEntries(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Track(1, 32768)
+	h.Track(2, 32768)
+	buf := h.Marshal()
+	// Make both list entries the same ID.
+	copy(buf[PageSize+4:PageSize+8], buf[PageSize:PageSize+4])
+	if _, err := Load(buf); err == nil {
+		t.Fatal("duplicate list entries accepted")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	h, _ := populated(5, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Marshal()
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	h, _ := populated(6, 100000)
+	data := h.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

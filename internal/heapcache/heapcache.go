@@ -1,0 +1,283 @@
+// Package heapcache implements the RAID-aware allocation-area cache: an
+// in-memory max-heap of all AAs in a RAID group sorted by score (§3.3.1 of
+// the paper).
+//
+// The heap is rebalanced at the end of each consistency point after the
+// batched score updates for AAs whose blocks were allocated or freed. The
+// memory cost — one entry per AA — is justified for RAID groups because
+// selecting the single best AA has a large effect on full-stripe writes and
+// write-chain length; the RAID-agnostic case uses package hbps instead.
+//
+// The cache supports partial population so that a TopAA metafile can seed
+// it with the 512 best AAs at mount time while a background walk inserts the
+// rest (§3.4).
+package heapcache
+
+import (
+	"fmt"
+
+	"waflfs/internal/aa"
+)
+
+// Entry pairs an allocation area with its score (free-block count).
+type Entry struct {
+	ID    aa.ID
+	Score uint64
+}
+
+// Cache is an indexed max-heap over AA scores. The zero value is not usable;
+// call New.
+type Cache struct {
+	heap []Entry
+	// pos maps AA id -> index in heap, or -1 when the AA is not tracked.
+	pos []int32
+}
+
+// New creates an empty cache able to track AAs with ids in [0, numAAs).
+func New(numAAs int) *Cache {
+	if numAAs <= 0 {
+		panic("heapcache: numAAs must be positive")
+	}
+	c := &Cache{pos: make([]int32, numAAs)}
+	for i := range c.pos {
+		c.pos[i] = -1
+	}
+	return c
+}
+
+// NewFromScores builds a fully populated cache from a score-per-AA slice in
+// O(n) (heapify), as a cache rebuild from a bitmap walk does.
+func NewFromScores(scores []uint64) *Cache {
+	c := New(len(scores))
+	c.heap = make([]Entry, len(scores))
+	for i, s := range scores {
+		c.heap[i] = Entry{ID: aa.ID(i), Score: s}
+		c.pos[i] = int32(i)
+	}
+	for i := len(c.heap)/2 - 1; i >= 0; i-- {
+		c.siftDown(i)
+	}
+	return c
+}
+
+// Len returns the number of AAs currently tracked.
+func (c *Cache) Len() int { return len(c.heap) }
+
+// Capacity returns the AA id space size.
+func (c *Cache) Capacity() int { return len(c.pos) }
+
+// Tracked reports whether AA id is in the heap.
+func (c *Cache) Tracked(id aa.ID) bool {
+	return int(id) < len(c.pos) && c.pos[id] >= 0
+}
+
+// Score returns the cached score of AA id; it panics if untracked.
+func (c *Cache) Score(id aa.ID) uint64 {
+	c.mustTracked(id)
+	return c.heap[c.pos[id]].Score
+}
+
+func (c *Cache) mustTracked(id aa.ID) {
+	if !c.Tracked(id) {
+		panic(fmt.Sprintf("heapcache: AA %d not tracked", id))
+	}
+}
+
+// Insert adds AA id with the given score, or updates it if already present.
+func (c *Cache) Insert(id aa.ID, score uint64) {
+	if int(id) >= len(c.pos) {
+		panic(fmt.Sprintf("heapcache: AA %d outside capacity %d", id, len(c.pos)))
+	}
+	if c.Tracked(id) {
+		c.Update(id, score)
+		return
+	}
+	c.heap = append(c.heap, Entry{ID: id, Score: score})
+	c.pos[id] = int32(len(c.heap) - 1)
+	c.siftUp(len(c.heap) - 1)
+}
+
+// Update changes the score of a tracked AA and restores the heap property.
+func (c *Cache) Update(id aa.ID, score uint64) {
+	c.mustTracked(id)
+	i := int(c.pos[id])
+	old := c.heap[i].Score
+	c.heap[i].Score = score
+	switch {
+	case score > old:
+		c.siftUp(i)
+	case score < old:
+		c.siftDown(i)
+	}
+}
+
+// Best returns the AA with the maximum score without removing it.
+func (c *Cache) Best() (Entry, bool) {
+	if len(c.heap) == 0 {
+		return Entry{}, false
+	}
+	return c.heap[0], true
+}
+
+// PopBest removes and returns the maximum-score AA. The write allocator
+// pops the AA it is about to fill and re-inserts it (with its reduced
+// score) at the CP boundary.
+func (c *Cache) PopBest() (Entry, bool) {
+	if len(c.heap) == 0 {
+		return Entry{}, false
+	}
+	top := c.heap[0]
+	c.remove(0)
+	return top, true
+}
+
+// Remove drops AA id from the heap (e.g. when an AA leaves the file system
+// after a shrink). It panics if untracked.
+func (c *Cache) Remove(id aa.ID) {
+	c.mustTracked(id)
+	c.remove(int(c.pos[id]))
+}
+
+func (c *Cache) remove(i int) {
+	last := len(c.heap) - 1
+	c.pos[c.heap[i].ID] = -1
+	if i != last {
+		c.heap[i] = c.heap[last]
+		c.pos[c.heap[i].ID] = int32(i)
+	}
+	c.heap = c.heap[:last]
+	if i < len(c.heap) {
+		c.siftDown(i)
+		c.siftUp(i)
+	}
+}
+
+// ApplyDeltas applies a batch of score deltas (allocations negative, frees
+// positive) and rebalances, as happens at the end of each consistency
+// point. AAs not yet tracked are ignored (they will be inserted by the
+// background rebuild with their then-current score).
+func (c *Cache) ApplyDeltas(deltas map[aa.ID]int64) {
+	for id, d := range deltas {
+		if !c.Tracked(id) {
+			continue
+		}
+		s := int64(c.Score(id)) + d
+		if s < 0 {
+			s = 0
+		}
+		c.Update(id, uint64(s))
+	}
+}
+
+// TopK returns the k highest-scoring entries in descending score order
+// without disturbing the heap. This is the export path for the RAID-aware
+// TopAA metafile, which persists the 512 best AAs (§3.4).
+func (c *Cache) TopK(k int) []Entry {
+	if k <= 0 || len(c.heap) == 0 {
+		return nil
+	}
+	if k > len(c.heap) {
+		k = len(c.heap)
+	}
+	// Partial heap traversal using a candidate max-heap of heap indices.
+	type cand struct{ idx int }
+	cands := []cand{{0}}
+	less := func(a, b cand) bool { return higher(c.heap[b.idx], c.heap[a.idx]) }
+	pop := func() cand {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if less(cands[best], cands[i]) {
+				best = i
+			}
+		}
+		out := cands[best]
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		return out
+	}
+	out := make([]Entry, 0, k)
+	for len(out) < k && len(cands) > 0 {
+		top := pop()
+		out = append(out, c.heap[top.idx])
+		if l := 2*top.idx + 1; l < len(c.heap) {
+			cands = append(cands, cand{l})
+		}
+		if r := 2*top.idx + 2; r < len(c.heap) {
+			cands = append(cands, cand{r})
+		}
+	}
+	return out
+}
+
+// higher reports whether a has strictly higher priority than b: greater
+// score, with ties broken toward the lower AA id. The tie-break matters on
+// fresh or freshly cleaned storage, where many AAs share a score: WAFL
+// consumes them in block-number order, which keeps device access sequential
+// (and, on SMR, in shingle-zone order).
+func higher(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+func (c *Cache) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !higher(c.heap[i], c.heap[parent]) {
+			return
+		}
+		c.swap(parent, i)
+		i = parent
+	}
+}
+
+func (c *Cache) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r, largest := 2*i+1, 2*i+2, i
+		if l < n && higher(c.heap[l], c.heap[largest]) {
+			largest = l
+		}
+		if r < n && higher(c.heap[r], c.heap[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		c.swap(i, largest)
+		i = largest
+	}
+}
+
+func (c *Cache) swap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.pos[c.heap[i].ID] = int32(i)
+	c.pos[c.heap[j].ID] = int32(j)
+}
+
+// CheckInvariants verifies the heap property and the position index; it is
+// used by tests and returns a descriptive error on violation.
+func (c *Cache) CheckInvariants() error {
+	for i := 1; i < len(c.heap); i++ {
+		parent := (i - 1) / 2
+		if higher(c.heap[i], c.heap[parent]) {
+			return fmt.Errorf("heap property violated at %d (parent %d): %v outranks %v",
+				i, parent, c.heap[i], c.heap[parent])
+		}
+	}
+	seen := 0
+	for id, p := range c.pos {
+		if p < 0 {
+			continue
+		}
+		seen++
+		if int(p) >= len(c.heap) || c.heap[p].ID != aa.ID(id) {
+			return fmt.Errorf("position index broken for AA %d", id)
+		}
+	}
+	if seen != len(c.heap) {
+		return fmt.Errorf("pos index tracks %d entries, heap has %d", seen, len(c.heap))
+	}
+	return nil
+}

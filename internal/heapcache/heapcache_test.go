@@ -1,0 +1,296 @@
+package heapcache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"waflfs/internal/aa"
+)
+
+func TestEmpty(t *testing.T) {
+	c := New(10)
+	if _, ok := c.Best(); ok {
+		t.Fatal("Best on empty returned ok")
+	}
+	if _, ok := c.PopBest(); ok {
+		t.Fatal("PopBest on empty returned ok")
+	}
+	if c.Len() != 0 || c.Capacity() != 10 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestInsertBest(t *testing.T) {
+	c := New(10)
+	c.Insert(3, 100)
+	c.Insert(7, 500)
+	c.Insert(1, 300)
+	best, ok := c.Best()
+	if !ok || best.ID != 7 || best.Score != 500 {
+		t.Fatalf("Best = %+v", best)
+	}
+	if c.Score(1) != 300 {
+		t.Fatalf("Score(1) = %d", c.Score(1))
+	}
+	if !c.Tracked(3) || c.Tracked(4) {
+		t.Fatal("Tracked wrong")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	c := New(4)
+	c.Insert(0, 10)
+	c.Insert(0, 99)
+	if c.Len() != 1 || c.Score(0) != 99 {
+		t.Fatalf("len=%d score=%d", c.Len(), c.Score(0))
+	}
+}
+
+func TestPopBestDrainsInOrder(t *testing.T) {
+	scores := []uint64{5, 9, 1, 7, 3, 9, 0, 2}
+	c := NewFromScores(scores)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		e, ok := c.PopBest()
+		if !ok {
+			break
+		}
+		got = append(got, e.Score)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append([]uint64(nil), scores...)
+	sort.Slice(want, func(i, j int) bool { return want[i] > want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("drained %d entries", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUpdateMoves(t *testing.T) {
+	c := NewFromScores([]uint64{10, 20, 30})
+	c.Update(0, 100)
+	if best, _ := c.Best(); best.ID != 0 {
+		t.Fatalf("Best after raise = %+v", best)
+	}
+	c.Update(0, 1)
+	if best, _ := c.Best(); best.ID != 2 {
+		t.Fatalf("Best after drop = %+v", best)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewFromScores([]uint64{10, 20, 30, 40})
+	c.Remove(3)
+	if c.Tracked(3) {
+		t.Fatal("removed AA still tracked")
+	}
+	if best, _ := c.Best(); best.ID != 2 {
+		t.Fatalf("Best after remove = %+v", best)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntrackedPanics(t *testing.T) {
+	c := New(4)
+	for name, f := range map[string]func(){
+		"Score":     func() { c.Score(0) },
+		"Update":    func() { c.Update(0, 1) },
+		"Remove":    func() { c.Remove(0) },
+		"InsertOOB": func() { c.Insert(4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestApplyDeltas(t *testing.T) {
+	c := NewFromScores([]uint64{100, 200, 300})
+	c.ApplyDeltas(map[aa.ID]int64{
+		0: +50,  // freed blocks
+		2: -250, // allocated blocks
+		1: -300, // clamps at zero
+	})
+	if c.Score(0) != 150 || c.Score(2) != 50 || c.Score(1) != 0 {
+		t.Fatalf("scores = %d %d %d", c.Score(0), c.Score(1), c.Score(2))
+	}
+	if best, _ := c.Best(); best.ID != 0 {
+		t.Fatalf("Best = %+v", best)
+	}
+	// Deltas for untracked AAs are ignored.
+	c2 := New(5)
+	c2.Insert(0, 10)
+	c2.ApplyDeltas(map[aa.ID]int64{4: 100})
+	if c2.Tracked(4) {
+		t.Fatal("delta inserted untracked AA")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := make([]uint64, 100)
+	rng := rand.New(rand.NewSource(5))
+	for i := range scores {
+		scores[i] = uint64(rng.Intn(10000))
+	}
+	c := NewFromScores(scores)
+	top := c.TopK(10)
+	if len(top) != 10 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	sorted := append([]uint64(nil), scores...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for i, e := range top {
+		if e.Score != sorted[i] {
+			t.Fatalf("TopK[%d].Score = %d, want %d", i, e.Score, sorted[i])
+		}
+	}
+	// TopK must not disturb the heap.
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TopK(1000); len(got) != 100 {
+		t.Fatalf("TopK over-ask returned %d", len(got))
+	}
+	if got := c.TopK(0); got != nil {
+		t.Fatalf("TopK(0) = %v", got)
+	}
+}
+
+// Property: after an arbitrary sequence of operations, Best() returns a
+// maximal score and invariants hold.
+func TestRandomOperations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 200
+		c := New(n)
+		ref := make(map[aa.ID]uint64)
+		for i := 0; i < 2000; i++ {
+			id := aa.ID(rng.Intn(n))
+			switch rng.Intn(4) {
+			case 0:
+				s := uint64(rng.Intn(32768))
+				c.Insert(id, s)
+				ref[id] = s
+			case 1:
+				if _, ok := ref[id]; ok {
+					s := uint64(rng.Intn(32768))
+					c.Update(id, s)
+					ref[id] = s
+				}
+			case 2:
+				if _, ok := ref[id]; ok {
+					c.Remove(id)
+					delete(ref, id)
+				}
+			case 3:
+				if e, ok := c.PopBest(); ok {
+					var max uint64
+					for _, s := range ref {
+						if s > max {
+							max = s
+						}
+					}
+					if e.Score != max {
+						return false
+					}
+					delete(ref, e.ID)
+				}
+			}
+		}
+		if c.CheckInvariants() != nil {
+			return false
+		}
+		if c.Len() != len(ref) {
+			return false
+		}
+		if e, ok := c.Best(); ok {
+			var max uint64
+			for _, s := range ref {
+				if s > max {
+					max = s
+				}
+			}
+			if e.Score != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's sizing example: a RAID group of 16TiB devices has ~1M
+// default-sized AAs and the cache costs ~1MiB. Verify we can build and
+// operate at that scale quickly.
+func TestMillionAAs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 1 << 20
+	scores := make([]uint64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range scores {
+		scores[i] = uint64(rng.Intn(4096 * 14))
+	}
+	c := NewFromScores(scores)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e, _ := c.PopBest()
+		c.Insert(e.ID, e.Score/2)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUpdateRebalance(b *testing.B) {
+	const n = 1 << 20
+	scores := make([]uint64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range scores {
+		scores[i] = uint64(rng.Intn(57344))
+	}
+	c := NewFromScores(scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := aa.ID(i & (n - 1))
+		c.Update(id, uint64(rng.Intn(57344)))
+	}
+}
+
+func BenchmarkPopReinsert(b *testing.B) {
+	c := NewFromScores(make([]uint64, 1<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := c.PopBest()
+		c.Insert(e.ID, e.Score+1)
+	}
+}

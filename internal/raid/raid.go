@@ -1,0 +1,291 @@
+// Package raid models the RAID-group geometry beneath a WAFL aggregate.
+//
+// ONTAP arranges HDDs and SSDs into RAID groups (RAID 4 / RAID-DP style:
+// dedicated parity devices) to protect against device failure (§2.1 of the
+// paper). WAFL maintains the mapping of physical VBN ranges to storage
+// devices based on their RAID topology (§3.1): each data device owns a
+// contiguous run of physical VBNs, and stripe s is the set of blocks at
+// device-block-number (DBN) s across all data devices, sharing the parity
+// block(s) at DBN s on the parity device(s).
+//
+// The package also implements the tetris — the unit of write I/O WAFL sends
+// to a RAID group, composed of 64 consecutive stripes (§4.2) — and the
+// full/partial-stripe accounting that drives the paper's cost analysis: a
+// full stripe write lets RAID compute parity with no extra reads, whereas a
+// partial stripe write forces RAID to read blocks from the stripe first
+// (§2.3).
+package raid
+
+import (
+	"fmt"
+	"sort"
+
+	"waflfs/internal/block"
+)
+
+// Geometry describes one RAID group.
+type Geometry struct {
+	// DataDevices is the number of devices that hold file-system blocks.
+	DataDevices int
+	// ParityDevices is the number of dedicated parity devices (1 for
+	// RAID 4, 2 for RAID-DP, 3 for RAID-TP).
+	ParityDevices int
+	// BlocksPerDevice is the number of 4KiB blocks (DBNs) on each device;
+	// it is also the number of stripes in the group.
+	BlocksPerDevice uint64
+	// StartVBN is the first physical VBN of this group within the
+	// aggregate's block-number space.
+	StartVBN block.VBN
+}
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	if g.DataDevices <= 0 {
+		return fmt.Errorf("raid: DataDevices = %d, need > 0", g.DataDevices)
+	}
+	if g.ParityDevices < 0 {
+		return fmt.Errorf("raid: ParityDevices = %d, need >= 0", g.ParityDevices)
+	}
+	if g.BlocksPerDevice == 0 {
+		return fmt.Errorf("raid: BlocksPerDevice = 0")
+	}
+	return nil
+}
+
+// Blocks returns the number of data blocks (physical VBNs) in the group.
+func (g Geometry) Blocks() uint64 { return uint64(g.DataDevices) * g.BlocksPerDevice }
+
+// Stripes returns the number of stripes in the group.
+func (g Geometry) Stripes() uint64 { return g.BlocksPerDevice }
+
+// VBNRange returns the physical VBN range owned by this group.
+func (g Geometry) VBNRange() block.Range {
+	return block.R(g.StartVBN, g.StartVBN+block.VBN(g.Blocks()))
+}
+
+// Locate maps a physical VBN to its (data device index, DBN) coordinates.
+// It panics if v is outside the group.
+func (g Geometry) Locate(v block.VBN) (device int, dbn uint64) {
+	if !g.VBNRange().Contains(v) {
+		panic(fmt.Sprintf("raid: VBN %d outside group range %v", uint64(v), g.VBNRange()))
+	}
+	off := uint64(v - g.StartVBN)
+	return int(off / g.BlocksPerDevice), off % g.BlocksPerDevice
+}
+
+// VBNOf is the inverse of Locate.
+func (g Geometry) VBNOf(device int, dbn uint64) block.VBN {
+	if device < 0 || device >= g.DataDevices || dbn >= g.BlocksPerDevice {
+		panic(fmt.Sprintf("raid: coordinates (%d,%d) outside geometry", device, dbn))
+	}
+	return g.StartVBN + block.VBN(uint64(device)*g.BlocksPerDevice+dbn)
+}
+
+// StripeOf returns the stripe number (== DBN) of a physical VBN.
+func (g Geometry) StripeOf(v block.VBN) uint64 {
+	_, dbn := g.Locate(v)
+	return dbn
+}
+
+// DeviceRange returns the VBN range owned by one data device.
+func (g Geometry) DeviceRange(device int) block.Range {
+	if device < 0 || device >= g.DataDevices {
+		panic(fmt.Sprintf("raid: device %d outside geometry", device))
+	}
+	start := g.StartVBN + block.VBN(uint64(device)*g.BlocksPerDevice)
+	return block.R(start, start+block.VBN(g.BlocksPerDevice))
+}
+
+// DeviceSegment returns, for one data device, the VBN range covering the
+// half-open stripe interval [fromStripe, toStripe). Allocation areas use
+// this to describe themselves as one contiguous DBN run per device.
+func (g Geometry) DeviceSegment(device int, fromStripe, toStripe uint64) block.Range {
+	if toStripe > g.BlocksPerDevice {
+		toStripe = g.BlocksPerDevice
+	}
+	if fromStripe > toStripe {
+		fromStripe = toStripe
+	}
+	return block.R(g.VBNOf(device, fromStripe), g.DeviceRange(device).Start+block.VBN(toStripe))
+}
+
+// StripeVBNs returns the physical VBNs composing stripe s, one per data
+// device, in device order.
+func (g Geometry) StripeVBNs(s uint64) []block.VBN {
+	if s >= g.BlocksPerDevice {
+		panic(fmt.Sprintf("raid: stripe %d outside geometry", s))
+	}
+	out := make([]block.VBN, g.DataDevices)
+	for d := 0; d < g.DataDevices; d++ {
+		out[d] = g.VBNOf(d, s)
+	}
+	return out
+}
+
+// Chain is a run of consecutive DBNs written to one device in a single
+// write I/O — a write chain in the paper's terminology (§2.4).
+type Chain struct {
+	Device int
+	Start  uint64 // first DBN in the chain
+	Len    uint64 // number of blocks
+}
+
+// TetrisIO describes one tetris (64 consecutive stripes) worth of writes to
+// a RAID group, fully classified for the cost model:
+//
+//   - how many of its stripes are full vs. partial;
+//   - the extra reads RAID needs to compute parity on partial stripes;
+//   - the per-device write chains (each chain is one device write I/O).
+type TetrisIO struct {
+	Tetris         uint64 // tetris index within the group (stripe/64)
+	BlocksWritten  int    // data blocks written
+	StripesTouched int    // stripes with at least one block written
+	FullStripes    int    // stripes with every data block written
+	PartialStripes int    // StripesTouched - FullStripes
+	// ParityReadBlocks is the number of blocks RAID must read to compute
+	// parity for the partial stripes. For each partial stripe with k of D
+	// data blocks written, RAID reads min(k+P, (D-k)+... ) — we model the
+	// cheaper of additive (read the D-k unwritten data blocks) and
+	// subtractive (read the k old data blocks plus P old parity blocks)
+	// parity computation, as production RAID implementations do.
+	ParityReadBlocks int
+	// ParityWriteBlocks is StripesTouched * ParityDevices: parity is
+	// rewritten for every touched stripe.
+	ParityWriteBlocks int
+	// Chains lists the per-device write chains, ordered by device then DBN.
+	Chains []Chain
+}
+
+// WriteIOs returns the number of device write I/Os needed for the tetris'
+// data blocks: one per chain. (Parity writes are accounted separately since
+// parity devices are written in stripe-contiguous runs.)
+func (t *TetrisIO) WriteIOs() int { return len(t.Chains) }
+
+// BuildTetrises classifies a CP's writes to one RAID group. vbns is the set
+// of physical VBNs being written (in any order, duplicates not allowed); the
+// result is ordered by tetris index. The tetris boundary is
+// block.StripesPerTetris consecutive stripes.
+func BuildTetrises(g Geometry, vbns []block.VBN) []TetrisIO {
+	if len(vbns) == 0 {
+		return nil
+	}
+	sorted := append([]block.VBN(nil), vbns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// Group blocks by tetris.
+	type coord struct {
+		device int
+		dbn    uint64
+	}
+	byTetris := make(map[uint64][]coord)
+	for i, v := range sorted {
+		if i > 0 && v == sorted[i-1] {
+			panic(fmt.Sprintf("raid: duplicate VBN %d in tetris build", uint64(v)))
+		}
+		d, dbn := g.Locate(v)
+		byTetris[dbn/block.StripesPerTetris] = append(byTetris[dbn/block.StripesPerTetris], coord{d, dbn})
+	}
+
+	tetrisIDs := make([]uint64, 0, len(byTetris))
+	for id := range byTetris {
+		tetrisIDs = append(tetrisIDs, id)
+	}
+	sort.Slice(tetrisIDs, func(i, j int) bool { return tetrisIDs[i] < tetrisIDs[j] })
+
+	out := make([]TetrisIO, 0, len(tetrisIDs))
+	for _, id := range tetrisIDs {
+		coords := byTetris[id]
+		io := TetrisIO{Tetris: id, BlocksWritten: len(coords)}
+
+		// Stripe fill counts.
+		stripeFill := make(map[uint64]int)
+		for _, c := range coords {
+			stripeFill[c.dbn]++
+		}
+		io.StripesTouched = len(stripeFill)
+		for _, k := range stripeFill {
+			if k == g.DataDevices {
+				io.FullStripes++
+			} else {
+				// Cheaper of subtractive (k old data + P old parity) and
+				// additive (D-k untouched data) parity computation.
+				sub := k + g.ParityDevices
+				add := g.DataDevices - k
+				if add < sub {
+					io.ParityReadBlocks += add
+				} else {
+					io.ParityReadBlocks += sub
+				}
+			}
+		}
+		io.PartialStripes = io.StripesTouched - io.FullStripes
+		io.ParityWriteBlocks = io.StripesTouched * g.ParityDevices
+
+		// Per-device chains: sort by (device, dbn) and split runs.
+		sort.Slice(coords, func(i, j int) bool {
+			if coords[i].device != coords[j].device {
+				return coords[i].device < coords[j].device
+			}
+			return coords[i].dbn < coords[j].dbn
+		})
+		for i := 0; i < len(coords); {
+			j := i + 1
+			for j < len(coords) && coords[j].device == coords[i].device &&
+				coords[j].dbn == coords[j-1].dbn+1 {
+				j++
+			}
+			io.Chains = append(io.Chains, Chain{
+				Device: coords[i].device,
+				Start:  coords[i].dbn,
+				Len:    uint64(j - i),
+			})
+			i = j
+		}
+		out = append(out, io)
+	}
+	return out
+}
+
+// Stats accumulates tetris accounting across consistency points; the Fig. 7
+// experiment reports blocks/s and tetrises/s per RAID group from it.
+type Stats struct {
+	Tetrises          uint64
+	BlocksWritten     uint64
+	FullStripes       uint64
+	PartialStripes    uint64
+	ParityReadBlocks  uint64
+	ParityWriteBlocks uint64
+	WriteIOs          uint64 // data-device write I/Os (chains)
+	// PerDeviceBlocks counts data blocks written to each device.
+	PerDeviceBlocks []uint64
+}
+
+// NewStats returns a Stats sized for geometry g.
+func NewStats(g Geometry) *Stats {
+	return &Stats{PerDeviceBlocks: make([]uint64, g.DataDevices)}
+}
+
+// Add folds one tetris into the statistics.
+func (s *Stats) Add(t *TetrisIO) {
+	s.Tetrises++
+	s.BlocksWritten += uint64(t.BlocksWritten)
+	s.FullStripes += uint64(t.FullStripes)
+	s.PartialStripes += uint64(t.PartialStripes)
+	s.ParityReadBlocks += uint64(t.ParityReadBlocks)
+	s.ParityWriteBlocks += uint64(t.ParityWriteBlocks)
+	s.WriteIOs += uint64(t.WriteIOs())
+	for _, c := range t.Chains {
+		if c.Device < len(s.PerDeviceBlocks) {
+			s.PerDeviceBlocks[c.Device] += c.Len
+		}
+	}
+}
+
+// FullStripeFraction returns the fraction of touched stripes written full.
+func (s *Stats) FullStripeFraction() float64 {
+	tot := s.FullStripes + s.PartialStripes
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.FullStripes) / float64(tot)
+}

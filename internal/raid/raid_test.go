@@ -1,0 +1,304 @@
+package raid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waflfs/internal/block"
+)
+
+func testGeo() Geometry {
+	return Geometry{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 1 << 16, StartVBN: 1000}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testGeo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Geometry{
+		{DataDevices: 0, ParityDevices: 1, BlocksPerDevice: 10},
+		{DataDevices: 4, ParityDevices: -1, BlocksPerDevice: 10},
+		{DataDevices: 4, ParityDevices: 1, BlocksPerDevice: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d validated", i)
+		}
+	}
+}
+
+func TestLocateVBNOfRoundTrip(t *testing.T) {
+	g := testGeo()
+	r := g.VBNRange()
+	if r.Len() != g.Blocks() {
+		t.Fatalf("VBNRange len = %d, Blocks = %d", r.Len(), g.Blocks())
+	}
+	// Spot checks.
+	d, dbn := g.Locate(g.StartVBN)
+	if d != 0 || dbn != 0 {
+		t.Fatalf("Locate(start) = (%d,%d)", d, dbn)
+	}
+	d, dbn = g.Locate(g.StartVBN + block.VBN(g.BlocksPerDevice))
+	if d != 1 || dbn != 0 {
+		t.Fatalf("Locate(device 1 start) = (%d,%d)", d, dbn)
+	}
+	// Property: round trip over random VBNs in range.
+	f := func(off uint32) bool {
+		v := r.Start + block.VBN(uint64(off)%r.Len())
+		d, dbn := g.Locate(v)
+		return g.VBNOf(d, dbn) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocatePanicsOutside(t *testing.T) {
+	g := testGeo()
+	for _, v := range []block.VBN{0, g.StartVBN - 1, g.VBNRange().End} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Locate(%v) did not panic", v)
+				}
+			}()
+			g.Locate(v)
+		}()
+	}
+}
+
+func TestStripeVBNs(t *testing.T) {
+	g := testGeo()
+	vbns := g.StripeVBNs(5)
+	if len(vbns) != g.DataDevices {
+		t.Fatalf("stripe has %d blocks", len(vbns))
+	}
+	for d, v := range vbns {
+		dd, dbn := g.Locate(v)
+		if dd != d || dbn != 5 {
+			t.Errorf("stripe block %d locates to (%d,%d)", d, dd, dbn)
+		}
+	}
+	// Every block of a stripe shares a stripe number.
+	for _, v := range vbns {
+		if g.StripeOf(v) != 5 {
+			t.Errorf("StripeOf(%v) != 5", v)
+		}
+	}
+}
+
+func TestDeviceRangesPartitionGroup(t *testing.T) {
+	g := testGeo()
+	var total uint64
+	prevEnd := g.StartVBN
+	for d := 0; d < g.DataDevices; d++ {
+		r := g.DeviceRange(d)
+		if r.Start != prevEnd {
+			t.Fatalf("device %d range %v not contiguous with previous end %v", d, r, prevEnd)
+		}
+		total += r.Len()
+		prevEnd = r.End
+	}
+	if total != g.Blocks() || prevEnd != g.VBNRange().End {
+		t.Fatalf("device ranges do not partition group: total=%d end=%v", total, prevEnd)
+	}
+}
+
+func TestDeviceSegment(t *testing.T) {
+	g := testGeo()
+	seg := g.DeviceSegment(2, 100, 200)
+	if seg.Len() != 100 {
+		t.Fatalf("segment len = %d", seg.Len())
+	}
+	d, dbn := g.Locate(seg.Start)
+	if d != 2 || dbn != 100 {
+		t.Fatalf("segment start locates to (%d,%d)", d, dbn)
+	}
+	// Clamped to device end.
+	seg = g.DeviceSegment(0, g.BlocksPerDevice-10, g.BlocksPerDevice+10)
+	if seg.Len() != 10 {
+		t.Fatalf("clamped segment len = %d", seg.Len())
+	}
+}
+
+func TestBuildTetrisesFullStripe(t *testing.T) {
+	g := Geometry{DataDevices: 3, ParityDevices: 1, BlocksPerDevice: 256, StartVBN: 0}
+	// Write all blocks of stripes 0..63 → one tetris, all full stripes.
+	var vbns []block.VBN
+	for s := uint64(0); s < 64; s++ {
+		vbns = append(vbns, g.StripeVBNs(s)...)
+	}
+	ts := BuildTetrises(g, vbns)
+	if len(ts) != 1 {
+		t.Fatalf("tetris count = %d", len(ts))
+	}
+	io := ts[0]
+	if io.Tetris != 0 || io.BlocksWritten != 192 || io.FullStripes != 64 || io.PartialStripes != 0 {
+		t.Fatalf("tetris = %+v", io)
+	}
+	if io.ParityReadBlocks != 0 {
+		t.Fatalf("full stripes should need no parity reads, got %d", io.ParityReadBlocks)
+	}
+	if io.ParityWriteBlocks != 64 {
+		t.Fatalf("parity writes = %d", io.ParityWriteBlocks)
+	}
+	// Each device written as one 64-block chain.
+	if io.WriteIOs() != 3 {
+		t.Fatalf("write IOs = %d, chains = %v", io.WriteIOs(), io.Chains)
+	}
+	for _, c := range io.Chains {
+		if c.Len != 64 || c.Start != 0 {
+			t.Errorf("chain = %+v", c)
+		}
+	}
+}
+
+func TestBuildTetrisesPartialStripes(t *testing.T) {
+	g := Geometry{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: 256, StartVBN: 0}
+	// Write 1 block in stripe 0 (subtractive parity: 1 data + 1 parity = 2
+	// reads; additive: 5 reads → choose 2) and 5 blocks in stripe 1
+	// (subtractive: 6, additive: 1 → choose 1).
+	vbns := []block.VBN{g.VBNOf(0, 0)}
+	for d := 0; d < 5; d++ {
+		vbns = append(vbns, g.VBNOf(d, 1))
+	}
+	ts := BuildTetrises(g, vbns)
+	if len(ts) != 1 {
+		t.Fatalf("tetris count = %d", len(ts))
+	}
+	io := ts[0]
+	if io.FullStripes != 0 || io.PartialStripes != 2 {
+		t.Fatalf("stripes = %+v", io)
+	}
+	if io.ParityReadBlocks != 3 {
+		t.Fatalf("parity reads = %d, want 2+1=3", io.ParityReadBlocks)
+	}
+}
+
+func TestBuildTetrisesBoundaries(t *testing.T) {
+	g := Geometry{DataDevices: 2, ParityDevices: 1, BlocksPerDevice: 256, StartVBN: 0}
+	// Stripes 63 and 64 land in different tetrises.
+	vbns := []block.VBN{g.VBNOf(0, 63), g.VBNOf(0, 64)}
+	ts := BuildTetrises(g, vbns)
+	if len(ts) != 2 || ts[0].Tetris != 0 || ts[1].Tetris != 1 {
+		t.Fatalf("tetrises = %+v", ts)
+	}
+	// Chains do not merge across the tetris boundary even though DBNs are
+	// consecutive.
+	if ts[0].WriteIOs() != 1 || ts[1].WriteIOs() != 1 {
+		t.Fatalf("chains merged across tetris boundary")
+	}
+}
+
+func TestBuildTetrisesChains(t *testing.T) {
+	g := Geometry{DataDevices: 2, ParityDevices: 1, BlocksPerDevice: 256, StartVBN: 0}
+	// Device 0: DBNs 0,1,2 and 10 → two chains. Device 1: DBN 1 → one chain.
+	vbns := []block.VBN{
+		g.VBNOf(0, 0), g.VBNOf(0, 1), g.VBNOf(0, 2), g.VBNOf(0, 10), g.VBNOf(1, 1),
+	}
+	ts := BuildTetrises(g, vbns)
+	if len(ts) != 1 {
+		t.Fatalf("tetris count = %d", len(ts))
+	}
+	io := ts[0]
+	want := []Chain{{0, 0, 3}, {0, 10, 1}, {1, 1, 1}}
+	if len(io.Chains) != len(want) {
+		t.Fatalf("chains = %+v", io.Chains)
+	}
+	for i := range want {
+		if io.Chains[i] != want[i] {
+			t.Errorf("chain[%d] = %+v, want %+v", i, io.Chains[i], want[i])
+		}
+	}
+}
+
+func TestBuildTetrisesDuplicatePanics(t *testing.T) {
+	g := Geometry{DataDevices: 2, ParityDevices: 1, BlocksPerDevice: 256, StartVBN: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate VBN did not panic")
+		}
+	}()
+	BuildTetrises(g, []block.VBN{3, 3})
+}
+
+func TestBuildTetrisesEmpty(t *testing.T) {
+	if ts := BuildTetrises(testGeo(), nil); ts != nil {
+		t.Fatalf("empty build = %+v", ts)
+	}
+}
+
+// Property: conservation laws over random write sets.
+func TestTetrisConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Geometry{
+			DataDevices:     2 + rng.Intn(8),
+			ParityDevices:   1 + rng.Intn(2),
+			BlocksPerDevice: 512,
+			StartVBN:        block.VBN(rng.Intn(1000)),
+		}
+		n := 1 + rng.Intn(400)
+		seen := map[block.VBN]bool{}
+		var vbns []block.VBN
+		for len(vbns) < n {
+			v := g.StartVBN + block.VBN(rng.Intn(int(g.Blocks())))
+			if !seen[v] {
+				seen[v] = true
+				vbns = append(vbns, v)
+			}
+		}
+		stats := NewStats(g)
+		var chainBlocks uint64
+		ts := BuildTetrises(g, vbns)
+		for i := range ts {
+			stats.Add(&ts[i])
+			if ts[i].FullStripes+ts[i].PartialStripes != ts[i].StripesTouched {
+				return false
+			}
+			for _, c := range ts[i].Chains {
+				chainBlocks += c.Len
+			}
+		}
+		if stats.BlocksWritten != uint64(len(vbns)) || chainBlocks != uint64(len(vbns)) {
+			return false
+		}
+		var perDev uint64
+		for _, n := range stats.PerDeviceBlocks {
+			perDev += n
+		}
+		return perDev == uint64(len(vbns))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFullStripeFraction(t *testing.T) {
+	s := &Stats{FullStripes: 3, PartialStripes: 1}
+	if got := s.FullStripeFraction(); got != 0.75 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if got := (&Stats{}).FullStripeFraction(); got != 0 {
+		t.Fatalf("empty fraction = %v", got)
+	}
+}
+
+func BenchmarkBuildTetrises(b *testing.B) {
+	g := Geometry{DataDevices: 14, ParityDevices: 2, BlocksPerDevice: 1 << 20, StartVBN: 0}
+	rng := rand.New(rand.NewSource(3))
+	seen := map[block.VBN]bool{}
+	var vbns []block.VBN
+	for len(vbns) < 4096 {
+		v := block.VBN(rng.Intn(int(g.Blocks())))
+		if !seen[v] {
+			seen[v] = true
+			vbns = append(vbns, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildTetrises(g, vbns)
+	}
+}

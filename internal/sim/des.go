@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Discrete-event simulation of the same closed queueing network Solve
+// analyzes. Where MVA yields exact mean values for the product-form model,
+// the DES draws exponential service and think times and measures the full
+// response-time distribution — percentiles the paper's latency plots imply
+// but means cannot show. The two agree on means (see TestDESMatchesMVA),
+// which cross-validates both implementations.
+
+// DESConfig configures one simulation run.
+type DESConfig struct {
+	// Centers visited by every operation, in order. Delay centers never
+	// queue; queueing centers are FCFS single servers.
+	Centers []Center
+	// Think is the mean client think time (exponential).
+	Think time.Duration
+	// Clients is the closed population.
+	Clients int
+	// Ops ends the run after this many completed operations (after warm-up).
+	Ops int
+	// Warmup operations are discarded before measurement starts.
+	Warmup int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DESResult summarizes a run.
+type DESResult struct {
+	Throughput  float64 // completed ops per second of simulated time
+	MeanLatency time.Duration
+	P50, P95    time.Duration
+	Completed   int
+}
+
+type desEvent struct {
+	at     float64 // simulated seconds
+	client int
+	stage  int // index of the center the client is arriving at; len = think done
+	seq    uint64
+}
+
+type desEventQueue []desEvent
+
+func (q desEventQueue) Len() int { return len(q) }
+func (q desEventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q desEventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *desEventQueue) Push(x interface{}) { *q = append(*q, x.(desEvent)) }
+func (q *desEventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulate runs the closed-loop discrete-event model.
+func Simulate(cfg DESConfig) DESResult {
+	if cfg.Clients <= 0 || cfg.Ops <= 0 {
+		panic(fmt.Sprintf("sim: DES needs clients (%d) and ops (%d)", cfg.Clients, cfg.Ops))
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Ops / 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := len(cfg.Centers)
+	demand := make([]float64, k)
+	for i, c := range cfg.Centers {
+		demand[i] = c.Demand.Seconds()
+	}
+	think := cfg.Think.Seconds()
+
+	// Per-center FCFS state: the time its single server frees up.
+	serverFree := make([]float64, k)
+	opStart := make([]float64, cfg.Clients)
+
+	q := &desEventQueue{}
+	var seq uint64
+	push := func(at float64, client, stage int) {
+		seq++
+		heap.Push(q, desEvent{at: at, client: client, stage: stage, seq: seq})
+	}
+	exp := func(mean float64) float64 {
+		if mean <= 0 {
+			return 0
+		}
+		return rng.ExpFloat64() * mean
+	}
+
+	// All clients start thinking at time zero.
+	for c := 0; c < cfg.Clients; c++ {
+		push(exp(think), c, 0)
+	}
+
+	var (
+		now       float64
+		completed int
+		measured  int
+		latSum    float64
+		lats      []float64
+		measStart float64
+	)
+	target := cfg.Warmup + cfg.Ops
+	for completed < target && q.Len() > 0 {
+		e := heap.Pop(q).(desEvent)
+		now = e.at
+		if e.stage == 0 {
+			opStart[e.client] = now
+		}
+		if e.stage == k {
+			// Operation complete.
+			completed++
+			if completed == cfg.Warmup {
+				measStart = now
+			}
+			if completed > cfg.Warmup {
+				measured++
+				l := now - opStart[e.client]
+				latSum += l
+				lats = append(lats, l)
+			}
+			push(now+exp(think), e.client, 0)
+			continue
+		}
+		// Arrive at center e.stage.
+		if cfg.Centers[e.stage].Delay {
+			push(now+exp(demand[e.stage]), e.client, e.stage+1)
+			continue
+		}
+		start := now
+		if serverFree[e.stage] > start {
+			start = serverFree[e.stage]
+		}
+		done := start + exp(demand[e.stage])
+		serverFree[e.stage] = done
+		push(done, e.client, e.stage+1)
+	}
+
+	res := DESResult{Completed: measured}
+	if measured == 0 {
+		return res
+	}
+	elapsed := now - measStart
+	if elapsed > 0 {
+		res.Throughput = float64(measured) / elapsed
+	}
+	res.MeanLatency = time.Duration(latSum / float64(measured) * float64(time.Second))
+	res.P50 = desPercentile(lats, 0.50)
+	res.P95 = desPercentile(lats, 0.95)
+	return res
+}
+
+func desPercentile(xs []float64, p float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return time.Duration(sorted[idx] * float64(time.Second))
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDESSingleClientMatchesDemands(t *testing.T) {
+	centers := []Center{
+		{Name: "cpu", Demand: 100 * time.Microsecond},
+		{Name: "disk", Demand: 400 * time.Microsecond},
+	}
+	r := Simulate(DESConfig{Centers: centers, Think: time.Millisecond, Clients: 1, Ops: 50000, Seed: 1})
+	// One client never queues: mean latency = sum of mean demands (500µs),
+	// within sampling error of the exponential draws.
+	want := 500 * time.Microsecond
+	if ratio := float64(r.MeanLatency) / float64(want); ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("mean latency = %v, want ~%v", r.MeanLatency, want)
+	}
+	if r.Completed != 50000 {
+		t.Fatalf("completed = %d", r.Completed)
+	}
+}
+
+// The DES and the exact MVA describe the same product-form network, so
+// their means must agree across load levels.
+func TestDESMatchesMVA(t *testing.T) {
+	centers := []Center{
+		{Name: "cpu", Demand: 80 * time.Microsecond},
+		{Name: "d0", Demand: 250 * time.Microsecond},
+		{Name: "d1", Demand: 200 * time.Microsecond},
+	}
+	think := 2 * time.Millisecond
+	for _, n := range []int{1, 4, 16, 64} {
+		mva := Solve(centers, think, n)
+		des := Simulate(DESConfig{Centers: centers, Think: think, Clients: n, Ops: 60000, Seed: int64(n)})
+		xRatio := des.Throughput / mva.Throughput
+		if xRatio < 0.93 || xRatio > 1.07 {
+			t.Fatalf("N=%d: DES throughput %.0f vs MVA %.0f (ratio %.3f)",
+				n, des.Throughput, mva.Throughput, xRatio)
+		}
+		lRatio := float64(des.MeanLatency) / float64(mva.Latency)
+		if lRatio < 0.90 || lRatio > 1.10 {
+			t.Fatalf("N=%d: DES latency %v vs MVA %v (ratio %.3f)",
+				n, des.MeanLatency, mva.Latency, lRatio)
+		}
+	}
+}
+
+func TestDESPercentilesOrdered(t *testing.T) {
+	centers := []Center{{Name: "d", Demand: 300 * time.Microsecond}}
+	r := Simulate(DESConfig{Centers: centers, Think: time.Millisecond, Clients: 16, Ops: 40000, Seed: 7})
+	if !(r.P50 <= r.P95) {
+		t.Fatalf("P50 %v > P95 %v", r.P50, r.P95)
+	}
+	if r.P50 > r.MeanLatency*3 || r.P95 < r.MeanLatency/3 {
+		t.Fatalf("implausible percentiles: mean %v p50 %v p95 %v", r.MeanLatency, r.P50, r.P95)
+	}
+	// Under load, the exponential tail makes P95 clearly exceed the mean.
+	if float64(r.P95) < 1.2*float64(r.MeanLatency) {
+		t.Fatalf("P95 %v not in the tail of mean %v", r.P95, r.MeanLatency)
+	}
+}
+
+func TestDESDelayCenters(t *testing.T) {
+	queueing := Simulate(DESConfig{
+		Centers: []Center{{Name: "q", Demand: 500 * time.Microsecond}},
+		Think:   0, Clients: 32, Ops: 30000, Seed: 3,
+	})
+	delay := Simulate(DESConfig{
+		Centers: []Center{{Name: "d", Demand: 500 * time.Microsecond, Delay: true}},
+		Think:   0, Clients: 32, Ops: 30000, Seed: 3,
+	})
+	if delay.MeanLatency >= queueing.MeanLatency/4 {
+		t.Fatalf("delay center latency %v vs queueing %v — no queueing contrast",
+			delay.MeanLatency, queueing.MeanLatency)
+	}
+}
+
+func TestDESDeterministic(t *testing.T) {
+	cfg := DESConfig{
+		Centers: []Center{{Name: "c", Demand: time.Millisecond}},
+		Think:   time.Millisecond, Clients: 8, Ops: 5000, Seed: 42,
+	}
+	a, b := Simulate(cfg), Simulate(cfg)
+	if a.MeanLatency != b.MeanLatency || a.Throughput != b.Throughput {
+		t.Fatal("same seed produced different results")
+	}
+	cfg.Seed = 43
+	c := Simulate(cfg)
+	if math.Abs(float64(a.MeanLatency-c.MeanLatency)) == 0 {
+		t.Log("different seeds coincidentally equal (unlikely but not fatal)")
+	}
+}
+
+func TestDESPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no clients": func() { Simulate(DESConfig{Centers: nil, Clients: 0, Ops: 10}) },
+		"no ops":     func() { Simulate(DESConfig{Centers: nil, Clients: 1, Ops: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkDES(b *testing.B) {
+	centers := []Center{
+		{Name: "cpu", Demand: 80 * time.Microsecond},
+		{Name: "d0", Demand: 250 * time.Microsecond},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(DESConfig{Centers: centers, Think: time.Millisecond, Clients: 32, Ops: 10000, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,116 @@
+// Package sim turns measured per-operation service demands into the
+// latency-versus-throughput curves the paper's evaluation plots.
+//
+// The paper drives a storage server from closed-loop Fibre Channel clients
+// at increasing load levels (§4.1). We reproduce that with exact Mean Value
+// Analysis (MVA) of a closed product-form queueing network: each storage
+// device and the CPU are service centers whose per-operation demands are
+// *measured* by running the actual allocator, bitmap, RAID, and device
+// models over the workload; MVA then yields throughput and response time
+// for each client population. The hockey-stick shape of latency versus
+// achieved throughput — and where the knee falls — depends only on those
+// demands, which is precisely the quantity the AA cache changes.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Center is one queueing service center.
+type Center struct {
+	// Name identifies the center in results ("cpu", "rg0/d3", ...).
+	Name string
+	// Demand is the total service demand one operation places on this
+	// center. For a resource with internal parallelism (a multi-core CPU),
+	// divide the raw demand by the parallelism before building the center.
+	Demand time.Duration
+	// Delay marks a pure delay center (no queueing), e.g. network RTT.
+	Delay bool
+}
+
+// Result is the MVA solution for one client population.
+type Result struct {
+	Clients    int
+	Throughput float64       // operations per second
+	Latency    time.Duration // mean response time per operation
+	// Utilization per center, same order as the input.
+	Utilization []float64
+	// QueueLen per center (mean number of ops at the center).
+	QueueLen []float64
+}
+
+// Solve runs exact MVA for the given centers, per-client think time, and
+// client count, returning the steady-state throughput and latency.
+func Solve(centers []Center, think time.Duration, clients int) Result {
+	if clients <= 0 {
+		panic(fmt.Sprintf("sim: %d clients", clients))
+	}
+	k := len(centers)
+	d := make([]float64, k) // demands in seconds
+	for i, c := range centers {
+		if c.Demand < 0 {
+			panic(fmt.Sprintf("sim: negative demand at %s", c.Name))
+		}
+		d[i] = c.Demand.Seconds()
+	}
+	z := think.Seconds()
+
+	q := make([]float64, k) // queue lengths, updated per population
+	var x float64
+	for n := 1; n <= clients; n++ {
+		// Response time per center.
+		var rTotal float64
+		r := make([]float64, k)
+		for i := range centers {
+			if centers[i].Delay {
+				r[i] = d[i]
+			} else {
+				r[i] = d[i] * (1 + q[i])
+			}
+			rTotal += r[i]
+		}
+		x = float64(n) / (z + rTotal)
+		for i := range q {
+			q[i] = x * r[i]
+		}
+	}
+	res := Result{
+		Clients:     clients,
+		Throughput:  x,
+		Utilization: make([]float64, k),
+		QueueLen:    append([]float64(nil), q...),
+	}
+	var rTotal float64
+	for i := range centers {
+		res.Utilization[i] = x * d[i]
+		if res.Utilization[i] > 1 {
+			res.Utilization[i] = 1
+		}
+	}
+	// Response time from the interactive response time law.
+	rTotal = float64(clients)/x - z
+	res.Latency = time.Duration(rTotal * float64(time.Second))
+	return res
+}
+
+// Sweep solves for each client count and returns results in order; the
+// experiment harness plots latency against achieved throughput from these.
+func Sweep(centers []Center, think time.Duration, clientCounts []int) []Result {
+	out := make([]Result, 0, len(clientCounts))
+	for _, n := range clientCounts {
+		out = append(out, Solve(centers, think, n))
+	}
+	return out
+}
+
+// Bottleneck returns the index and utilization of the most utilized center.
+func Bottleneck(r Result) (int, float64) {
+	best, bestU := -1, -1.0
+	for i, u := range r.Utilization {
+		if u > bestU {
+			best, bestU = i, u
+		}
+	}
+	return best, bestU
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSingleClientLatencyIsDemand(t *testing.T) {
+	centers := []Center{
+		{Name: "cpu", Demand: 100 * time.Microsecond},
+		{Name: "disk", Demand: 400 * time.Microsecond},
+	}
+	r := Solve(centers, time.Millisecond, 1)
+	// One client never queues: latency = sum of demands.
+	if d := r.Latency - 500*time.Microsecond; d > time.Nanosecond || d < -time.Nanosecond {
+		t.Fatalf("latency = %v", r.Latency)
+	}
+	wantX := 1.0 / (0.0015)
+	if math.Abs(r.Throughput-wantX) > 1e-6 {
+		t.Fatalf("throughput = %v, want %v", r.Throughput, wantX)
+	}
+}
+
+func TestThroughputSaturatesAtBottleneck(t *testing.T) {
+	centers := []Center{
+		{Name: "cpu", Demand: 100 * time.Microsecond},
+		{Name: "disk", Demand: 500 * time.Microsecond},
+	}
+	r := Solve(centers, time.Millisecond, 200)
+	// Asymptote: 1/Dmax = 2000 ops/s.
+	if r.Throughput > 2000.000001 {
+		t.Fatalf("throughput %v exceeds bottleneck bound", r.Throughput)
+	}
+	if r.Throughput < 1900 {
+		t.Fatalf("throughput %v far below saturation", r.Throughput)
+	}
+	idx, u := Bottleneck(r)
+	if centers[idx].Name != "disk" || u < 0.95 {
+		t.Fatalf("bottleneck = %s at %v", centers[idx].Name, u)
+	}
+}
+
+func TestLatencyMonotonicInLoad(t *testing.T) {
+	centers := []Center{{Name: "c", Demand: 200 * time.Microsecond}}
+	var prev time.Duration
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		r := Solve(centers, 500*time.Microsecond, n)
+		if r.Latency < prev {
+			t.Fatalf("latency decreased at N=%d: %v < %v", n, r.Latency, prev)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestLowerDemandDominates(t *testing.T) {
+	// The core comparison the experiments rely on: a configuration with
+	// uniformly lower demands achieves >= throughput and <= latency at
+	// every load level.
+	fast := []Center{{Name: "d", Demand: 300 * time.Microsecond}}
+	slow := []Center{{Name: "d", Demand: 400 * time.Microsecond}}
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		rf := Solve(fast, time.Millisecond, n)
+		rs := Solve(slow, time.Millisecond, n)
+		if rf.Throughput < rs.Throughput || rf.Latency > rs.Latency {
+			t.Fatalf("N=%d: fast (%v, %v) not dominating slow (%v, %v)",
+				n, rf.Throughput, rf.Latency, rs.Throughput, rs.Latency)
+		}
+	}
+}
+
+func TestDelayCenterDoesNotQueue(t *testing.T) {
+	queueing := []Center{{Name: "q", Demand: 500 * time.Microsecond}}
+	delay := []Center{{Name: "d", Demand: 500 * time.Microsecond, Delay: true}}
+	rq := Solve(queueing, 0, 50)
+	rd := Solve(delay, 0, 50)
+	if rd.Latency >= rq.Latency {
+		t.Fatalf("delay center latency %v >= queueing %v", rd.Latency, rq.Latency)
+	}
+	// A pure delay center's latency stays at its demand.
+	if rd.Latency != 500*time.Microsecond {
+		t.Fatalf("delay latency = %v", rd.Latency)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	centers := []Center{{Name: "c", Demand: time.Millisecond}}
+	rs := Sweep(centers, time.Millisecond, []int{1, 2, 4})
+	if len(rs) != 3 || rs[0].Clients != 1 || rs[2].Clients != 4 {
+		t.Fatalf("sweep = %+v", rs)
+	}
+}
+
+func TestSolvePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero clients":    func() { Solve([]Center{{Demand: 1}}, 0, 0) },
+		"negative demand": func() { Solve([]Center{{Demand: -1}}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Sanity: utilization law holds (U = X*D, capped at 1).
+func TestUtilizationLaw(t *testing.T) {
+	centers := []Center{
+		{Name: "a", Demand: 100 * time.Microsecond},
+		{Name: "b", Demand: 300 * time.Microsecond},
+	}
+	r := Solve(centers, 2*time.Millisecond, 10)
+	for i, c := range centers {
+		want := r.Throughput * c.Demand.Seconds()
+		if want > 1 {
+			want = 1
+		}
+		if math.Abs(r.Utilization[i]-want) > 1e-9 {
+			t.Fatalf("center %d utilization %v, want %v", i, r.Utilization[i], want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile did not panic")
+		}
+	}()
+	Percentile(xs, 101)
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{3}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if len(s.X) != 2 || s.Y[1] != 20 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.25)
+	tb.AddRow("b", "raw")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// Columns align: both data rows start "name-width" apart.
+	if !strings.HasPrefix(lines[2], "alpha  ") || !strings.HasPrefix(lines[3], "b      ") {
+		t.Fatalf("alignment broken:\n%s", out)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	if Ratio(10, 4) != 2.5 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+	if PercentChange(100, 124) != 24 {
+		t.Fatalf("PercentChange = %v", PercentChange(100, 124))
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Fatal("PercentChange zero base")
+	}
+}

@@ -1,0 +1,174 @@
+// Package topaa implements the TopAA metafile (§3.4 of the paper): the
+// persistent form of the allocation-area caches, read at mount time so
+// write allocation can begin without a linear walk of the bitmap metafiles.
+//
+// Two encodings exist, matching the two cache types:
+//
+//   - RAID-aware: one 4KiB block per RAID group holding the 512 best AAs
+//     and their scores. This seeds the max-heap with high-quality AAs;
+//     client operations and CPs run on the seed while a background walk
+//     rebuilds the full heap.
+//
+//   - RAID-agnostic: two 4KiB blocks per FlexVol (or non-RAID store) into
+//     which the HBPS structure is embedded verbatim — the same pages stay
+//     pinned in the buffer cache, so almost no I/O or CPU is needed at
+//     mount.
+//
+// The Store type simulates the metafile itself: a set of named block runs
+// with read/write accounting (for the Fig. 10 experiment) and fault
+// injection (for the repair path: if a TopAA metafile is damaged and RAID
+// cannot reconstruct it, WAFL falls back to recomputing the caches from
+// the bitmaps, the job WAFL Iron performs online).
+package topaa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+	"waflfs/internal/hbps"
+	"waflfs/internal/heapcache"
+)
+
+// RAIDAwareEntries is the number of (AA, score) pairs one 4KiB TopAA block
+// holds for a RAID-aware cache: 512 entries of 8 bytes.
+const RAIDAwareEntries = block.BlockSize / 8
+
+// invalidID marks unused entry slots.
+const invalidID = ^uint32(0)
+
+// MarshalRAIDAware encodes up to RAIDAwareEntries of the best AAs (as
+// produced by heapcache.Cache.TopK, descending score order) into one 4KiB
+// block.
+func MarshalRAIDAware(entries []heapcache.Entry) []byte {
+	if len(entries) > RAIDAwareEntries {
+		entries = entries[:RAIDAwareEntries]
+	}
+	buf := make([]byte, block.BlockSize)
+	le := binary.LittleEndian
+	for i := range buf[:] {
+		buf[i] = 0xff // invalid-fill: empty slots read back as invalidID
+	}
+	for i, e := range entries {
+		if uint64(e.ID) >= uint64(invalidID) || e.Score > uint64(^uint32(0)) {
+			panic(fmt.Sprintf("topaa: entry (%d,%d) unencodable", e.ID, e.Score))
+		}
+		le.PutUint32(buf[8*i:], uint32(e.ID))
+		le.PutUint32(buf[8*i+4:], uint32(e.Score))
+	}
+	return buf
+}
+
+// LoadRAIDAware decodes a RAID-aware TopAA block. It validates that entries
+// are densely packed and in descending score order (the order TopK writes),
+// returning an error on any inconsistency so mount can fall back to a
+// bitmap walk.
+func LoadRAIDAware(buf []byte) ([]heapcache.Entry, error) {
+	if len(buf) != block.BlockSize {
+		return nil, fmt.Errorf("topaa: RAID-aware block is %d bytes, want %d", len(buf), block.BlockSize)
+	}
+	le := binary.LittleEndian
+	var out []heapcache.Entry
+	seen := make(map[aa.ID]bool)
+	ended := false
+	for i := 0; i < RAIDAwareEntries; i++ {
+		id := le.Uint32(buf[8*i:])
+		score := le.Uint32(buf[8*i+4:])
+		if id == invalidID {
+			ended = true
+			continue
+		}
+		if ended {
+			return nil, errors.New("topaa: entry after terminator")
+		}
+		e := heapcache.Entry{ID: aa.ID(id), Score: uint64(score)}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("topaa: duplicate AA %d", e.ID)
+		}
+		seen[e.ID] = true
+		if n := len(out); n > 0 && out[n-1].Score < e.Score {
+			return nil, errors.New("topaa: scores not descending")
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Store simulates the TopAA metafile's blocks, keyed by file-system
+// instance name (one aggregate or FlexVol per key). It counts block reads
+// and writes so experiments can charge mount-time I/O.
+type Store struct {
+	blocks map[string][]byte
+
+	reads  uint64 // blocks read
+	writes uint64 // blocks written
+}
+
+// NewStore creates an empty metafile store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[string][]byte)}
+}
+
+// SaveRAIDAware persists the cache's 512 best AAs under name. This runs at
+// each CP boundary in WAFL; it costs one block write.
+func (s *Store) SaveRAIDAware(name string, c *heapcache.Cache) {
+	s.blocks[name] = MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	s.writes++
+}
+
+// LoadRAIDAware reads the named block and decodes the seed entries,
+// charging one block read.
+func (s *Store) LoadRAIDAware(name string) ([]heapcache.Entry, error) {
+	buf, ok := s.blocks[name]
+	if !ok {
+		return nil, fmt.Errorf("topaa: no metafile block for %q", name)
+	}
+	s.reads++
+	return LoadRAIDAware(buf)
+}
+
+// SaveAgnostic persists an HBPS verbatim (two or more blocks) under name.
+func (s *Store) SaveAgnostic(name string, h *hbps.HBPS) {
+	data := h.Marshal()
+	s.blocks[name] = data
+	s.writes += uint64(len(data) / block.BlockSize)
+}
+
+// LoadAgnostic reads and reconstructs the named HBPS, charging one read per
+// block.
+func (s *Store) LoadAgnostic(name string) (*hbps.HBPS, error) {
+	buf, ok := s.blocks[name]
+	if !ok {
+		return nil, fmt.Errorf("topaa: no metafile blocks for %q", name)
+	}
+	s.reads += uint64(len(buf) / block.BlockSize)
+	return hbps.Load(buf)
+}
+
+// Has reports whether a metafile exists for name.
+func (s *Store) Has(name string) bool {
+	_, ok := s.blocks[name]
+	return ok
+}
+
+// Corrupt flips a byte in the named metafile, simulating media damage that
+// RAID could not reconstruct; used to exercise the repair/fallback path.
+func (s *Store) Corrupt(name string, offset int) error {
+	buf, ok := s.blocks[name]
+	if !ok {
+		return fmt.Errorf("topaa: no metafile for %q", name)
+	}
+	buf[offset%len(buf)] ^= 0xa5
+	return nil
+}
+
+// Drop removes the named metafile (e.g. a fresh file system that has never
+// completed a CP).
+func (s *Store) Drop(name string) {
+	delete(s.blocks, name)
+}
+
+// Stats reports lifetime I/O to the store.
+func (s *Store) Stats() (reads, writes uint64) { return s.reads, s.writes }

@@ -1,0 +1,226 @@
+package topaa
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+	"waflfs/internal/hbps"
+	"waflfs/internal/heapcache"
+)
+
+func fullCache(n int, seed int64) *heapcache.Cache {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]uint64, n)
+	for i := range scores {
+		scores[i] = uint64(rng.Intn(57345))
+	}
+	return heapcache.NewFromScores(scores)
+}
+
+func TestRAIDAwareRoundTrip(t *testing.T) {
+	c := fullCache(10000, 1)
+	top := c.TopK(RAIDAwareEntries)
+	buf := MarshalRAIDAware(top)
+	if len(buf) != block.BlockSize {
+		t.Fatalf("block size = %d", len(buf))
+	}
+	got, err := LoadRAIDAware(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != RAIDAwareEntries {
+		t.Fatalf("entries = %d", len(got))
+	}
+	for i := range top {
+		if got[i] != top[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], top[i])
+		}
+	}
+}
+
+func TestRAIDAwarePartialBlock(t *testing.T) {
+	// Fewer AAs than 512: block is partially filled.
+	c := fullCache(17, 2)
+	buf := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	got, err := LoadRAIDAware(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 17 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	// Empty marshal loads as empty.
+	got, err = LoadRAIDAware(MarshalRAIDAware(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+}
+
+func TestRAIDAwareOverlongTruncates(t *testing.T) {
+	entries := make([]heapcache.Entry, 600)
+	for i := range entries {
+		entries[i] = heapcache.Entry{ID: aa.ID(i), Score: uint64(1000 - i)}
+	}
+	got, err := LoadRAIDAware(MarshalRAIDAware(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != RAIDAwareEntries {
+		t.Fatalf("entries = %d", len(got))
+	}
+}
+
+func TestRAIDAwareLoadRejectsCorruption(t *testing.T) {
+	c := fullCache(10000, 3)
+	good := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+
+	// Wrong size.
+	if _, err := LoadRAIDAware(good[:100]); err == nil {
+		t.Error("short block accepted")
+	}
+	// Ascending scores (corrupt order).
+	bad := append([]byte(nil), good...)
+	copy(bad[4:8], []byte{0, 0, 0, 0}) // first score -> 0, below second
+	if _, err := LoadRAIDAware(bad); err == nil {
+		t.Error("non-descending scores accepted")
+	}
+	// Duplicate IDs.
+	bad = append([]byte(nil), good...)
+	copy(bad[8:12], bad[0:4])
+	if _, err := LoadRAIDAware(bad); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	// Entry after terminator.
+	short := MarshalRAIDAware(c.TopK(5))
+	bad = append([]byte(nil), short...)
+	copy(bad[8*7:8*7+8], good[:8]) // resurrect slot 7 after slot 5 ended
+	if _, err := LoadRAIDAware(bad); err == nil {
+		t.Error("entry after terminator accepted")
+	}
+}
+
+func TestStoreRAIDAware(t *testing.T) {
+	s := NewStore()
+	c := fullCache(5000, 4)
+	if s.Has("rg0") {
+		t.Fatal("fresh store has rg0")
+	}
+	s.SaveRAIDAware("rg0", c)
+	if !s.Has("rg0") {
+		t.Fatal("save did not persist")
+	}
+	seed, err := s.LoadRAIDAware("rg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed) != RAIDAwareEntries {
+		t.Fatalf("seed = %d", len(seed))
+	}
+	best, _ := c.Best()
+	if seed[0].ID != best.ID || seed[0].Score != best.Score {
+		t.Fatalf("seed[0] = %+v, cache best %+v", seed[0], best)
+	}
+	r, w := s.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("stats = %d,%d", r, w)
+	}
+	if _, err := s.LoadRAIDAware("missing"); err == nil {
+		t.Fatal("missing metafile loaded")
+	}
+}
+
+func TestStoreAgnostic(t *testing.T) {
+	s := NewStore()
+	h := hbps.New(hbps.DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		h.Track(aa.ID(i), uint32(rng.Intn(32769)))
+	}
+	s.SaveAgnostic("vol1", h)
+	got, err := s.LoadAgnostic("vol1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != h.Total() || got.ListLen() != h.ListLen() {
+		t.Fatal("agnostic round trip mismatch")
+	}
+	// Two blocks written (histogram + list), two read.
+	r, w := s.Stats()
+	if w != 2 || r != 2 {
+		t.Fatalf("stats = %d,%d", r, w)
+	}
+}
+
+func TestStoreCorruptionFallback(t *testing.T) {
+	s := NewStore()
+	h := hbps.New(hbps.DefaultConfig())
+	for i := 0; i < 100; i++ {
+		h.Track(aa.ID(i), 32768)
+	}
+	s.SaveAgnostic("vol1", h)
+	if err := s.Corrupt("vol1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadAgnostic("vol1"); err == nil {
+		t.Fatal("corrupt HBPS pages loaded without error")
+	}
+	// RAID-aware corruption likewise surfaces as an error, not a panic.
+	c := fullCache(1000, 6)
+	s.SaveRAIDAware("rg0", c)
+	// Flip a score byte high in the list to break descending order.
+	if err := s.Corrupt("rg0", 8*100+4+3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadRAIDAware("rg0"); err == nil {
+		t.Fatal("corrupt RAID-aware block loaded without error")
+	}
+	if err := s.Corrupt("missing", 0); err == nil {
+		t.Fatal("corrupting missing metafile succeeded")
+	}
+}
+
+func TestStoreDrop(t *testing.T) {
+	s := NewStore()
+	s.SaveRAIDAware("rg0", fullCache(10, 7))
+	s.Drop("rg0")
+	if s.Has("rg0") {
+		t.Fatal("drop did not remove")
+	}
+}
+
+// Seeding workflow: a heap seeded from the TopAA block serves Best() with
+// exactly the pre-crash best AAs while the rest are inserted in background.
+func TestSeedThenBackgroundFill(t *testing.T) {
+	full := fullCache(100000, 8)
+	s := NewStore()
+	s.SaveRAIDAware("rg0", full)
+
+	seedEntries, err := s.LoadRAIDAware("rg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := heapcache.New(100000)
+	for _, e := range seedEntries {
+		seeded.Insert(e.ID, e.Score)
+	}
+	fullBest, _ := full.Best()
+	seedBest, _ := seeded.Best()
+	if fullBest.Score != seedBest.Score {
+		t.Fatalf("seeded best %d != full best %d", seedBest.Score, fullBest.Score)
+	}
+	// Background fill: insert everything else; heap converges to the full
+	// cache's content.
+	for id := 0; id < 100000; id++ {
+		if !seeded.Tracked(aa.ID(id)) {
+			seeded.Insert(aa.ID(id), full.Score(aa.ID(id)))
+		}
+	}
+	if seeded.Len() != full.Len() {
+		t.Fatalf("len %d != %d", seeded.Len(), full.Len())
+	}
+	if err := seeded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package wafl
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/bitmap"
+	"waflfs/internal/block"
+	"waflfs/internal/heapcache"
+	"waflfs/internal/topaa"
+)
+
+// Aggregate is the shared pool of physical storage hosting FlexVol volumes
+// (§2.1): a flat physical VBN space carved into RAID groups, each with its
+// own RAID-aware AA cache, plus the TopAA metafile store.
+type Aggregate struct {
+	bm     *bitmap.Bitmap
+	groups []*Group
+	vols   []*FlexVol
+	pool   *Pool
+	store  *topaa.Store
+	tun    Tunables
+	rng    *rand.Rand
+
+	nextRR int // round-robin start position over groups
+}
+
+// NewAggregate builds an aggregate from RAID-group specs. The seed makes
+// every run reproducible.
+func NewAggregate(specs []GroupSpec, tun Tunables, seed int64) *Aggregate {
+	if len(specs) == 0 {
+		panic("wafl: aggregate needs at least one RAID group")
+	}
+	tun = tun.Defaults()
+	rng := rand.New(rand.NewSource(seed))
+	ag := &Aggregate{store: topaa.NewStore(), tun: tun, rng: rng}
+	var next block.VBN
+	for i, spec := range specs {
+		g := buildGroup(i, spec, next, tun, rng)
+		ag.groups = append(ag.groups, g)
+		next = g.geo.VBNRange().End
+	}
+	ag.bm = bitmap.New(uint64(next))
+	return ag
+}
+
+// Tunables returns the active configuration.
+func (ag *Aggregate) Tunables() Tunables { return ag.tun }
+
+// Groups returns the RAID groups.
+func (ag *Aggregate) Groups() []*Group { return ag.groups }
+
+// Vols returns the hosted FlexVol volumes.
+func (ag *Aggregate) Vols() []*FlexVol { return ag.vols }
+
+// Bitmap exposes the aggregate's physical bitmap metafile.
+func (ag *Aggregate) Bitmap() *bitmap.Bitmap { return ag.bm }
+
+// Store exposes the TopAA metafile store.
+func (ag *Aggregate) Store() *topaa.Store { return ag.store }
+
+// Blocks returns the physical VBN space size.
+func (ag *Aggregate) Blocks() uint64 { return ag.bm.Size() }
+
+// UsedFraction returns the fraction of physical blocks allocated.
+func (ag *Aggregate) UsedFraction() float64 {
+	return float64(ag.bm.Used()) / float64(ag.bm.Size())
+}
+
+// AddGroup grows the aggregate by one RAID group at the top of the physical
+// VBN space — how customers add capacity over time (§4.2). The new group's
+// AA cache starts fully populated (every AA empty), so the write allocator
+// immediately prefers its pristine regions.
+func (ag *Aggregate) AddGroup(spec GroupSpec) *Group {
+	if ag.pool != nil {
+		panic("wafl: add RAID groups before attaching the object pool")
+	}
+	start := block.VBN(ag.bm.Size())
+	g := buildGroup(len(ag.groups), spec, start, ag.tun, ag.rng)
+	ag.groups = append(ag.groups, g)
+	ag.bm.Grow(uint64(g.geo.VBNRange().End))
+	return g
+}
+
+// AddVolume creates and hosts a FlexVol. Thin provisioning applies: the sum
+// of volume sizes may exceed physical capacity (§3.3.2).
+func (ag *Aggregate) AddVolume(spec VolSpec) *FlexVol {
+	for _, v := range ag.vols {
+		if v.Name == spec.Name {
+			panic(fmt.Sprintf("wafl: duplicate volume %q", spec.Name))
+		}
+	}
+	v := newFlexVol(spec, ag.tun, ag.rng)
+	ag.vols = append(ag.vols, v)
+	return v
+}
+
+// groupOf returns the RAID group owning physical VBN v.
+func (ag *Aggregate) groupOf(v block.VBN) *Group {
+	for _, g := range ag.groups {
+		if g.geo.VBNRange().Contains(v) {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("wafl: physical %v outside aggregate", v))
+}
+
+// AllocatePhysical assigns n free physical VBNs. Allocation proceeds in
+// tetris-sized turns round-robin over the eligible RAID groups, so that
+// writes reach all groups (maximizing bandwidth, §3.3.1) while groups whose
+// best AA is heavily fragmented contribute fewer blocks per turn — the
+// write bias of §4.2. It returns fewer than n only when the aggregate is
+// out of space.
+func (ag *Aggregate) AllocatePhysical(n int) []block.VBN {
+	out := make([]block.VBN, 0, n)
+	useThreshold := true
+	for len(out) < n {
+		// A round may legitimately yield zero blocks (a heavily fragmented
+		// AA can have tetrises with no free blocks at all); the aggregate
+		// is only exhausted when every group reports it cannot proceed.
+		anyAlive := false
+		skipped := false
+		for i := range ag.groups {
+			g := ag.groups[(ag.nextRR+i)%len(ag.groups)]
+			if useThreshold && !g.eligible(ag.tun.MinAAScoreFraction) {
+				skipped = true
+				continue
+			}
+			vbns, more := g.allocateTetris(ag.bm, n-len(out))
+			out = append(out, vbns...)
+			if more {
+				anyAlive = true
+			}
+			if len(out) >= n {
+				break
+			}
+		}
+		ag.nextRR = (ag.nextRR + 1) % len(ag.groups)
+		if !anyAlive {
+			if useThreshold && skipped {
+				// Every eligible group is dry; ignore the fragmentation
+				// bias rather than stall.
+				useThreshold = false
+				continue
+			}
+			break // aggregate genuinely out of space
+		}
+	}
+	return out
+}
+
+// FreePhysical returns a physical VBN to its group's — or the object
+// pool's — free space.
+func (ag *Aggregate) FreePhysical(v block.VBN) {
+	if ag.pool != nil && ag.pool.Contains(v) {
+		ag.pool.space.free(v)
+		return
+	}
+	ag.groupOf(v).free(ag.bm, v, ag.tun.TrimOnFree)
+}
+
+// CPStats summarizes one consistency point.
+type CPStats struct {
+	// MetafilePagesAggregate is the number of dirty physical-bitmap pages
+	// written back.
+	MetafilePagesAggregate int
+	// MetafilePagesVols is the total dirty virtual-bitmap pages across
+	// volumes.
+	MetafilePagesVols int
+	// DeviceBusy is the device time consumed flushing data and parity.
+	DeviceBusy time.Duration
+	// TopAABlocks is the number of TopAA metafile blocks persisted.
+	TopAABlocks int
+}
+
+// CommitCP ends the current consistency point: it flushes each group's
+// writes as tetrises (charging the device models), applies the batched AA
+// score updates to every cache, writes back dirty bitmap-metafile pages,
+// and persists the TopAA metafiles (§3.3, §3.4).
+func (ag *Aggregate) CommitCP() CPStats {
+	var st CPStats
+	for _, g := range ag.groups {
+		st.DeviceBusy += g.flushCP()
+		g.applyCPDeltas()
+		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
+		st.TopAABlocks++
+	}
+	if ag.pool != nil {
+		st.DeviceBusy += ag.pool.flushCP()
+		ag.pool.space.applyCPDeltas()
+		ag.store.SaveAgnostic(poolTopAAKey, ag.pool.space.cache)
+		st.TopAABlocks += 2
+	}
+	st.MetafilePagesAggregate = ag.bm.Flush()
+	for _, v := range ag.vols {
+		v.space.applyCPDeltas()
+		ag.store.SaveAgnostic(v.Name, v.space.cache)
+		st.TopAABlocks += 2
+		st.MetafilePagesVols += v.bm.Flush()
+	}
+	return st
+}
+
+func topaaGroupKey(index int) string { return fmt.Sprintf("rg%d", index) }
+
+// MountStats records the work needed to make the AA caches operational
+// after a remount — the quantity Fig. 10 plots, since the first CP cannot
+// complete before write allocation can begin (§3.4).
+type MountStats struct {
+	// TopAABlockReads counts TopAA metafile blocks read.
+	TopAABlockReads uint64
+	// BitmapPagesRead counts bitmap-metafile pages read by cache-rebuild
+	// walks (zero when every TopAA metafile is intact).
+	BitmapPagesRead uint64
+	// CacheInserts counts AA-cache insert operations performed before the
+	// caches were declared operational.
+	CacheInserts uint64
+	// Fallbacks counts spaces whose TopAA metafile was missing or damaged,
+	// forcing a bitmap walk (the WAFL-Iron-recomputation path).
+	Fallbacks int
+}
+
+// Remount simulates a failover/reboot: all in-memory allocator state is
+// dropped, then the AA caches are rebuilt — from the TopAA metafiles when
+// useTopAA is true (falling back per space on damage), or by walking the
+// bitmap metafiles otherwise.
+func (ag *Aggregate) Remount(useTopAA bool) MountStats {
+	var ms MountStats
+	preReads, _ := ag.store.Stats()
+	preBM := ag.bm.Stats().PageReads
+	preVolBM := make([]uint64, len(ag.vols))
+	for i, v := range ag.vols {
+		preVolBM[i] = v.bm.Stats().PageReads
+	}
+
+	for _, g := range ag.groups {
+		g.curValid = false
+		g.cpWrites = g.cpWrites[:0]
+		g.deltas = make(map[aa.ID]int64)
+		rebuilt := false
+		if useTopAA {
+			if entries, err := ag.store.LoadRAIDAware(topaaGroupKey(g.Index)); err == nil {
+				// The block's structural checks cannot know this group's AA
+				// count; validate against the topology here and treat
+				// out-of-range ids or impossible scores as damage.
+				valid := true
+				for _, e := range entries {
+					if int(e.ID) >= g.topo.NumAAs() || e.Score > aaBlockCount(g.topo, e.ID) {
+						valid = false
+						break
+					}
+				}
+				if valid {
+					cache := heapcache.New(g.topo.NumAAs())
+					for _, e := range entries {
+						cache.Insert(e.ID, e.Score)
+						ms.CacheInserts++
+					}
+					g.cache = cache
+					g.seedOnly = true
+					rebuilt = true
+				}
+			}
+			if !rebuilt {
+				ms.Fallbacks++
+			}
+		}
+		if !rebuilt {
+			scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+			g.cache = heapcache.NewFromScores(scores)
+			g.seedOnly = false
+			ms.CacheInserts += uint64(len(scores))
+		}
+	}
+	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)
+	names := make([]string, 0, len(ag.vols)+1)
+	for _, v := range ag.vols {
+		spaces = append(spaces, v.space)
+		names = append(names, v.Name)
+	}
+	if ag.pool != nil {
+		spaces = append(spaces, ag.pool.space)
+		names = append(names, poolTopAAKey)
+	}
+	for i, sp := range spaces {
+		sp.curValid = false
+		sp.deltas = make(map[aa.ID]int64)
+		rebuilt := false
+		if useTopAA {
+			if h, err := ag.store.LoadAgnostic(names[i]); err == nil {
+				sp.cache = h
+				rebuilt = true
+			} else {
+				ms.Fallbacks++
+			}
+		}
+		if !rebuilt {
+			sp.replenish()
+			ms.CacheInserts += uint64(sp.topo.NumAAs())
+		}
+	}
+
+	postReads, _ := ag.store.Stats()
+	ms.TopAABlockReads = postReads - preReads
+	ms.BitmapPagesRead = ag.bm.Stats().PageReads - preBM
+	for i, v := range ag.vols {
+		ms.BitmapPagesRead += v.bm.Stats().PageReads - preVolBM[i]
+	}
+	return ms
+}
+
+// rebuildWorkers bounds the parallelism of background cache rebuilds.
+func rebuildWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// CompleteBackgroundFill finishes the post-mount background work for
+// seed-only RAID-aware caches: every AA absent from the seed is scored from
+// the bitmap (in parallel, as a controller spreads this walk across cores)
+// and inserted (§3.4). Returns the number of AAs inserted.
+func (ag *Aggregate) CompleteBackgroundFill() uint64 {
+	var inserted uint64
+	for _, g := range ag.groups {
+		if !g.seedOnly {
+			continue
+		}
+		scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+		for id := 0; id < g.topo.NumAAs(); id++ {
+			if g.curValid && aa.ID(id) == g.curAA {
+				continue // held by the allocator; reinserted at finishAA
+			}
+			if !g.cache.Tracked(aa.ID(id)) {
+				g.cache.Insert(aa.ID(id), scores[id])
+				// The bitmap score already reflects any deltas that were
+				// pending while the AA was untracked.
+				delete(g.deltas, aa.ID(id))
+				inserted++
+			}
+		}
+		g.seedOnly = false
+	}
+	return inserted
+}
+
+// RepairTopAA recomputes every TopAA metafile from the authoritative bitmap
+// metafiles and rewrites it — the recovery WAFL Iron performs online when a
+// metafile is damaged beyond RAID reconstruction (§3.4). It returns the
+// number of metafile entries rewritten. The in-memory caches are rebuilt
+// too, so a subsequent Remount(true) succeeds with no fallbacks.
+func (ag *Aggregate) RepairTopAA() int {
+	repaired := 0
+	for _, g := range ag.groups {
+		g.finishAA(ag.bm)
+		scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+		g.cache = heapcache.NewFromScores(scores)
+		g.seedOnly = false
+		g.deltas = make(map[aa.ID]int64)
+		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
+		repaired++
+	}
+	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)
+	names := make([]string, 0, len(ag.vols)+1)
+	for _, v := range ag.vols {
+		spaces = append(spaces, v.space)
+		names = append(names, v.Name)
+	}
+	if ag.pool != nil {
+		spaces = append(spaces, ag.pool.space)
+		names = append(names, poolTopAAKey)
+	}
+	for i, sp := range spaces {
+		sp.replenish()
+		ag.store.SaveAgnostic(names[i], sp.cache)
+		repaired++
+	}
+	return repaired
+}

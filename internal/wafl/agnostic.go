@@ -1,0 +1,232 @@
+package wafl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/bitmap"
+	"waflfs/internal/block"
+	"waflfs/internal/hbps"
+)
+
+// agnosticSpace is the allocation machinery shared by every RAID-agnostic
+// VBN space: the virtual space of each FlexVol volume and physical ranges
+// backed by natively redundant storage (object stores). AAs are consecutive
+// 32k-block runs and the AA cache is an HBPS (§3.3.2).
+type agnosticSpace struct {
+	name string
+	topo *aa.Linear
+	bm   *bitmap.Bitmap
+
+	cache        *hbps.HBPS
+	cacheEnabled bool
+
+	// Allocation cursor within the current AA.
+	curAA    aa.ID
+	curValid bool
+	cursor   block.VBN
+
+	deltas map[aa.ID]int64
+	rng    *rand.Rand
+
+	// delayed, when non-nil, queues frees per AA with HBPS-tracked scores
+	// instead of applying them immediately; see delayedfree.go.
+	delayed *delayedFrees
+
+	// Measurement counters.
+	pickedScoreSum float64
+	pickedCount    uint64
+	cacheOps       uint64
+	replenishes    uint64
+	// scannedBlocks counts bitmap positions the allocation cursor swept
+	// (allocated blocks plus skipped-over used blocks). Consuming a fuller
+	// AA sweeps more positions per allocated block — the §2.5 cost of not
+	// colocating virtual VBNs, which the CPU model charges per unit.
+	scannedBlocks   uint64
+	allocatedBlocks uint64
+}
+
+func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand) *agnosticSpace {
+	s := &agnosticSpace{
+		name:         name,
+		topo:         aa.NewLinearDefault(space),
+		bm:           bm,
+		cacheEnabled: enabled,
+		deltas:       make(map[aa.ID]int64),
+		rng:          rng,
+	}
+	s.cache = hbps.New(hbps.DefaultConfig())
+	// Fresh space: every AA is empty, so every AA scores its full size.
+	for id := 0; id < s.topo.NumAAs(); id++ {
+		s.cache.Track(aa.ID(id), s.aaScore(aa.ID(id)))
+	}
+	return s
+}
+
+func (s *agnosticSpace) aaScore(id aa.ID) uint32 {
+	return uint32(aa.Score(s.topo, s.bm, id))
+}
+
+// pick selects the next AA: HBPS pop when enabled (replenishing from a
+// bitmap walk if the list has run dry), uniformly random otherwise.
+func (s *agnosticSpace) pick() bool {
+	var id aa.ID
+	if s.cacheEnabled {
+		got, ok := s.cache.PopBest()
+		if !ok {
+			s.replenish()
+			if got, ok = s.cache.PopBest(); !ok {
+				return false
+			}
+		}
+		s.cacheOps++
+		id = got
+	} else {
+		n := s.topo.NumAAs()
+		found := false
+		for try := 0; try < 16 && !found; try++ {
+			id = aa.ID(s.rng.Intn(n))
+			found = s.aaScore(id) > 0
+		}
+		if !found {
+			start := s.rng.Intn(n)
+			for off := 0; off < n; off++ {
+				id = aa.ID((start + off) % n)
+				if s.aaScore(id) > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	s.curAA = id
+	s.curValid = true
+	seg := s.topo.Segments(id)[0]
+	s.cursor = seg.Start
+	s.pickedScoreSum += float64(s.aaScore(id)) / float64(seg.Len())
+	s.pickedCount++
+	return true
+}
+
+// replenish rebuilds the HBPS from a full bitmap walk — the background scan
+// of §3.3.2 — charging the metafile reads and discarding pending deltas
+// (the recomputed scores already include them).
+func (s *agnosticSpace) replenish() {
+	s.replenishes++
+	s.bm.ChargeScan(s.topo.Space())
+	for id := range s.deltas {
+		delete(s.deltas, id)
+	}
+	s.cache.Replenish(func(yield func(aa.ID, uint32)) {
+		for id := 0; id < s.topo.NumAAs(); id++ {
+			yield(aa.ID(id), s.aaScore(aa.ID(id)))
+		}
+	})
+	s.cacheOps += uint64(s.topo.NumAAs())
+}
+
+// allocate assigns up to n free VBNs, consuming the current AA sequentially
+// and moving to the next best AA as each drains ("the write allocator picks
+// an AA and then assigns all free VBNs from the AA in sequential order",
+// §3.1). It returns fewer than n only when the space is out of free blocks.
+func (s *agnosticSpace) allocate(n int) []block.VBN {
+	out := make([]block.VBN, 0, n)
+	for len(out) < n {
+		if !s.curValid {
+			if s.bm.CountFree(s.topo.Space()) == 0 {
+				return out
+			}
+			if !s.pick() {
+				return out
+			}
+		}
+		seg := s.topo.Segments(s.curAA)[0]
+		v, ok := s.bm.NextFree(s.cursor, seg)
+		if !ok {
+			s.scannedBlocks += uint64(seg.End - s.cursor)
+			s.curValid = false
+			continue
+		}
+		s.bm.Set(v)
+		s.deltas[s.curAA]--
+		s.scannedBlocks += uint64(v-s.cursor) + 1
+		s.allocatedBlocks++
+		s.cursor = v + 1
+		out = append(out, v)
+	}
+	return out
+}
+
+// free returns a VBN to the space — immediately, or via the delayed-free
+// queue when enabled.
+func (s *agnosticSpace) free(v block.VBN) {
+	if !s.bm.Test(v) {
+		panic(fmt.Sprintf("wafl: double free of %v in %s", v, s.name))
+	}
+	if s.delayed != nil {
+		s.delayed.add(s.topo.AAOf(v), v)
+		return
+	}
+	s.bm.Clear(v)
+	s.deltas[s.topo.AAOf(v)]++
+}
+
+// applyCPDeltas flushes the batched score updates into the HBPS at the CP
+// boundary. HBPS stores no per-AA scores, so the previous score is derived
+// from the authoritative bitmap count minus the pending delta.
+func (s *agnosticSpace) applyCPDeltas() {
+	if !s.cacheEnabled {
+		for id := range s.deltas {
+			delete(s.deltas, id)
+		}
+		return
+	}
+	for id, d := range s.deltas {
+		if d == 0 {
+			delete(s.deltas, id)
+			continue
+		}
+		newScore := s.aaScore(id)
+		old := int64(newScore) - d
+		if old < 0 {
+			panic(fmt.Sprintf("wafl: %s AA %d delta %d implies negative old score", s.name, id, d))
+		}
+		s.cache.Update(id, uint32(old), newScore)
+		s.cacheOps++
+		delete(s.deltas, id)
+	}
+}
+
+// SpaceMetrics mirrors GroupMetrics for RAID-agnostic spaces.
+type SpaceMetrics struct {
+	PickedScoreFraction float64
+	CacheOps            uint64
+	Replenishes         uint64
+	// ScannedBlocks is the allocation cursor's cumulative sweep length;
+	// divided by blocks allocated it is the inverse of the mean free
+	// fraction actually consumed.
+	ScannedBlocks uint64
+	// AllocatedBlocks counts blocks assigned since the last reset.
+	AllocatedBlocks uint64
+}
+
+func (s *agnosticSpace) metrics() SpaceMetrics {
+	m := SpaceMetrics{CacheOps: s.cacheOps, Replenishes: s.replenishes,
+		ScannedBlocks: s.scannedBlocks, AllocatedBlocks: s.allocatedBlocks}
+	if s.pickedCount > 0 {
+		m.PickedScoreFraction = s.pickedScoreSum / float64(s.pickedCount)
+	}
+	return m
+}
+
+func (s *agnosticSpace) resetMetrics() {
+	s.pickedScoreSum, s.pickedCount = 0, 0
+	s.cacheOps, s.replenishes = 0, 0
+	// Note: reset only between CPs (System.CP snapshots scannedBlocks at
+	// CP start, and sweeps happen only inside CP).
+	s.scannedBlocks, s.allocatedBlocks = 0, 0
+}

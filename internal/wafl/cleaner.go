@@ -1,0 +1,154 @@
+package wafl
+
+import (
+	"fmt"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+)
+
+// CleanStats summarizes one segment-cleaning pass.
+type CleanStats struct {
+	// AAsCleaned is the number of allocation areas fully emptied.
+	AAsCleaned int
+	// BlocksRelocated is the number of in-use blocks moved elsewhere.
+	BlocksRelocated int
+	// AlreadyEmpty counts AAs popped that needed no work.
+	AlreadyEmpty int
+}
+
+// CleanBestAAs performs WAFL-style segment cleaning on group g (§3.3.1):
+// the content of all in-use blocks in each AA near the top of the max-heap
+// is relocated elsewhere so the AA becomes completely empty. Cleaning the
+// best-scoring AAs relocates the fewest blocks, which is why just-in-time
+// cleaning of cache-provided AAs yields the best return on investment.
+//
+// Cleaning is physical-only: relocated blocks keep their virtual VBNs, as
+// block virtualization within a FlexVol permits. The pass must run between
+// consistency points (no writes buffered), and requires the RAID-aware
+// cache to be enabled. Relocation writes are charged at the next CP like
+// any other allocation; relocation reads are charged immediately.
+func (s *System) CleanBestAAs(g *Group, maxAAs int) CleanStats {
+	if !g.cacheEnabled {
+		panic("wafl: segment cleaning requires the RAID-aware AA cache")
+	}
+	if s.pendingBlocks > 0 {
+		panic("wafl: segment cleaning must run at a CP boundary")
+	}
+	var st CleanStats
+	if maxAAs <= 0 {
+		return st
+	}
+	reverse := s.buildReverseMap()
+
+	// Make sure the group's held AA doesn't shadow the heap's view.
+	g.finishAA(s.Agg.bm)
+
+	cleaned := make([]aa.ID, 0, maxAAs)
+	for len(cleaned) < maxAAs {
+		e, ok := g.cache.PopBest()
+		if !ok {
+			break
+		}
+		cleaned = append(cleaned, e.ID)
+		used := s.usedVBNs(g, e.ID)
+		if len(used) == 0 {
+			st.AlreadyEmpty++
+			continue
+		}
+		// Read the live data (charged per contiguous run), then rewrite it
+		// through the normal allocator, which now cannot pick this AA.
+		s.chargeRelocationReads(g, e.ID)
+		newPhys := s.Agg.AllocatePhysical(len(used))
+		if len(newPhys) < len(used) {
+			panic("wafl: aggregate out of space during segment cleaning")
+		}
+		for i, old := range used {
+			refs, ok := reverse[old]
+			if !ok || len(refs) == 0 {
+				panic(fmt.Sprintf("wafl: cleaner found orphan physical %v", old))
+			}
+			// Repoint every referent — the active image and any snapshots
+			// share the same physical block and move together.
+			for _, slot := range refs {
+				slot.phys = newPhys[i]
+			}
+			delete(reverse, old)
+			reverse[newPhys[i]] = refs
+			s.Agg.FreePhysical(old)
+		}
+		st.BlocksRelocated += len(used)
+		st.AAsCleaned++
+	}
+	// Return every popped AA to the heap with its post-cleaning score.
+	for _, id := range cleaned {
+		g.cache.Insert(id, aa.Score(g.topo, s.Agg.bm, id))
+		delete(g.deltas, id)
+	}
+	return st
+}
+
+// buildReverseMap scans every LUN image — active and snapshot — mapping
+// each physical VBN to the pointer slots referencing it. The slots stay
+// valid for the duration of the pass (no slice grows during cleaning).
+func (s *System) buildReverseMap() map[block.VBN][]*blockPtr {
+	m := make(map[block.VBN][]*blockPtr)
+	add := func(blocks []blockPtr) {
+		for i := range blocks {
+			if p := blocks[i].phys; p != block.InvalidVBN {
+				m[p] = append(m[p], &blocks[i])
+			}
+		}
+	}
+	for _, v := range s.Agg.vols {
+		for _, l := range v.luns {
+			add(l.blocks)
+			for _, sn := range l.snaps {
+				add(sn.blocks)
+			}
+		}
+	}
+	return m
+}
+
+// usedVBNs lists the allocated physical VBNs within AA id of group g.
+func (s *System) usedVBNs(g *Group, id aa.ID) []block.VBN {
+	var out []block.VBN
+	for _, seg := range g.topo.Segments(id) {
+		pos := seg.Start
+		for {
+			v, ok := s.Agg.bm.NextUsed(pos, seg)
+			if !ok {
+				break
+			}
+			out = append(out, v)
+			pos = v + 1
+		}
+	}
+	return out
+}
+
+// chargeRelocationReads costs reading the live runs of an AA being cleaned.
+func (s *System) chargeRelocationReads(g *Group, id aa.ID) {
+	for d, seg := range g.topo.Segments(id) {
+		for _, freeRun := range invertRuns(s.Agg.bm.FreeRuns(seg), seg) {
+			s.c.DeviceBusy += g.devices[d].Read(freeRun.Len())
+		}
+	}
+}
+
+// invertRuns converts free runs within space into used runs.
+func invertRuns(free []block.Range, space block.Range) []block.Range {
+	var used []block.Range
+	pos := space.Start
+	for _, f := range free {
+		if f.Start > pos {
+			used = append(used, block.R(pos, f.Start))
+		}
+		pos = f.End
+	}
+	if pos < space.End {
+		used = append(used, block.R(pos, space.End))
+	}
+	return used
+}

@@ -1,0 +1,172 @@
+package wafl
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+func delayedSystem(t *testing.T, budget int) (*System, *LUN) {
+	t.Helper()
+	tun := DefaultTunables()
+	tun.DelayedVirtFrees = true
+	tun.DelayedFreeBudgetPerCP = budget
+	tun.CPEveryOps = 128
+	s := NewSystem(testSpecs(), []VolSpec{{Name: "v", Blocks: 8 * aa.RAIDAgnosticBlocks}}, tun, 21)
+	lun := s.Agg.Vols()[0].CreateLUN("lun0", 50000)
+	for lba := uint64(0); lba < 20000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	return s, lun
+}
+
+func TestDelayedFreesReclaimAtCP(t *testing.T) {
+	s, lun := delayedSystem(t, 0) // unlimited budget: all reclaimed each CP
+	vol := s.Agg.Vols()[0]
+	// Overwrites queue frees that the same CP then reclaims.
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	if got := vol.PendingFrees(); got != 0 {
+		t.Fatalf("pending after unlimited-budget CP = %d", got)
+	}
+	// Usage back to steady state: overwrites net zero.
+	if vol.bm.Used() != 20000 {
+		t.Fatalf("vol used = %d", vol.bm.Used())
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedFreesRespectBudget(t *testing.T) {
+	s, lun := delayedSystem(t, 512)
+	vol := s.Agg.Vols()[0]
+	// Generate a burst of frees far above the per-CP budget.
+	freed := s.PunchHoles(lun, func(lba uint64) bool { return lba < 10000 })
+	if freed != 10000 {
+		t.Fatalf("punched %d", freed)
+	}
+	if vol.PendingFrees() != 10000 {
+		t.Fatalf("pending = %d", vol.PendingFrees())
+	}
+	// Blocks pending free stay allocated (not yet reusable).
+	if vol.bm.Used() != 20000 {
+		t.Fatalf("vol used = %d before reclaim", vol.bm.Used())
+	}
+	// Each CP drains at most ~budget blocks (whole AAs at a time, so a
+	// little overshoot is allowed — one AA beyond the budget boundary).
+	prev := vol.PendingFrees()
+	for i := 0; prev > 0 && i < 100; i++ {
+		s.CP()
+		cur := vol.PendingFrees()
+		drained := prev - cur
+		if cur > 0 && drained > 512+int(aa.RAIDAgnosticBlocks) {
+			t.Fatalf("CP drained %d, budget 512", drained)
+		}
+		if drained == 0 && cur > 0 {
+			t.Fatalf("CP made no reclaim progress at %d pending", cur)
+		}
+		prev = cur
+	}
+	if prev != 0 {
+		t.Fatalf("pending never drained: %d", prev)
+	}
+	if vol.bm.Used() != 10000 {
+		t.Fatalf("vol used = %d after drain", vol.bm.Used())
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The point of HBPS-ordered reclamation: under a budget, the AAs with the
+// most pending frees are processed first, so early CPs reclaim many blocks
+// per metafile page touched.
+func TestDelayedFreesProcessDensestAAFirst(t *testing.T) {
+	s, lun := delayedSystem(t, 1000)
+	vol := s.Agg.Vols()[0]
+	// Extend the fill past one 32k-block AA so dense and scattered frees
+	// land in different AAs (LBAs map to virtual VBNs roughly in order).
+	for lba := uint64(20000); lba < 50000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	for vol.PendingFrees() > 0 {
+		s.CP()
+	}
+	// Dense frees in the first AA; scattered frees in the second.
+	s.PunchHoles(lun, func(lba uint64) bool {
+		return lba < 3000 || (lba >= 34000 && lba%100 == 0)
+	})
+	dense := vol.space.topo.AAOf(0) // the AA holding the dense frees
+	pendingDense := len(vol.space.delayed.pending[dense])
+	if pendingDense < 2000 {
+		t.Fatalf("setup: dense AA has %d pending", pendingDense)
+	}
+	// One budgeted CP must clear the dense AA before the scattered ones.
+	s.CP()
+	if got := len(vol.space.delayed.pending[dense]); got != 0 {
+		t.Fatalf("dense AA still has %d pending after budgeted CP", got)
+	}
+	if vol.PendingFrees() == 0 {
+		t.Fatal("scattered frees should still be pending under the budget")
+	}
+	// Drain fully and verify consistency.
+	for vol.PendingFrees() > 0 {
+		s.CP()
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedFreesWithSnapshots(t *testing.T) {
+	s, lun := delayedSystem(t, 0)
+	vol := s.Agg.Vols()[0]
+	s.CreateSnapshot(lun, "snap")
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	// Snapshot-held blocks must not be queued for free.
+	if vol.PendingFrees() != 0 {
+		t.Fatalf("pending = %d", vol.PendingFrees())
+	}
+	if vol.bm.Used() != 25000 {
+		t.Fatalf("used = %d (20000 live + 5000 snapshot)", vol.bm.Used())
+	}
+	s.DeleteSnapshot(lun, "snap")
+	s.CP()
+	if vol.bm.Used() != 20000 {
+		t.Fatalf("used = %d after snapshot delete reclaim", vol.bm.Used())
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedFreesRandomChurnConsistent(t *testing.T) {
+	s, lun := delayedSystem(t, 777)
+	vol := s.Agg.Vols()[0]
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30000; i++ {
+		s.Write(lun, uint64(rng.Intn(50000)), 1)
+	}
+	s.CP()
+	for vol.PendingFrees() > 0 {
+		s.CP()
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate-side accounting still balances.
+	c := s.Counters()
+	if c.BlocksWritten-c.BlocksFreed != s.Agg.bm.Used() {
+		t.Fatalf("written %d - freed %d != agg used %d",
+			c.BlocksWritten, c.BlocksFreed, s.Agg.bm.Used())
+	}
+}

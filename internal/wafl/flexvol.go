@@ -1,0 +1,116 @@
+package wafl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waflfs/internal/bitmap"
+	"waflfs/internal/block"
+)
+
+// FlexVol is one virtualized volume hosted in an aggregate (§2.1). It owns
+// a flat virtual VBN space with its own bitmap metafiles and RAID-agnostic
+// AA cache; data blocks additionally occupy physical VBNs in the aggregate.
+type FlexVol struct {
+	Name string
+
+	bm    *bitmap.Bitmap
+	space *agnosticSpace
+	luns  map[string]*LUN
+	// rc counts references (active image + snapshots) per written pair,
+	// keyed by virtual VBN; see snapshot.go.
+	rc map[block.VBN]int32
+}
+
+func newFlexVol(spec VolSpec, tun Tunables, rng *rand.Rand) *FlexVol {
+	if spec.Blocks == 0 {
+		panic("wafl: zero-size FlexVol")
+	}
+	bm := bitmap.New(spec.Blocks)
+	v := &FlexVol{
+		Name:  spec.Name,
+		bm:    bm,
+		space: newAgnosticSpace(spec.Name, block.R(0, block.VBN(spec.Blocks)), bm, tun.VolCacheEnabled, rng),
+		luns:  make(map[string]*LUN),
+	}
+	if tun.DelayedVirtFrees {
+		v.space.delayed = newDelayedFrees()
+	}
+	return v
+}
+
+// Blocks returns the virtual VBN space size.
+func (v *FlexVol) Blocks() uint64 { return v.bm.Size() }
+
+// Bitmap exposes the volume's bitmap metafile (read-mostly; used by
+// experiments and the fsinspect tool).
+func (v *FlexVol) Bitmap() *bitmap.Bitmap { return v.bm }
+
+// UsedFraction returns the fraction of virtual VBNs allocated.
+func (v *FlexVol) UsedFraction() float64 {
+	return float64(v.bm.Used()) / float64(v.bm.Size())
+}
+
+// CreateLUN provisions a LUN of the given size in blocks. Space is consumed
+// lazily as blocks are written (thin provisioning, §3.3.2).
+func (v *FlexVol) CreateLUN(name string, blocks uint64) *LUN {
+	if _, dup := v.luns[name]; dup {
+		panic(fmt.Sprintf("wafl: duplicate LUN %q in %s", name, v.Name))
+	}
+	l := &LUN{Name: name, vol: v, blocks: make([]blockPtr, blocks)}
+	for i := range l.blocks {
+		l.blocks[i] = blockPtr{virt: block.InvalidVBN, phys: block.InvalidVBN}
+	}
+	v.luns[name] = l
+	return l
+}
+
+// LUN returns the named LUN, or nil.
+func (v *FlexVol) LUN(name string) *LUN { return v.luns[name] }
+
+// blockPtr is the dual address of one written LUN block: its virtual VBN in
+// the volume and its physical VBN in the aggregate (§2.1: "it must allocate
+// both a physical block number and a virtual block number").
+type blockPtr struct {
+	virt block.VBN
+	phys block.VBN
+}
+
+// LUN is a block device exported from a FlexVol: a flat array of logical
+// blocks, each holding a (virtual, physical) VBN pair once written. Client
+// overwrites allocate fresh VBNs and free the old ones — the COW behaviour
+// that fragments free space (§2.2).
+type LUN struct {
+	Name   string
+	vol    *FlexVol
+	blocks []blockPtr
+	snaps  map[string]*Snapshot
+}
+
+// Blocks returns the LUN's logical size in blocks.
+func (l *LUN) Blocks() uint64 { return uint64(len(l.blocks)) }
+
+// Written reports whether logical block lba has ever been written.
+func (l *LUN) Written(lba uint64) bool {
+	return l.blocks[lba].virt != block.InvalidVBN
+}
+
+// Phys returns the physical VBN backing lba (InvalidVBN if unwritten).
+func (l *LUN) Phys(lba uint64) block.VBN { return l.blocks[lba].phys }
+
+// Virt returns the virtual VBN backing lba (InvalidVBN if unwritten).
+func (l *LUN) Virt(lba uint64) block.VBN { return l.blocks[lba].virt }
+
+// install points lba at a fresh (virt, phys) pair and returns the previous
+// pair for freeing (ok=false if the block was unwritten).
+func (l *LUN) install(lba uint64, p blockPtr) (old blockPtr, ok bool) {
+	old = l.blocks[lba]
+	l.blocks[lba] = p
+	return old, old.virt != block.InvalidVBN
+}
+
+// Metrics returns the volume allocator's measurement counters.
+func (v *FlexVol) Metrics() SpaceMetrics { return v.space.metrics() }
+
+// ResetMetrics zeroes the volume allocator's measurement counters.
+func (v *FlexVol) ResetMetrics() { v.space.resetMetrics() }

@@ -1,0 +1,508 @@
+package wafl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/bitmap"
+	"waflfs/internal/block"
+	"waflfs/internal/device"
+	"waflfs/internal/heapcache"
+	"waflfs/internal/raid"
+)
+
+// Device abstracts the per-drive cost models in package device.
+type Device interface {
+	// WriteChain services one write I/O of n consecutive blocks at start.
+	WriteChain(start, n uint64) time.Duration
+	// Read services one read I/O of n consecutive blocks.
+	Read(n uint64) time.Duration
+}
+
+// trimmer is implemented by devices that accept deallocations (SSDs).
+type trimmer interface {
+	Trim(start, n uint64)
+}
+
+// Group is the runtime state of one RAID group: geometry, AA topology, the
+// RAID-aware AA cache, the device models, and the allocator cursor.
+type Group struct {
+	Index int
+	Spec  GroupSpec
+
+	geo  raid.Geometry
+	topo *aa.Striped
+
+	cache        *heapcache.Cache
+	cacheEnabled bool
+	seedOnly     bool // cache holds only a TopAA seed; background fill pending
+
+	devices []Device // data devices, index-aligned with geometry
+	parity  Device   // one model standing in for the parity device(s)
+	ssds    []*device.SSD
+	azcs    bool
+
+	// Allocation cursor: the AA currently being filled, stripe-major.
+	curAA     aa.ID
+	curValid  bool
+	curStripe uint64
+	curEnd    uint64
+	curWrote  bool // at least one block assigned from the current AA
+
+	// deltas accumulates per-AA free-count changes since the last CP
+	// (allocations negative, frees positive).
+	deltas map[aa.ID]int64
+	// cpWrites collects the physical VBNs allocated since the last CP.
+	cpWrites []block.VBN
+
+	raidStats *raid.Stats
+	rng       *rand.Rand
+
+	// pendingCS queues out-of-band AZCS checksum-block positions (disk
+	// DBNs) accrued at AA switches; they are charged after the CP's data
+	// chains so device write pointers see writes in issue order.
+	pendingCS []uint64
+
+	// Measurement counters.
+	pickedScoreSum   float64 // sum of (score/BlocksPerAA) at AA pick time
+	pickedCount      uint64
+	cacheOps         uint64 // AA-cache maintenance operations
+	azcsSeqWrites    uint64
+	azcsRandomWrites uint64
+	deviceBusy       time.Duration // busy time charged during CP flushes
+}
+
+// buildGroup constructs the runtime for one spec at the given VBN offset.
+func buildGroup(index int, spec GroupSpec, startVBN block.VBN, tun Tunables, rng *rand.Rand) *Group {
+	geo := raid.Geometry{
+		DataDevices:     spec.DataDevices,
+		ParityDevices:   spec.ParityDevices,
+		BlocksPerDevice: spec.BlocksPerDevice,
+		StartVBN:        startVBN,
+	}
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	stripes := spec.StripesPerAA
+	if stripes == 0 {
+		stripes = aa.StripesPerAA(aa.SizingParams{
+			Media:            spec.Media,
+			EraseBlockBlocks: spec.EraseBlockBlocks,
+			ZoneBlocks:       spec.ZoneBlocks,
+			AZCS:             spec.AZCS,
+		})
+	}
+	if stripes > geo.Stripes() {
+		stripes = geo.Stripes()
+	}
+	topo := aa.NewStriped(geo, stripes)
+
+	g := &Group{
+		Index:        index,
+		Spec:         spec,
+		geo:          geo,
+		topo:         topo,
+		cacheEnabled: tun.AggregateCacheEnabled,
+		azcs:         spec.AZCS,
+		deltas:       make(map[aa.ID]int64),
+		raidStats:    raid.NewStats(geo),
+		rng:          rng,
+	}
+	g.buildDevices()
+
+	// A fresh file system builds its cache from the (all-free) bitmap.
+	scores := make([]uint64, topo.NumAAs())
+	for id := range scores {
+		scores[id] = aaBlockCount(topo, aa.ID(id))
+	}
+	g.cache = heapcache.NewFromScores(scores)
+	return g
+}
+
+func (g *Group) buildDevices() {
+	spec := g.Spec
+	devBlocks := spec.BlocksPerDevice
+	if g.azcs {
+		// With AZCS the drive stores interleaved checksum blocks; round the
+		// on-disk span up to whole AZCS regions so the final region's
+		// checksum block is addressable.
+		lastDisk := device.DataToDiskDBN(devBlocks - 1)
+		devBlocks = (lastDisk/block.AZCSRegionBlocks + 1) * block.AZCSRegionBlocks
+	}
+	mk := func() Device {
+		switch spec.Media {
+		case aa.MediaSSD:
+			cfg := device.DefaultSSDConfig(devBlocks)
+			if spec.EraseBlockBlocks > 0 {
+				cfg.FTL.PagesPerEraseBlock = spec.EraseBlockBlocks
+			}
+			if spec.Overprovision > 0 {
+				cfg.FTL.Overprovision = spec.Overprovision
+			}
+			ssd := device.NewSSD(cfg)
+			g.ssds = append(g.ssds, ssd)
+			return ssd
+		case aa.MediaSMR:
+			zone := spec.ZoneBlocks
+			if zone == 0 {
+				zone = 16384
+			}
+			return device.NewSMR(devBlocks, zone)
+		default:
+			return device.DefaultHDD()
+		}
+	}
+	g.devices = make([]Device, spec.DataDevices)
+	for d := range g.devices {
+		g.devices[d] = mk()
+	}
+	g.parity = mk()
+	if spec.Media == aa.MediaSSD {
+		// The parity model was appended to ssds by mk; parity WA is not a
+		// data-path metric, so drop it from the WA census.
+		g.ssds = g.ssds[:len(g.ssds)-1]
+	}
+}
+
+// Geometry returns the group's RAID geometry.
+func (g *Group) Geometry() raid.Geometry { return g.geo }
+
+// Topology returns the group's AA topology.
+func (g *Group) Topology() *aa.Striped { return g.topo }
+
+// Cache returns the RAID-aware AA cache.
+func (g *Group) Cache() *heapcache.Cache { return g.cache }
+
+// RAIDStats returns the cumulative tetris accounting.
+func (g *Group) RAIDStats() *raid.Stats { return g.raidStats }
+
+// Devices returns the data-device models (for demand measurement).
+func (g *Group) Devices() []Device { return g.devices }
+
+// WriteAmplification averages the FTL write amplification across the
+// group's data SSDs; it returns 0 for non-SSD groups.
+func (g *Group) WriteAmplification() float64 {
+	if len(g.ssds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, d := range g.ssds {
+		s += d.WriteAmplification()
+	}
+	return s / float64(len(g.ssds))
+}
+
+// bestScore returns the best available AA score for eligibility decisions:
+// the held AA's last known score, or the cache top.
+func (g *Group) bestScore() (uint64, bool) {
+	if e, ok := g.cache.Best(); ok {
+		return e.Score, true
+	}
+	return 0, false
+}
+
+// eligible reports whether the allocator should write to this group given
+// the fragmentation-bias threshold (§3.3.1).
+func (g *Group) eligible(minFraction float64) bool {
+	if !g.cacheEnabled || minFraction <= 0 {
+		return true
+	}
+	if g.curValid {
+		return true // keep filling the AA we already committed to
+	}
+	s, ok := g.bestScore()
+	if !ok {
+		return false
+	}
+	return float64(s) >= minFraction*float64(g.topo.BlocksPerAA())
+}
+
+// pickAA selects the next AA to fill: the cache's best when enabled,
+// uniformly random otherwise (the paper's baseline).
+func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
+	var id aa.ID
+	var score uint64
+	if g.cacheEnabled {
+		e, ok := g.cache.PopBest()
+		if !ok {
+			return false
+		}
+		g.cacheOps++
+		if e.Score == 0 {
+			// Even the best AA has no free blocks: the group is full.
+			g.cache.Insert(e.ID, 0)
+			g.cacheOps++
+			return false
+		}
+		id, score = e.ID, e.Score
+	} else {
+		// Random selection; retry a bounded number of times to find an AA
+		// with any free space, then fall back to a linear sweep.
+		n := g.topo.NumAAs()
+		found := false
+		for try := 0; try < 16 && !found; try++ {
+			id = aa.ID(g.rng.Intn(n))
+			score = aa.Score(g.topo, bm, id)
+			found = score > 0
+		}
+		if !found {
+			start := g.rng.Intn(n)
+			for off := 0; off < n; off++ {
+				id = aa.ID((start + off) % n)
+				score = aa.Score(g.topo, bm, id)
+				if score > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	g.curAA = id
+	g.curValid = true
+	g.curWrote = false
+	g.curStripe, g.curEnd = g.topo.StripeRange(id)
+	g.pickedScoreSum += float64(score) / float64(aaBlockCount(g.topo, id))
+	g.pickedCount++
+	return true
+}
+
+// aaBlockCount returns the capacity of AA id, accounting for a truncated
+// final AA.
+func aaBlockCount(t *aa.Striped, id aa.ID) uint64 {
+	from, to := t.StripeRange(id)
+	return (to - from) * uint64(t.Geometry().DataDevices)
+}
+
+// finishAA returns the drained AA to the cache with its current score.
+func (g *Group) finishAA(bm *bitmap.Bitmap) {
+	if !g.curValid {
+		return
+	}
+	if g.azcs && g.curWrote {
+		g.queueAZCSBoundaries(g.curAA)
+	}
+	if g.cacheEnabled {
+		g.cache.Insert(g.curAA, aa.Score(g.topo, bm, g.curAA))
+		g.cacheOps++
+		delete(g.deltas, g.curAA) // the fresh score already reflects them
+	}
+	g.curValid = false
+}
+
+// allocateTetris assigns up to max free physical VBNs from the next tetris
+// of the current AA, stripe-major (stripe by stripe across devices, which
+// yields full stripes and per-device chains). It returns the VBNs assigned;
+// an empty result with more==false means the group is exhausted for now.
+func (g *Group) allocateTetris(bm *bitmap.Bitmap, max int) (vbns []block.VBN, more bool) {
+	if max <= 0 {
+		return nil, true
+	}
+	for !g.curValid {
+		if !g.pickAA(bm) {
+			return nil, false
+		}
+	}
+	// One tetris: up to StripesPerTetris stripes from the cursor.
+	end := g.curStripe + block.StripesPerTetris
+	if end > g.curEnd {
+		end = g.curEnd
+	}
+	for s := g.curStripe; s < end && len(vbns) < max; s++ {
+		for d := 0; d < g.geo.DataDevices; d++ {
+			if len(vbns) >= max {
+				// Mid-stripe stop: resume at this stripe next call.
+				end = s
+				break
+			}
+			v := g.geo.VBNOf(d, s)
+			if bm.Set(v) {
+				vbns = append(vbns, v)
+				g.deltas[g.curAA]--
+			}
+		}
+	}
+	g.curStripe = end
+	if len(vbns) > 0 {
+		g.curWrote = true
+	}
+	if g.curStripe >= g.curEnd {
+		g.finishAA(bm)
+	}
+	g.cpWrites = append(g.cpWrites, vbns...)
+	return vbns, true
+}
+
+// free returns a physical VBN in this group to the free pool.
+func (g *Group) free(bm *bitmap.Bitmap, v block.VBN, trim bool) {
+	if !bm.Clear(v) {
+		panic(fmt.Sprintf("wafl: double free of physical %v", v))
+	}
+	g.deltas[g.topo.AAOf(v)]++
+	if trim {
+		d, dbn := g.geo.Locate(v)
+		if g.azcs {
+			dbn = device.DataToDiskDBN(dbn)
+		}
+		if tr, ok := g.devices[d].(trimmer); ok {
+			tr.Trim(dbn, 1)
+		}
+	}
+}
+
+// flushCP classifies this CP's writes into tetrises, charges the device
+// models (data chains first, then any queued out-of-band AZCS checksum
+// writes), and returns the time the flush kept the group's devices busy.
+func (g *Group) flushCP() time.Duration {
+	if len(g.cpWrites) == 0 && len(g.pendingCS) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	tetrises := raid.BuildTetrises(g.geo, g.cpWrites)
+	g.cpWrites = g.cpWrites[:0]
+	for i := range tetrises {
+		t := &tetrises[i]
+		g.raidStats.Add(t)
+		for _, c := range t.Chains {
+			busy += g.chargeChain(c)
+		}
+		// Parity devices rewrite one block per touched stripe; for
+		// AA-directed writes these are contiguous runs.
+		if g.geo.ParityDevices > 0 && t.StripesTouched > 0 {
+			busy += g.parity.WriteChain(t.Tetris*block.StripesPerTetris, uint64(t.ParityWriteBlocks))
+			if t.ParityReadBlocks > 0 {
+				busy += g.parity.Read(uint64(t.ParityReadBlocks))
+			}
+		}
+	}
+	for _, cs := range g.pendingCS {
+		for d := range g.devices {
+			g.azcsRandomWrites++
+			busy += g.devices[d].WriteChain(cs, 1)
+		}
+	}
+	g.pendingCS = g.pendingCS[:0]
+	g.deviceBusy += busy
+	return busy
+}
+
+// chargeChain costs one data-device write chain. Under AZCS the chain is
+// mapped to its on-disk span, which naturally includes the interior
+// checksum blocks: they are written as part of the sequential sweep
+// (§3.2.4). Partial regions at the *ends* of the chain are not charged
+// here — within an AA the next chain continues where this one stopped, so
+// the straddled region's checksum block still goes out sequentially once
+// the region completes. The nonsequential checksum writes the paper warns
+// about arise at AA boundaries and are charged by chargeAZCSBoundaries.
+func (g *Group) chargeChain(c raid.Chain) time.Duration {
+	dev := g.devices[c.Device]
+	if !g.azcs {
+		return dev.WriteChain(c.Start, c.Len)
+	}
+	diskStart := device.DataToDiskDBN(c.Start)
+	diskEnd := device.DataToDiskDBN(c.Start + c.Len - 1)
+	diskLen := diskEnd - diskStart + 1
+	g.azcsSeqWrites += diskLen - c.Len // interior checksum blocks swept
+	return dev.WriteChain(diskStart, diskLen)
+}
+
+// queueAZCSBoundaries records the out-of-band checksum-block updates an AA
+// switch causes when the AA's on-disk span does not start and end on AZCS
+// region boundaries (§3.2.4, Fig. 4 B vs C): the straddled regions' data is
+// split across AAs written at different times, so their shared checksum
+// block must be updated with a separate random write. The writes are issued
+// by flushCP after the CP's data chains.
+func (g *Group) queueAZCSBoundaries(id aa.ID) {
+	from, to := g.topo.StripeRange(id)
+	if to == from {
+		return
+	}
+	diskStart := device.DataToDiskDBN(from)
+	diskEnd := device.DataToDiskDBN(to-1) + 1
+	if diskStart%block.AZCSRegionBlocks != 0 {
+		g.pendingCS = append(g.pendingCS,
+			diskStart/block.AZCSRegionBlocks*block.AZCSRegionBlocks+block.AZCSRegionDataBlocks)
+	}
+	if diskEnd%block.AZCSRegionBlocks != 0 {
+		g.pendingCS = append(g.pendingCS,
+			diskEnd/block.AZCSRegionBlocks*block.AZCSRegionBlocks+block.AZCSRegionDataBlocks)
+	}
+}
+
+// applyCPDeltas folds the batched score changes into the AA cache at the CP
+// boundary (§3.3).
+func (g *Group) applyCPDeltas() {
+	if !g.cacheEnabled {
+		for id := range g.deltas {
+			delete(g.deltas, id)
+		}
+		return
+	}
+	for id, d := range g.deltas {
+		if g.curValid && id == g.curAA {
+			continue // still held by the allocator; folded in at finishAA
+		}
+		if !g.cache.Tracked(id) {
+			continue // seed-only cache: background fill will insert it
+		}
+		s := int64(g.cache.Score(id)) + d
+		if s < 0 {
+			s = 0
+		}
+		g.cache.Update(id, uint64(s))
+		g.cacheOps++
+		delete(g.deltas, id)
+	}
+}
+
+// GroupMetrics is a snapshot of the measurement counters.
+type GroupMetrics struct {
+	PickedScoreFraction float64 // mean free fraction of AAs at pick time
+	CacheOps            uint64
+	AZCSSequential      uint64
+	AZCSRandom          uint64
+	DeviceBusy          time.Duration
+	WriteAmplification  float64
+}
+
+// Metrics returns the group's measurement counters.
+func (g *Group) Metrics() GroupMetrics {
+	m := GroupMetrics{
+		CacheOps:           g.cacheOps,
+		AZCSSequential:     g.azcsSeqWrites,
+		AZCSRandom:         g.azcsRandomWrites,
+		DeviceBusy:         g.deviceBusy,
+		WriteAmplification: g.WriteAmplification(),
+	}
+	if g.pickedCount > 0 {
+		m.PickedScoreFraction = g.pickedScoreSum / float64(g.pickedCount)
+	}
+	return m
+}
+
+// ResetMetrics zeroes the measurement counters (used between the aging and
+// measurement phases of an experiment).
+func (g *Group) ResetMetrics() {
+	g.pickedScoreSum, g.pickedCount = 0, 0
+	g.cacheOps = 0
+	g.azcsSeqWrites, g.azcsRandomWrites = 0, 0
+	g.deviceBusy = 0
+}
+
+// FTLTotals sums FTL accounting across the group's SSD data devices.
+func (g *Group) FTLTotals() device.FTLStats {
+	var t device.FTLStats
+	for _, d := range g.ssds {
+		st := d.FTL.Stats()
+		t.HostWrites += st.HostWrites
+		t.NANDWrites += st.NANDWrites
+		t.Relocated += st.Relocated
+		t.Erases += st.Erases
+		t.Trims += st.Trims
+	}
+	return t
+}

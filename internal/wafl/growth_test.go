@@ -1,0 +1,64 @@
+package wafl
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+func TestAddGroupGrowsAggregate(t *testing.T) {
+	tun := DefaultTunables()
+	tun.CPEveryOps = 256
+	s := NewSystem(testSpecs(), []VolSpec{{Name: "v", Blocks: 16 * aa.RAIDAgnosticBlocks}}, tun, 1)
+	lun := s.Agg.Vols()[0].CreateLUN("lun0", 200000)
+
+	// Age the original two groups hard.
+	rng := rand.New(rand.NewSource(2))
+	for lba := uint64(0); lba < 150000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	for i := 0; i < 100000; i++ {
+		s.Write(lun, uint64(rng.Intn(150000)), 1)
+	}
+	s.CP()
+	oldBlocks := s.Agg.Blocks()
+	pre0 := s.Agg.groups[0].raidStats.BlocksWritten
+	pre1 := s.Agg.groups[1].raidStats.BlocksWritten
+
+	// Grow: one pristine RAID group appears at the top of the VBN space.
+	g := s.Agg.AddGroup(testSpecs()[0])
+	if g.Index != 2 || s.Agg.Blocks() != oldBlocks+g.Geometry().Blocks() {
+		t.Fatalf("growth wrong: index=%d blocks=%d", g.Index, s.Agg.Blocks())
+	}
+	if best, ok := g.cache.Best(); !ok || best.Score != aaBlockCount(g.topo, best.ID) {
+		t.Fatalf("new group best = %+v, want a fully empty AA", best)
+	}
+	s.CP() // persists the new group's TopAA block and grown bitmap pages
+
+	// New writes flow disproportionately to the pristine group.
+	for i := 0; i < 30000; i++ {
+		s.Write(lun, uint64(rng.Intn(200000)), 1)
+	}
+	s.CP()
+	d0 := s.Agg.groups[0].raidStats.BlocksWritten - pre0
+	d1 := s.Agg.groups[1].raidStats.BlocksWritten - pre1
+	d2 := s.Agg.groups[2].raidStats.BlocksWritten
+	if d2 <= d0 || d2 <= d1 {
+		t.Fatalf("new group got %d blocks vs aged %d/%d", d2, d0, d1)
+	}
+	checkConsistency(t, s)
+
+	// Remount across growth keeps all groups operational.
+	ms := s.Agg.Remount(true)
+	if ms.Fallbacks != 0 {
+		t.Fatalf("fallbacks after growth = %d", ms.Fallbacks)
+	}
+	for i := 0; i < 5000; i++ {
+		s.Write(lun, uint64(rng.Intn(200000)), 1)
+	}
+	s.CP()
+	s.Agg.CompleteBackgroundFill()
+	s.CP()
+	checkConsistency(t, s)
+}

@@ -1,0 +1,204 @@
+package wafl
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/device"
+)
+
+// SMR + AZCS behaviour at the wafl layer (the Fig. 9 mechanism, unit-sized).
+func TestSMRAZCSBoundaryChecksumWrites(t *testing.T) {
+	build := func(stripesPerAA uint64) *System {
+		tun := DefaultTunables()
+		tun.CPEveryOps = 512
+		spec := GroupSpec{
+			DataDevices: 3, ParityDevices: 1, BlocksPerDevice: 1 << 16,
+			Media: aa.MediaSMR, ZoneBlocks: 4096, AZCS: true,
+			StripesPerAA: stripesPerAA,
+		}
+		s := NewSystem([]GroupSpec{spec},
+			[]VolSpec{{Name: "v", Blocks: 8 * aa.RAIDAgnosticBlocks}}, tun, 23)
+		lun := s.Agg.Vols()[0].CreateLUN("l", 60000)
+		for lba := uint64(0); lba+16 <= 60000; lba += 16 {
+			s.Write(lun, lba, 16)
+		}
+		s.CP()
+		return s
+	}
+
+	// Unaligned: 1024 stripes per AA is not a multiple of 63 data blocks,
+	// so every consumed AA ends mid-region and forces random checksum
+	// writes on each device.
+	unaligned := build(1024)
+	mU := unaligned.Agg.Groups()[0].Metrics()
+	if mU.AZCSRandom == 0 {
+		t.Fatal("unaligned AAs produced no random checksum writes")
+	}
+	if mU.AZCSSequential == 0 {
+		t.Fatal("no interior checksum blocks swept")
+	}
+
+	// Aligned: media-derived sizing rounds to a multiple of 63, so AA
+	// boundaries coincide with region boundaries.
+	aligned := build(0)
+	g := aligned.Agg.Groups()[0]
+	if g.Topology().StripesPerAA()%63 != 0 {
+		t.Fatalf("derived AA size %d not 63-aligned", g.Topology().StripesPerAA())
+	}
+	mA := g.Metrics()
+	if mA.AZCSRandom >= mU.AZCSRandom {
+		t.Fatalf("aligned random CS writes %d >= unaligned %d", mA.AZCSRandom, mU.AZCSRandom)
+	}
+	// SMR drives saw (almost) no interventions under sequential writes.
+	for _, d := range g.Devices() {
+		if smr, ok := d.(*device.SMR); ok && smr.Interventions() > 2 {
+			t.Fatalf("aligned config intervened %d times", smr.Interventions())
+		}
+	}
+}
+
+// TrimOnFree forwards frees to the SSD FTL, reducing merge copying.
+func TestTrimOnFreeReachesFTL(t *testing.T) {
+	tun := DefaultTunables()
+	tun.TrimOnFree = true
+	tun.CPEveryOps = 512
+	spec := GroupSpec{
+		DataDevices: 3, ParityDevices: 1, BlocksPerDevice: 1 << 15,
+		Media: aa.MediaSSD, EraseBlockBlocks: 512,
+	}
+	s := NewSystem([]GroupSpec{spec},
+		[]VolSpec{{Name: "v", Blocks: 4 * aa.RAIDAgnosticBlocks}}, tun, 24)
+	lun := s.Agg.Vols()[0].CreateLUN("l", 40000)
+	rng := rand.New(rand.NewSource(24))
+	for lba := uint64(0); lba < 40000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	for i := 0; i < 20000; i++ {
+		s.Write(lun, uint64(rng.Intn(40000)), 1)
+	}
+	s.CP()
+	ftl := s.FTLTotals()
+	if ftl.Trims == 0 {
+		t.Fatal("no trims reached the FTL despite TrimOnFree")
+	}
+	if ftl.Trims < 15000 {
+		t.Fatalf("trims = %d, expected roughly one per COW free", ftl.Trims)
+	}
+	checkConsistency(t, s)
+}
+
+// Cleaning on a nearly full system actually relocates blocks (the aged
+// fixtures elsewhere leave fully empty AAs at the heap top).
+func TestCleanerRelocatesOnFullSystem(t *testing.T) {
+	tun := DefaultTunables()
+	tun.CPEveryOps = 512
+	s := NewSystem(testSpecs(), []VolSpec{{Name: "v", Blocks: 16 * aa.RAIDAgnosticBlocks}}, tun, 25)
+	lun := s.Agg.Vols()[0].CreateLUN("l", 300000)
+	for lba := uint64(0); lba < 300000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 100000; i++ {
+		s.Write(lun, uint64(rng.Intn(300000)), 1)
+	}
+	s.CP()
+	// ~76% full: the best AAs are partially used.
+	busyBefore := s.Counters().DeviceBusy
+	st := s.CleanBestAAs(s.Agg.Groups()[0], 4)
+	if st.BlocksRelocated == 0 {
+		t.Fatalf("cleaner relocated nothing: %+v", st)
+	}
+	// Relocation reads were charged.
+	if s.Counters().DeviceBusy <= busyBefore {
+		t.Fatal("no device time charged for relocation reads")
+	}
+	s.CP()
+	checkConsistency(t, s)
+	// The cleaned AAs are now completely empty and sit atop the heap.
+	best, _ := s.Agg.Groups()[0].Cache().Best()
+	if best.Score != aaBlockCount(s.Agg.Groups()[0].Topology(), best.ID) {
+		t.Fatalf("best AA after cleaning scores %d (not empty)", best.Score)
+	}
+}
+
+// Volume metrics accessors behave through the public surface.
+func TestVolMetricsAccessors(t *testing.T) {
+	s := testSystem(t, DefaultTunables())
+	vol := s.Agg.Vols()[0]
+	lun := vol.CreateLUN("l", 5000)
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	m := vol.Metrics()
+	if m.AllocatedBlocks != 5000 || m.ScannedBlocks < 5000 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.PickedScoreFraction <= 0 {
+		t.Fatal("no pick recorded")
+	}
+	if vol.Blocks() == 0 || vol.UsedFraction() <= 0 || vol.Bitmap().Used() != 5000 {
+		t.Fatal("accessors wrong")
+	}
+	if vol.LUN("l") != lun || vol.LUN("missing") != nil {
+		t.Fatal("LUN lookup wrong")
+	}
+	vol.ResetMetrics()
+	if vol.Metrics().AllocatedBlocks != 0 {
+		t.Fatal("reset did not clear")
+	}
+	// Aggregate accessors.
+	if s.Agg.Tunables().CPEveryOps == 0 || s.Agg.UsedFraction() <= 0 {
+		t.Fatal("aggregate accessors wrong")
+	}
+	if s.Agg.Bitmap() == nil || s.Agg.Store() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+// §2.4's read-side claim: data written as long chains reads back with few
+// I/Os, while fragmented data costs one I/O per block.
+func TestSequentialReadCoalescing(t *testing.T) {
+	s := testSystem(t, DefaultTunables())
+	lun := s.Agg.Vols()[0].CreateLUN("l", 40000)
+	// Sequentially written data lands physically contiguous.
+	for lba := uint64(0); lba < 8192; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	g := s.Agg.Groups()[0]
+	readIOs := func() uint64 {
+		var n uint64
+		for _, d := range g.Devices() {
+			if st, ok := d.(interface{ Stats() device.DiskStats }); ok {
+				n += st.Stats().ReadIOs
+			}
+		}
+		return n
+	}
+	before := readIOs()
+	s.Read(lun, 0, 256)
+	seqIOs := readIOs() - before
+	// 256 logically+physically sequential blocks: a handful of chained
+	// reads (device-range splits only), not 256.
+	if seqIOs > 8 {
+		t.Fatalf("sequential read used %d I/Os for 256 blocks", seqIOs)
+	}
+
+	// Now fragment: random overwrites scatter the physical layout.
+	rng := rand.New(rand.NewSource(27))
+	for i := 0; i < 40000; i++ {
+		s.Write(lun, uint64(rng.Intn(8192)), 1)
+	}
+	s.CP()
+	before = readIOs()
+	allBefore := s.Counters().DeviceBusy
+	s.Read(lun, 0, 256)
+	fragIOs := readIOs() - before
+	_ = allBefore
+	if fragIOs < 10*seqIOs {
+		t.Fatalf("fragmented read used %d I/Os vs sequential %d — no contrast", fragIOs, seqIOs)
+	}
+}

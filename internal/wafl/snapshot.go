@@ -1,0 +1,209 @@
+package wafl
+
+import (
+	"fmt"
+	"sort"
+
+	"waflfs/internal/block"
+)
+
+// Snapshots. WAFL's copy-on-write design makes snapshot creation cheap — a
+// snapshot is just a pinned copy of the block pointers (§1) — and snapshot
+// deletion frees large batches of blocks at once, which is one of the
+// internal activities that "further adds to the nonuniformity" of free
+// space the AA caches exploit (§4.1.1).
+//
+// Reference counting: every written LUN block (a virtual+physical VBN pair)
+// carries a count of referents — the active LUN image plus any snapshots.
+// A COW overwrite or hole punch drops the active reference; the pair's
+// storage is freed only when the last reference goes.
+
+// refcounts lives in the FlexVol, keyed by virtual VBN (each pair is
+// uniquely identified by its virtual address within the volume).
+func (v *FlexVol) refs() map[block.VBN]int32 {
+	if v.rc == nil {
+		v.rc = make(map[block.VBN]int32)
+	}
+	return v.rc
+}
+
+// refNew registers a freshly allocated pair with one reference.
+func (v *FlexVol) refNew(virt block.VBN) {
+	rc := v.refs()
+	if _, dup := rc[virt]; dup {
+		panic(fmt.Sprintf("wafl: virtual %v already referenced", virt))
+	}
+	rc[virt] = 1
+}
+
+// ref adds a reference to an existing pair.
+func (v *FlexVol) ref(virt block.VBN) {
+	rc := v.refs()
+	n, ok := rc[virt]
+	if !ok {
+		panic(fmt.Sprintf("wafl: ref of unknown virtual %v", virt))
+	}
+	rc[virt] = n + 1
+}
+
+// unref drops one reference; when the last goes, both VBNs are freed and
+// the function reports true.
+func (s *System) unref(v *FlexVol, p blockPtr) bool {
+	rc := v.refs()
+	n, ok := rc[p.virt]
+	if !ok {
+		panic(fmt.Sprintf("wafl: unref of unknown virtual %v", p.virt))
+	}
+	if n > 1 {
+		rc[p.virt] = n - 1
+		return false
+	}
+	delete(rc, p.virt)
+	v.space.free(p.virt)
+	s.Agg.FreePhysical(p.phys)
+	s.c.BlocksFreed++
+	return true
+}
+
+// Snapshot is a point-in-time image of one LUN.
+type Snapshot struct {
+	Name   string
+	blocks []blockPtr
+}
+
+// Blocks returns how many written blocks the snapshot references.
+func (sn *Snapshot) Blocks() int {
+	n := 0
+	for _, p := range sn.blocks {
+		if p.virt != block.InvalidVBN {
+			n++
+		}
+	}
+	return n
+}
+
+// CreateSnapshot captures the LUN's current image under name. It must run
+// at a CP boundary (in WAFL a snapshot is a CP that is preserved). The
+// operation copies only pointers; no data blocks move.
+func (s *System) CreateSnapshot(l *LUN, name string) *Snapshot {
+	if s.pendingBlocks > 0 {
+		panic("wafl: CreateSnapshot must run at a CP boundary")
+	}
+	if l.snaps == nil {
+		l.snaps = make(map[string]*Snapshot)
+	}
+	if _, dup := l.snaps[name]; dup {
+		panic(fmt.Sprintf("wafl: duplicate snapshot %q on LUN %q", name, l.Name))
+	}
+	sn := &Snapshot{Name: name, blocks: append([]blockPtr(nil), l.blocks...)}
+	for _, p := range sn.blocks {
+		if p.virt != block.InvalidVBN {
+			l.vol.ref(p.virt)
+		}
+	}
+	l.snaps[name] = sn
+	return sn
+}
+
+// Snapshot returns the named snapshot, or nil.
+func (l *LUN) Snapshot(name string) *Snapshot { return l.snaps[name] }
+
+// SnapshotNames lists the LUN's snapshots in sorted order.
+func (l *LUN) SnapshotNames() []string {
+	out := make([]string, 0, len(l.snaps))
+	for n := range l.snaps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteSnapshot removes a snapshot, freeing every block whose last
+// reference it held — the bulk-free behaviour whose batched AA score
+// updates the caches absorb at the next CP. Returns the number of blocks
+// actually freed. Must run at a CP boundary.
+func (s *System) DeleteSnapshot(l *LUN, name string) int {
+	if s.pendingBlocks > 0 {
+		panic("wafl: DeleteSnapshot must run at a CP boundary")
+	}
+	sn, ok := l.snaps[name]
+	if !ok {
+		panic(fmt.Sprintf("wafl: no snapshot %q on LUN %q", name, l.Name))
+	}
+	freed := 0
+	for _, p := range sn.blocks {
+		if p.virt != block.InvalidVBN && s.unref(l.vol, p) {
+			freed++
+		}
+	}
+	delete(l.snaps, name)
+	return freed
+}
+
+// RestoreSnapshot rolls the LUN's active image back to the snapshot
+// (SnapRestore): the current image's references are dropped and the
+// snapshot's pointers become the active ones. The snapshot itself remains.
+// Must run at a CP boundary.
+func (s *System) RestoreSnapshot(l *LUN, name string) {
+	if s.pendingBlocks > 0 {
+		panic("wafl: RestoreSnapshot must run at a CP boundary")
+	}
+	sn, ok := l.snaps[name]
+	if !ok {
+		panic(fmt.Sprintf("wafl: no snapshot %q on LUN %q", name, l.Name))
+	}
+	// Take the new references first so blocks shared between the current
+	// image and the snapshot never transit through zero.
+	for _, p := range sn.blocks {
+		if p.virt != block.InvalidVBN {
+			l.vol.ref(p.virt)
+		}
+	}
+	for _, p := range l.blocks {
+		if p.virt != block.InvalidVBN {
+			s.unref(l.vol, p)
+		}
+	}
+	copy(l.blocks, sn.blocks)
+}
+
+// CheckRefcounts verifies the volume-wide refcount invariant: every
+// allocated virtual VBN is referenced by exactly rc holders among the
+// active LUN images and snapshots, and every reference points at an
+// allocated pair. Tests call this after snapshot workloads.
+func (v *FlexVol) CheckRefcounts() error {
+	census := make(map[block.VBN]int32)
+	for _, l := range v.luns {
+		for _, p := range l.blocks {
+			if p.virt != block.InvalidVBN {
+				census[p.virt]++
+			}
+		}
+		for _, sn := range l.snaps {
+			for _, p := range sn.blocks {
+				if p.virt != block.InvalidVBN {
+					census[p.virt]++
+				}
+			}
+		}
+	}
+	rc := v.refs()
+	if len(census) != len(rc) {
+		return fmt.Errorf("refcount census %d entries, rc map %d", len(census), len(rc))
+	}
+	for virt, n := range census {
+		if rc[virt] != n {
+			return fmt.Errorf("virtual %v: rc %d, census %d", virt, rc[virt], n)
+		}
+		if !v.bm.Test(virt) {
+			return fmt.Errorf("virtual %v referenced but not allocated", virt)
+		}
+	}
+	// Blocks queued for delayed free are still allocated in the bitmap but
+	// referenced by nobody.
+	if uint64(len(census)+v.PendingFrees()) != v.bm.Used() {
+		return fmt.Errorf("census %d + pending %d blocks, bitmap used %d",
+			len(census), v.PendingFrees(), v.bm.Used())
+	}
+	return nil
+}

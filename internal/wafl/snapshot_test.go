@@ -1,0 +1,270 @@
+package wafl
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/block"
+)
+
+func snapFixture(t *testing.T) (*System, *LUN) {
+	t.Helper()
+	s := testSystem(t, DefaultTunables())
+	lun := s.Agg.Vols()[0].CreateLUN("lun0", 20000)
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	return s, lun
+}
+
+func TestSnapshotPinsBlocks(t *testing.T) {
+	s, lun := snapFixture(t)
+	vol := s.Agg.Vols()[0]
+	usedBefore := s.Agg.bm.Used()
+
+	sn := s.CreateSnapshot(lun, "snap1")
+	if sn.Blocks() != 5000 {
+		t.Fatalf("snapshot holds %d blocks", sn.Blocks())
+	}
+	// Snapshot creation allocates nothing.
+	if s.Agg.bm.Used() != usedBefore {
+		t.Fatal("snapshot creation moved data")
+	}
+	// Overwrite everything: COW must NOT free the snapshot's blocks.
+	oldPhys := lun.Phys(0)
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	if !s.Agg.bm.Test(oldPhys) {
+		t.Fatal("snapshot-held physical block was freed by overwrite")
+	}
+	if s.Agg.bm.Used() != 2*5000 {
+		t.Fatalf("used = %d, want 10000 (live + snapshot)", s.Agg.bm.Used())
+	}
+	if err := vol.CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistencyWithSnapshots(t, s)
+}
+
+func TestSnapshotDeleteFreesBulk(t *testing.T) {
+	s, lun := snapFixture(t)
+	s.CreateSnapshot(lun, "snap1")
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	freed := s.DeleteSnapshot(lun, "snap1")
+	if freed != 5000 {
+		t.Fatalf("delete freed %d, want 5000", freed)
+	}
+	s.CP()
+	if s.Agg.bm.Used() != 5000 {
+		t.Fatalf("used = %d after delete", s.Agg.bm.Used())
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistency(t, s) // no snapshots remain; strict check applies
+}
+
+func TestSnapshotDeleteRespectsSharedBlocks(t *testing.T) {
+	s, lun := snapFixture(t)
+	s.CreateSnapshot(lun, "snap1")
+	// Overwrite only half; the other half stays shared between the active
+	// image and the snapshot.
+	for lba := uint64(0); lba < 2500; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	freed := s.DeleteSnapshot(lun, "snap1")
+	if freed != 2500 {
+		t.Fatalf("delete freed %d, want 2500 (only the diverged half)", freed)
+	}
+	// Shared blocks remain readable through the active image.
+	if !s.Agg.bm.Test(lun.Phys(4000)) {
+		t.Fatal("shared block freed by snapshot delete")
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleSnapshotsRefcounting(t *testing.T) {
+	s, lun := snapFixture(t)
+	s.CreateSnapshot(lun, "a")
+	for lba := uint64(0); lba < 1000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	s.CreateSnapshot(lun, "b")
+	for lba := uint64(1000); lba < 2000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	if got := lun.SnapshotNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("snapshots = %v", got)
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a frees only blocks unique to a (LBAs 0..1000 old copies).
+	freedA := s.DeleteSnapshot(lun, "a")
+	if freedA != 1000 {
+		t.Fatalf("delete a freed %d, want 1000", freedA)
+	}
+	freedB := s.DeleteSnapshot(lun, "b")
+	if freedB != 1000 {
+		t.Fatalf("delete b freed %d, want 1000", freedB)
+	}
+	if s.Agg.bm.Used() != 5000 {
+		t.Fatalf("used = %d after all deletes", s.Agg.bm.Used())
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreSnapshot(t *testing.T) {
+	s, lun := snapFixture(t)
+	origPhys := lun.Phys(100)
+	s.CreateSnapshot(lun, "before")
+	for lba := uint64(0); lba < 5000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	if lun.Phys(100) == origPhys {
+		t.Fatal("overwrite did not move the block")
+	}
+	s.RestoreSnapshot(lun, "before")
+	if lun.Phys(100) != origPhys {
+		t.Fatalf("restore did not roll back: %v != %v", lun.Phys(100), origPhys)
+	}
+	// The post-snapshot writes' blocks were freed by the restore.
+	s.CP()
+	if s.Agg.bm.Used() != 5000 {
+		t.Fatalf("used = %d after restore", s.Agg.bm.Used())
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot still exists and can be deleted; shared blocks survive.
+	s.DeleteSnapshot(lun, "before")
+	if !s.Agg.bm.Test(lun.Phys(100)) {
+		t.Fatal("active block freed by post-restore snapshot delete")
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPanics(t *testing.T) {
+	s, lun := snapFixture(t)
+	s.CreateSnapshot(lun, "x")
+	for name, f := range map[string]func(){
+		"duplicate":       func() { s.CreateSnapshot(lun, "x") },
+		"delete missing":  func() { s.DeleteSnapshot(lun, "nope") },
+		"restore missing": func() { s.RestoreSnapshot(lun, "nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// Mid-CP operations panic.
+	s.Write(lun, 0, 1)
+	for name, f := range map[string]func(){
+		"create mid-CP":  func() { s.CreateSnapshot(lun, "y") },
+		"delete mid-CP":  func() { s.DeleteSnapshot(lun, "x") },
+		"restore mid-CP": func() { s.RestoreSnapshot(lun, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCleanerRelocatesSnapshotBlocks(t *testing.T) {
+	s, lun := snapFixture(t)
+	s.CreateSnapshot(lun, "pinned")
+	// Diverge, then fragment to give the cleaner work.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 8000; i++ {
+		s.Write(lun, uint64(rng.Intn(20000)), 1)
+	}
+	s.CP()
+	st := s.CleanBestAAs(s.Agg.groups[0], 6)
+	s.CP()
+	_ = st
+	// Snapshot pointers must have followed any relocations: every snapshot
+	// physical block is still allocated.
+	sn := lun.Snapshot("pinned")
+	for _, p := range sn.blocks {
+		if p.phys != block.InvalidVBN && !s.Agg.bm.Test(p.phys) {
+			t.Fatalf("snapshot references freed physical %v", p.phys)
+		}
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the snapshot after cleaning stays consistent.
+	s.DeleteSnapshot(lun, "pinned")
+	s.CP()
+	checkConsistency(t, s)
+}
+
+// Snapshot deletion creates the nonuniform free space the paper mentions
+// (§4.1.1): after deleting a snapshot, AA scores diverge and the cache's
+// best pick improves.
+func TestSnapshotDeleteImprovesBestAA(t *testing.T) {
+	s, lun := snapFixture(t)
+	// Fill most of the aggregate so scores are meaningful.
+	for lba := uint64(5000); lba < 20000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	s.CreateSnapshot(lun, "big")
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20000; i++ {
+		s.Write(lun, uint64(rng.Intn(20000)), 1)
+	}
+	s.CP()
+	bestBefore, _ := s.Agg.groups[0].cache.Best()
+	s.DeleteSnapshot(lun, "big")
+	s.CP()
+	bestAfter, _ := s.Agg.groups[0].cache.Best()
+	if bestAfter.Score < bestBefore.Score {
+		t.Fatalf("best AA score fell after snapshot delete: %d -> %d",
+			bestBefore.Score, bestAfter.Score)
+	}
+	if err := s.Agg.Vols()[0].CheckRefcounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkConsistencyWithSnapshots relaxes checkConsistency's "aggregate used
+// equals active LUN blocks" to include snapshot references.
+func checkConsistencyWithSnapshots(t *testing.T, s *System) {
+	t.Helper()
+	var refs uint64
+	for _, v := range s.Agg.vols {
+		if err := v.CheckRefcounts(); err != nil {
+			t.Fatal(err)
+		}
+		refs += v.bm.Used()
+	}
+	if s.Agg.bm.Used() != refs {
+		t.Fatalf("aggregate used %d != virtual used %d", s.Agg.bm.Used(), refs)
+	}
+}

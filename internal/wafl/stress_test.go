@@ -1,0 +1,115 @@
+package wafl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+// A long randomized soak across every feature at once: multiple volumes and
+// LUNs, snapshots, hole punching, remounts, background fill, segment
+// cleaning, and growth — asserting the global invariants after every phase.
+func TestMultiVolumeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tun := DefaultTunables()
+	tun.CPEveryOps = 512
+	tun.MinAAScoreFraction = 0.05
+	s := NewSystem(testSpecs(), []VolSpec{
+		{Name: "vol0", Blocks: 8 * aa.RAIDAgnosticBlocks},
+		{Name: "vol1", Blocks: 8 * aa.RAIDAgnosticBlocks},
+		{Name: "vol2", Blocks: 16 * aa.RAIDAgnosticBlocks},
+	}, tun, 77)
+
+	rng := rand.New(rand.NewSource(77))
+	var luns []*LUN
+	for vi, v := range s.Agg.Vols() {
+		for li := 0; li < 2; li++ {
+			luns = append(luns, v.CreateLUN(fmt.Sprintf("lun%d-%d", vi, li), 40000))
+		}
+	}
+	checkAll := func(phase string) {
+		t.Helper()
+		var virtUsed uint64
+		for _, v := range s.Agg.Vols() {
+			if err := v.CheckRefcounts(); err != nil {
+				t.Fatalf("%s: %v", phase, err)
+			}
+			virtUsed += v.Bitmap().Used()
+		}
+		if s.Agg.Bitmap().Used() != virtUsed {
+			t.Fatalf("%s: aggregate used %d != virtual used %d",
+				phase, s.Agg.Bitmap().Used(), virtUsed)
+		}
+	}
+
+	// Phase 1: interleaved traffic across all LUNs.
+	for i := 0; i < 120000; i++ {
+		l := luns[rng.Intn(len(luns))]
+		s.Write(l, uint64(rng.Intn(39997)), 1+rng.Intn(3))
+	}
+	s.CP()
+	checkAll("initial churn")
+
+	// Phase 2: snapshots on half the LUNs, then more churn.
+	for i := 0; i < len(luns); i += 2 {
+		s.CreateSnapshot(luns[i], "soak")
+	}
+	for i := 0; i < 60000; i++ {
+		l := luns[rng.Intn(len(luns))]
+		s.Write(l, uint64(rng.Intn(40000)), 1)
+	}
+	s.CP()
+	checkAll("post-snapshot churn")
+
+	// Phase 3: punch holes, delete snapshots.
+	for i, l := range luns {
+		s.PunchHoles(l, func(lba uint64) bool { return rng.Float64() < 0.2 })
+		if i%2 == 0 {
+			s.DeleteSnapshot(l, "soak")
+		}
+	}
+	s.CP()
+	checkAll("punch + snapshot delete")
+
+	// Phase 4: crash, seeded remount, serve, background fill.
+	s.Agg.Remount(true)
+	for i := 0; i < 20000; i++ {
+		l := luns[rng.Intn(len(luns))]
+		s.Write(l, uint64(rng.Intn(40000)), 1)
+	}
+	s.CP()
+	s.Agg.CompleteBackgroundFill()
+	s.CP()
+	checkAll("post-remount")
+	checkConsistency(t, s) // full cache-vs-bitmap agreement
+
+	// Phase 5: clean the best AAs of each group, grow the aggregate, and
+	// keep writing.
+	for _, g := range s.Agg.Groups() {
+		s.CleanBestAAs(g, 4)
+	}
+	s.CP()
+	s.Agg.AddGroup(testSpecs()[0])
+	s.CP()
+	for i := 0; i < 40000; i++ {
+		l := luns[rng.Intn(len(luns))]
+		s.Write(l, uint64(rng.Intn(40000)), 1)
+	}
+	s.CP()
+	checkAll("post-clean + growth")
+	checkConsistency(t, s)
+
+	// Global conservation.
+	c := s.Counters()
+	if c.BlocksWritten-c.BlocksFreed != s.Agg.Bitmap().Used() {
+		t.Fatalf("conservation: written %d - freed %d != used %d",
+			c.BlocksWritten, c.BlocksFreed, s.Agg.Bitmap().Used())
+	}
+	if c.CPs == 0 || c.MetafilePages == 0 || c.TopAABlocks == 0 {
+		t.Fatalf("counters incomplete: %+v", c)
+	}
+}

@@ -1,0 +1,373 @@
+package wafl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+	"waflfs/internal/device"
+)
+
+// System is the client-facing facade: it accepts LUN reads and writes,
+// buffers modifications, and flushes them in consistency points (§2.1:
+// "WAFL collects the results of thousands of such modifying operations and
+// efficiently flushes the changes to persistent storage"). It also owns the
+// CPU cost accounting the experiments measure.
+type System struct {
+	Agg *Aggregate
+	tun Tunables
+
+	// pending holds the coalesced dirty blocks of the current CP, per LUN.
+	pending map[*LUN]map[uint64]struct{}
+	// pendingBlocks counts dirty (lun, lba) pairs across the buffer.
+	pendingBlocks int
+	opsSinceCP    int
+
+	c Counters
+}
+
+// deviceStatser is satisfied by all concrete device models.
+type deviceStatser interface{ Stats() device.DiskStats }
+
+// Counters are the cumulative measurement counters; experiments snapshot
+// them before and after a run and subtract.
+type Counters struct {
+	Ops    uint64 // all client operations
+	ModOps uint64 // modifying operations
+	CPs    uint64
+
+	CPUTime       time.Duration // WAFL code-path CPU (base + metafile + cache)
+	CacheCPUTime  time.Duration // the cache-maintenance share of CPUTime
+	MetafilePages uint64        // bitmap-metafile pages written back
+	TopAABlocks   uint64        // TopAA metafile blocks written
+	DeviceBusy    time.Duration // total device time (writes, parity, reads)
+	BlocksWritten uint64        // physical blocks allocated and flushed
+	BlocksFreed   uint64
+}
+
+// Sub returns c - o field-wise.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Ops:           c.Ops - o.Ops,
+		ModOps:        c.ModOps - o.ModOps,
+		CPs:           c.CPs - o.CPs,
+		CPUTime:       c.CPUTime - o.CPUTime,
+		CacheCPUTime:  c.CacheCPUTime - o.CacheCPUTime,
+		MetafilePages: c.MetafilePages - o.MetafilePages,
+		TopAABlocks:   c.TopAABlocks - o.TopAABlocks,
+		DeviceBusy:    c.DeviceBusy - o.DeviceBusy,
+		BlocksWritten: c.BlocksWritten - o.BlocksWritten,
+		BlocksFreed:   c.BlocksFreed - o.BlocksFreed,
+	}
+}
+
+// CPUPerOp returns the mean WAFL code-path cost per operation.
+func (c Counters) CPUPerOp() time.Duration {
+	if c.Ops == 0 {
+		return 0
+	}
+	return c.CPUTime / time.Duration(c.Ops)
+}
+
+// NewSystem builds a System over a fresh aggregate.
+func NewSystem(specs []GroupSpec, vols []VolSpec, tun Tunables, seed int64) *System {
+	ag := NewAggregate(specs, tun, seed)
+	for _, vs := range vols {
+		ag.AddVolume(vs)
+	}
+	return &System{
+		Agg:     ag,
+		tun:     ag.tun,
+		pending: make(map[*LUN]map[uint64]struct{}),
+	}
+}
+
+// Counters returns the cumulative counters.
+func (s *System) Counters() Counters { return s.c }
+
+// Write records a client write of nblocks logical blocks of l starting at
+// lba. The blocks become dirty in the current CP; allocation happens when
+// the CP commits, as in WAFL. Overwrites of the same block within one CP
+// coalesce.
+func (s *System) Write(l *LUN, lba uint64, nblocks int) {
+	if lba+uint64(nblocks) > l.Blocks() {
+		panic(fmt.Sprintf("wafl: write [%d,%d) beyond LUN %q size %d", lba, lba+uint64(nblocks), l.Name, l.Blocks()))
+	}
+	m, ok := s.pending[l]
+	if !ok {
+		m = make(map[uint64]struct{})
+		s.pending[l] = m
+	}
+	for i := 0; i < nblocks; i++ {
+		if _, dup := m[lba+uint64(i)]; !dup {
+			m[lba+uint64(i)] = struct{}{}
+			s.pendingBlocks++
+		}
+	}
+	s.c.Ops++
+	s.c.ModOps++
+	s.c.CPUTime += s.tun.CPUBasePerOp
+	s.opsSinceCP++
+	if s.opsSinceCP >= s.tun.CPEveryOps {
+		s.CP()
+	}
+}
+
+// Read services a client read of nblocks logical blocks, charging the
+// owning devices. Logically consecutive blocks whose physical VBNs are also
+// consecutive coalesce into one device I/O — the read-side payoff of long
+// write chains ("writing logically sequential blocks of the file system to
+// consecutive blocks of a storage device ... improves subsequent sequential
+// read performance because the blocks can be read with a single I/O",
+// §2.4). Unwritten blocks read as zeroes and touch no device.
+func (s *System) Read(l *LUN, lba uint64, nblocks int) {
+	if lba+uint64(nblocks) > l.Blocks() {
+		panic(fmt.Sprintf("wafl: read [%d,%d) beyond LUN %q size %d", lba, lba+uint64(nblocks), l.Name, l.Blocks()))
+	}
+	s.c.Ops++
+	s.c.CPUTime += s.tun.CPUBasePerOp
+	// Gather the op's physical blocks and coalesce per device, exactly as a
+	// RAID read engine does: striped sequential data becomes one contiguous
+	// DBN chain per device.
+	var poolRun []block.VBN
+	perDev := make(map[devKey][]uint64)
+	for i := 0; i < nblocks; i++ {
+		p := l.Phys(lba + uint64(i))
+		if p == block.InvalidVBN {
+			continue
+		}
+		if s.Agg.pool != nil && s.Agg.pool.Contains(p) {
+			poolRun = append(poolRun, p)
+			continue
+		}
+		g := s.Agg.groupOf(p)
+		d, dbn := g.geo.Locate(p)
+		perDev[devKey{g, d}] = append(perDev[devKey{g, d}], dbn)
+	}
+	// Pool blocks: one range GET per contiguous VBN run.
+	sortVBNs(poolRun)
+	for i := 0; i < len(poolRun); {
+		j := i + 1
+		for j < len(poolRun) && poolRun[j] == poolRun[j-1]+1 {
+			j++
+		}
+		s.c.DeviceBusy += s.Agg.pool.read(uint64(j - i))
+		i = j
+	}
+	for key, dbns := range perDev {
+		sortUint64s(dbns)
+		for i := 0; i < len(dbns); {
+			j := i + 1
+			for j < len(dbns) && dbns[j] == dbns[j-1]+1 {
+				j++
+			}
+			start, n := dbns[i], uint64(j-i)
+			if key.g.azcs {
+				diskStart := device.DataToDiskDBN(start)
+				diskLen := device.DataToDiskDBN(start+n-1) - diskStart + 1
+				s.c.DeviceBusy += key.g.devices[key.d].Read(diskLen)
+			} else {
+				s.c.DeviceBusy += key.g.devices[key.d].Read(n)
+			}
+			i = j
+		}
+	}
+}
+
+// devKey identifies one data device for read coalescing.
+type devKey struct {
+	g *Group
+	d int
+}
+
+func sortVBNs(xs []block.VBN) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// CP commits the current consistency point: dirty blocks get their dual
+// VBNs (virtual from each volume's HBPS-guided allocator, physical from the
+// tetris round-robin over RAID groups), previous block versions are freed
+// (COW), tetrises are flushed, caches updated, metafiles written back.
+func (s *System) CP() CPStats {
+	cacheOpsBefore := s.cacheOps()
+	scanBefore := s.virtScanBlocks()
+
+	// Phase 1: write allocation + COW frees, volume by volume.
+	for l, dirty := range s.pending {
+		n := len(dirty)
+		if n == 0 {
+			continue
+		}
+		vol := l.vol
+		virt := vol.space.allocate(n)
+		var phys []block.VBN
+		if s.tun.FlashPool {
+			phys = s.Agg.AllocatePhysicalPreferring(aa.MediaSSD, n)
+		} else {
+			phys = s.Agg.AllocatePhysical(n)
+		}
+		if len(virt) < n {
+			panic(fmt.Sprintf("wafl: volume %q out of virtual space", vol.Name))
+		}
+		if len(phys) < n {
+			panic("wafl: aggregate out of physical space")
+		}
+		// Deterministic iteration: sort the dirty LBAs.
+		lbas := make([]uint64, 0, n)
+		for lba := range dirty {
+			lbas = append(lbas, lba)
+		}
+		sortUint64s(lbas)
+		for i, lba := range lbas {
+			vol.refNew(virt[i])
+			old, wasWritten := l.install(lba, blockPtr{virt: virt[i], phys: phys[i]})
+			if wasWritten {
+				// COW: drop the active image's reference; the old pair is
+				// freed unless a snapshot still holds it.
+				s.unref(vol, old)
+			}
+		}
+		s.c.BlocksWritten += uint64(n)
+		delete(s.pending, l)
+	}
+	s.pendingBlocks = 0
+	s.opsSinceCP = 0
+
+	// Phase 1.5: apply queued delayed frees, most-pending-AA-first.
+	for _, v := range s.Agg.vols {
+		v.space.reclaimDelayedFrees(s.tun.DelayedFreeBudgetPerCP)
+	}
+
+	// Phase 2: flush.
+	st := s.Agg.CommitCP()
+	s.c.CPs++
+	s.c.DeviceBusy += st.DeviceBusy
+	pages := uint64(st.MetafilePagesAggregate + st.MetafilePagesVols)
+	s.c.MetafilePages += pages
+	s.c.TopAABlocks += uint64(st.TopAABlocks)
+	s.c.CPUTime += time.Duration(pages) * s.tun.CPUPerMetafilePage
+	s.c.CPUTime += time.Duration(s.virtScanBlocks()-scanBefore) * s.tun.CPUPerVirtAllocScan
+	cacheCPU := time.Duration(s.cacheOps()-cacheOpsBefore) * s.tun.CPUPerCacheOp
+	s.c.CPUTime += cacheCPU
+	s.c.CacheCPUTime += cacheCPU
+	return st
+}
+
+// virtScanBlocks sums the virtual allocation cursors' cumulative sweep
+// lengths across volumes.
+func (s *System) virtScanBlocks() uint64 {
+	var n uint64
+	for _, v := range s.Agg.vols {
+		n += v.space.scannedBlocks
+	}
+	return n
+}
+
+// PunchHoles deallocates every written LUN block whose LBA the predicate
+// selects, freeing both its virtual and physical VBNs (the effect of a SCSI
+// UNMAP or of deleting file ranges). It must be called between CPs; the
+// score updates batch into the next CP as usual. Returns the number of
+// blocks freed.
+func (s *System) PunchHoles(l *LUN, select_ func(lba uint64) bool) int {
+	if s.pendingBlocks > 0 {
+		panic("wafl: PunchHoles must run at a CP boundary")
+	}
+	freed := 0
+	for lba := range l.blocks {
+		p := l.blocks[lba]
+		if p.phys == block.InvalidVBN || !select_(uint64(lba)) {
+			continue
+		}
+		if s.unref(l.vol, p) {
+			freed++
+		}
+		l.blocks[lba] = blockPtr{virt: block.InvalidVBN, phys: block.InvalidVBN}
+	}
+	return freed
+}
+
+// cacheOps sums the cumulative AA-cache maintenance operations across all
+// caches.
+func (s *System) cacheOps() uint64 {
+	var n uint64
+	for _, g := range s.Agg.groups {
+		n += g.cacheOps
+	}
+	for _, v := range s.Agg.vols {
+		n += v.space.cacheOps
+	}
+	if s.Agg.pool != nil {
+		n += s.Agg.pool.space.cacheOps
+	}
+	return n
+}
+
+// DeviceBusyTimes returns each data device's cumulative busy time, grouped
+// by RAID group — the per-device service demands the MVA model consumes.
+func (s *System) DeviceBusyTimes() [][]time.Duration {
+	out := make([][]time.Duration, len(s.Agg.groups))
+	for gi, g := range s.Agg.groups {
+		times := make([]time.Duration, 0, len(g.devices)+1)
+		for _, d := range g.devices {
+			if st, ok := d.(deviceStatser); ok {
+				times = append(times, st.Stats().BusyTime)
+			}
+		}
+		if st, ok := g.parity.(deviceStatser); ok {
+			times = append(times, st.Stats().BusyTime)
+		}
+		out[gi] = times
+	}
+	return out
+}
+
+// WriteAmplification averages FTL write amplification over all SSD groups
+// (0 if the aggregate has none).
+func (s *System) WriteAmplification() float64 {
+	var sum float64
+	var n int
+	for _, g := range s.Agg.groups {
+		if wa := g.WriteAmplification(); wa > 0 {
+			sum += wa
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func sortUint64s(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// ResetMetrics zeroes the measurement counters of every group and volume
+// allocator (the cumulative Counters are unaffected; snapshot those with
+// Counters and subtract).
+func (s *System) ResetMetrics() {
+	for _, g := range s.Agg.groups {
+		g.ResetMetrics()
+	}
+	for _, v := range s.Agg.vols {
+		v.ResetMetrics()
+	}
+}
+
+// FTLTotals sums FTL accounting across every SSD data device in the
+// aggregate, so experiments can compute write amplification over a
+// measurement window by delta.
+func (s *System) FTLTotals() device.FTLStats {
+	var t device.FTLStats
+	for _, g := range s.Agg.groups {
+		gt := g.FTLTotals()
+		t.HostWrites += gt.HostWrites
+		t.NANDWrites += gt.NANDWrites
+		t.Relocated += gt.Relocated
+		t.Erases += gt.Erases
+		t.Trims += gt.Trims
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+// Package workload implements the client workloads of the paper's
+// evaluation (§4): random LUN overwrites over Fibre Channel (worst-case
+// COW fragmentation), an OLTP-style random read/write mix, sequential
+// writes, and the aging procedures that fill and fragment a file system
+// before measurement.
+package workload
+
+import (
+	"math/rand"
+
+	"waflfs/internal/wafl"
+)
+
+// RandomOverwrite issues ops random overwrites, each of opBlocks logical
+// blocks, uniformly across the given LUNs. Random overwrites create
+// worst-case fragmentation in a COW file system because every overwrite
+// frees the previously used block (§4.1).
+func RandomOverwrite(s *wafl.System, luns []*wafl.LUN, rng *rand.Rand, ops, opBlocks int) {
+	for i := 0; i < ops; i++ {
+		l := luns[rng.Intn(len(luns))]
+		maxStart := l.Blocks() - uint64(opBlocks)
+		s.Write(l, uint64(rng.Int63n(int64(maxStart+1))), opBlocks)
+	}
+}
+
+// OLTP models the internal OLTP benchmark of §4.2: predominantly random
+// read and write I/O typical of database query and update traffic.
+type OLTP struct {
+	// ReadFraction is the fraction of operations that are reads.
+	ReadFraction float64
+	// OpBlocks is the I/O size in 4KiB blocks.
+	OpBlocks int
+}
+
+// DefaultOLTP returns a 2:1 read-to-write mix of 4KiB operations.
+func DefaultOLTP() OLTP { return OLTP{ReadFraction: 0.67, OpBlocks: 1} }
+
+// Run issues ops operations of the mix across the LUNs.
+func (o OLTP) Run(s *wafl.System, luns []*wafl.LUN, rng *rand.Rand, ops int) {
+	nb := o.OpBlocks
+	if nb <= 0 {
+		nb = 1
+	}
+	for i := 0; i < ops; i++ {
+		l := luns[rng.Intn(len(luns))]
+		lba := uint64(rng.Int63n(int64(l.Blocks() - uint64(nb) + 1)))
+		if rng.Float64() < o.ReadFraction {
+			s.Read(l, lba, nb)
+		} else {
+			s.Write(l, lba, nb)
+		}
+	}
+}
+
+// SequentialFill writes every block of the LUN once, in order — the initial
+// layout of an unaged file system (§2.2).
+func SequentialFill(s *wafl.System, l *wafl.LUN, opBlocks int) {
+	if opBlocks <= 0 {
+		opBlocks = 1
+	}
+	for lba := uint64(0); lba+uint64(opBlocks) <= l.Blocks(); lba += uint64(opBlocks) {
+		s.Write(l, lba, opBlocks)
+	}
+}
+
+// Age fills the LUNs sequentially and then applies churnFactor times their
+// total capacity in random single-block overwrites, thoroughly fragmenting
+// free space ("the aggregate was filled up to 55% and was thoroughly
+// fragmented by applying heavy random write traffic", §4.1). It ends at a
+// CP boundary.
+func Age(s *wafl.System, luns []*wafl.LUN, rng *rand.Rand, churnFactor float64) {
+	var total uint64
+	for _, l := range luns {
+		SequentialFill(s, l, 1)
+		total += l.Blocks()
+	}
+	churn := int(churnFactor * float64(total))
+	RandomOverwrite(s, luns, rng, churn, 1)
+	s.CP()
+}
+
+// FreeRandomFraction frees the given fraction of each LUN's written blocks,
+// chosen randomly — used to construct imbalanced aging across RAID groups
+// (§4.2: disks "aged by overwriting and freeing its blocks several times
+// until a random 50% of its blocks were used"). It must be called at a CP
+// boundary and ends at one.
+func FreeRandomFraction(s *wafl.System, l *wafl.LUN, rng *rand.Rand, fraction float64) int {
+	freed := s.PunchHoles(l, func(lba uint64) bool { return rng.Float64() < fraction })
+	s.CP()
+	return freed
+}
+
+// HotCold issues overwrites with a skewed access pattern: a fraction of the
+// LBA space (the hot set) receives most of the writes. Real client traffic
+// is rarely uniform; the skew concentrates frees in the hot regions, which
+// is part of why free-space fragmentation is nonuniform — the nonuniformity
+// the AA caches exploit (§4.1.1).
+type HotCold struct {
+	// HotFraction of the LBA space is hot (e.g. 0.2).
+	HotFraction float64
+	// HotWeight of the operations hit the hot set (e.g. 0.8).
+	HotWeight float64
+	// OpBlocks is the write size in blocks.
+	OpBlocks int
+}
+
+// DefaultHotCold returns the classic 80/20 skew.
+func DefaultHotCold() HotCold {
+	return HotCold{HotFraction: 0.2, HotWeight: 0.8, OpBlocks: 1}
+}
+
+// Run issues ops skewed overwrites across the LUNs.
+func (h HotCold) Run(s *wafl.System, luns []*wafl.LUN, rng *rand.Rand, ops int) {
+	nb := h.OpBlocks
+	if nb <= 0 {
+		nb = 1
+	}
+	for i := 0; i < ops; i++ {
+		l := luns[rng.Intn(len(luns))]
+		span := l.Blocks() - uint64(nb)
+		hotSpan := uint64(float64(span) * h.HotFraction)
+		var lba uint64
+		if hotSpan > 0 && rng.Float64() < h.HotWeight {
+			lba = uint64(rng.Int63n(int64(hotSpan)))
+		} else {
+			lba = uint64(rng.Int63n(int64(span + 1)))
+		}
+		s.Write(l, lba, nb)
+	}
+}

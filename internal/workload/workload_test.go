@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/wafl"
+)
+
+func newTestSystem(t *testing.T) (*wafl.System, *wafl.LUN) {
+	t.Helper()
+	tun := wafl.DefaultTunables()
+	tun.CPEveryOps = 256
+	specs := []wafl.GroupSpec{
+		{DataDevices: 3, ParityDevices: 1, BlocksPerDevice: 1 << 15, Media: aa.MediaHDD, StripesPerAA: 256},
+	}
+	s := wafl.NewSystem(specs, []wafl.VolSpec{{Name: "v", Blocks: 2 * aa.RAIDAgnosticBlocks}}, tun, 1)
+	lun := s.Agg.Vols()[0].CreateLUN("l", 40000)
+	return s, lun
+}
+
+func TestSequentialFill(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 1)
+	s.CP()
+	for lba := uint64(0); lba < lun.Blocks(); lba++ {
+		if !lun.Written(lba) {
+			t.Fatalf("lba %d unwritten after fill", lba)
+		}
+	}
+	if s.Agg.Bitmap().Used() != lun.Blocks() {
+		t.Fatalf("used = %d", s.Agg.Bitmap().Used())
+	}
+}
+
+func TestSequentialFillMultiBlock(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 8)
+	s.CP()
+	// 40000 is divisible by 8, so everything is written.
+	if s.Agg.Bitmap().Used() != lun.Blocks() {
+		t.Fatalf("used = %d, want %d", s.Agg.Bitmap().Used(), lun.Blocks())
+	}
+}
+
+func TestRandomOverwriteFrees(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 1)
+	s.CP()
+	rng := rand.New(rand.NewSource(2))
+	RandomOverwrite(s, []*wafl.LUN{lun}, rng, 5000, 1)
+	s.CP()
+	c := s.Counters()
+	// Every overwrite of a written block frees the old copy.
+	if c.BlocksFreed < 4500 {
+		t.Fatalf("freed = %d, want ~5000 (COW overwrites)", c.BlocksFreed)
+	}
+	// Usage unchanged: same logical content.
+	if s.Agg.Bitmap().Used() != lun.Blocks() {
+		t.Fatalf("used = %d after overwrites", s.Agg.Bitmap().Used())
+	}
+}
+
+func TestOLTPMix(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 1)
+	s.CP()
+	before := s.Counters()
+	rng := rand.New(rand.NewSource(3))
+	DefaultOLTP().Run(s, []*wafl.LUN{lun}, rng, 10000)
+	s.CP()
+	d := s.Counters().Sub(before)
+	if d.Ops != 10000+1 && d.Ops != 10000 { // +1 tolerates CP-op accounting
+		t.Fatalf("ops = %d", d.Ops)
+	}
+	// Roughly 1/3 of ops are writes.
+	if d.ModOps < 2500 || d.ModOps > 4200 {
+		t.Fatalf("modifying ops = %d of 10000", d.ModOps)
+	}
+	// Reads charged device time beyond the flush cost of writes.
+	if d.DeviceBusy == 0 {
+		t.Fatal("no device time charged")
+	}
+}
+
+func TestAgeFragmentsFreeSpace(t *testing.T) {
+	s, lun := newTestSystem(t)
+	rng := rand.New(rand.NewSource(4))
+	Age(s, []*wafl.LUN{lun}, rng, 0.5)
+	// After aging, free space must be fragmented: the longest free run in
+	// the aggregate is far below the total free count.
+	bm := s.Agg.Bitmap()
+	g := s.Agg.Groups()[0]
+	free := bm.CountFree(g.Geometry().VBNRange())
+	longest := bm.LongestFreeRun(g.Geometry().DeviceRange(0))
+	if free == 0 {
+		t.Fatal("no free space after aging")
+	}
+	if longest*4 > free {
+		t.Fatalf("free space not fragmented: longest run %d of %d free", longest, free)
+	}
+}
+
+func TestFreeRandomFraction(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 1)
+	s.CP()
+	rng := rand.New(rand.NewSource(5))
+	freed := FreeRandomFraction(s, lun, rng, 0.5)
+	if freed < 18000 || freed > 22000 {
+		t.Fatalf("freed = %d of 40000 at fraction 0.5", freed)
+	}
+	if got := s.Agg.Bitmap().Used(); got != lun.Blocks()-uint64(freed) {
+		t.Fatalf("used = %d", got)
+	}
+	// Freed blocks read as unwritten.
+	var unwritten int
+	for lba := uint64(0); lba < lun.Blocks(); lba++ {
+		if !lun.Written(lba) {
+			unwritten++
+		}
+	}
+	if unwritten != freed {
+		t.Fatalf("unwritten %d != freed %d", unwritten, freed)
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	s, lun := newTestSystem(t)
+	SequentialFill(s, lun, 1)
+	s.CP()
+	rng := rand.New(rand.NewSource(9))
+	hc := DefaultHotCold()
+	before := s.Counters()
+	hc.Run(s, []*wafl.LUN{lun}, rng, 20000)
+	s.CP()
+	if d := s.Counters().Sub(before); d.ModOps != 20000 {
+		t.Fatalf("ops = %d", d.ModOps)
+	}
+
+	// The generator's LBA histogram must be heavily skewed toward the hot
+	// prefix of the address space.
+	hits := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		span := lun.Blocks() - 1
+		hotSpan := uint64(float64(span) * hc.HotFraction)
+		var lba uint64
+		if rng.Float64() < hc.HotWeight {
+			lba = uint64(rng.Int63n(int64(hotSpan)))
+		} else {
+			lba = uint64(rng.Int63n(int64(span + 1)))
+		}
+		hits[lba*10/lun.Blocks()]++
+	}
+	if hits[0] < 4*hits[9] {
+		t.Fatalf("no skew: first decile %d, last %d", hits[0], hits[9])
+	}
+}
