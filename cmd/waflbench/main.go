@@ -7,6 +7,11 @@
 // Usage:
 //
 //	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
+//	          [-parallel N] [-cpuprofile f] [-memprofile f]
+//
+// -parallel sets the deterministic work-pool width: experiment arms, MVA
+// sweep points, CP flushes, and mount walks fan out across N workers, with
+// bit-identical results at any N (0 selects min(GOMAXPROCS, 8)).
 //
 // Absolute numbers are simulation-scale; the comparisons (who wins, by what
 // factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
@@ -14,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"waflfs/internal/experiments"
@@ -29,7 +36,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	cores := flag.Int("cores", 20, "storage-server CPU cores for the queueing model")
 	list := flag.Bool("list", false, "list experiments and exit")
-	parallel := flag.Bool("parallel", false, "with -exp all, run the experiments concurrently")
+	workers := flag.Int("parallel", 1,
+		"work-pool width for experiments, CP flushes, and mount walks (0 = min(GOMAXPROCS,8), 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -39,25 +49,47 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // profile live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Cores = *cores
-
-	run := func(e experiments.Experiment) {
-		fmt.Printf("### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
-		start := time.Now()
-		e.Run(cfg, os.Stdout)
-		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
-	}
+	cfg.Workers = *workers
 
 	if *exp == "all" {
-		if *parallel {
-			runAllParallel(cfg)
-			return
-		}
-		for _, e := range experiments.All() {
-			run(e)
+		if err := experiments.RunAllContext(context.Background(), cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -66,26 +98,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	run(e)
-}
-
-// runAllParallel executes every experiment concurrently (they share nothing)
-// and prints each one's buffered output in order as it completes.
-func runAllParallel(cfg experiments.Config) {
-	all := experiments.All()
-	outs := make([]chan string, len(all))
-	for i, e := range all {
-		outs[i] = make(chan string, 1)
-		go func(e experiments.Experiment, out chan<- string) {
-			var buf strings.Builder
-			start := time.Now()
-			fmt.Fprintf(&buf, "### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
-			e.Run(cfg, &buf)
-			fmt.Fprintf(&buf, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
-			out <- buf.String()
-		}(e, outs[i])
-	}
-	for _, out := range outs {
-		fmt.Print(<-out)
-	}
+	fmt.Printf("### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
+	start := time.Now()
+	e.Run(cfg, os.Stdout)
+	fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 }

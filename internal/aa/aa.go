@@ -21,10 +21,10 @@ package aa
 
 import (
 	"fmt"
-	"sync"
 
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
+	"waflfs/internal/parallel"
 	"waflfs/internal/raid"
 )
 
@@ -206,43 +206,31 @@ func (s *Striped) BlocksPerAA() uint64 {
 // Space implements Topology.
 func (s *Striped) Space() block.Range { return s.geo.VBNRange() }
 
-// ScoreAllParallel computes every AA's score like ScoreAll, fanning the
-// popcount work across a bounded worker pool. The bitmap must not be
-// mutated concurrently (scores are pure reads of the bit words); the
-// metafile-scan charge for the whole space is applied once, serially, so
-// the I/O accounting matches the sequential walk. Rebuilding the caches of
-// a large file system after a failover is exactly the bulk, embarrassingly
-// parallel work a storage controller spreads across cores.
-func ScoreAllParallel(t Topology, bm *bitmap.Bitmap, workers int) []uint64 {
-	n := t.NumAAs()
-	if workers <= 1 || n < 64 {
-		return ScoreAll(t, bm)
-	}
-	bm.ChargeScan(t.Space())
-	scores := make([]uint64, n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+// Scores computes every AA's score without charging any metafile reads,
+// sharding the popcount work across the deterministic work pool (one AA
+// per item, results keyed by AA id). The bitmap must not be mutated
+// concurrently; scores are pure reads of the bit words. Callers charge
+// scan I/O themselves, so the accounting never depends on the shard count.
+func Scores(t Topology, bm *bitmap.Bitmap, workers int) []uint64 {
+	scores := make([]uint64, t.NumAAs())
+	parallel.ForEach(workers, len(scores), func(id int) {
+		var s uint64
+		for _, seg := range t.Segments(ID(id)) {
+			s += bm.CountFree(seg)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				var s uint64
-				for _, seg := range t.Segments(ID(id)) {
-					s += bm.CountFree(seg)
-				}
-				scores[id] = s
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		scores[id] = s
+	})
 	return scores
+}
+
+// ScoreAllParallel computes every AA's score like ScoreAll, fanning the
+// popcount work across the work pool. The metafile-scan charge covers the
+// whole space exactly once — each bitmap page is read once no matter how
+// many shards scan it — so mount-time I/O accounting is identical for
+// every worker count, including 1. Rebuilding the caches of a large file
+// system after a failover is exactly the bulk, embarrassingly parallel
+// work a storage controller spreads across cores.
+func ScoreAllParallel(t Topology, bm *bitmap.Bitmap, workers int) []uint64 {
+	bm.ChargeScan(t.Space())
+	return Scores(t, bm, workers)
 }

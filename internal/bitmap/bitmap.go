@@ -22,6 +22,7 @@ package bitmap
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"waflfs/internal/block"
 )
@@ -48,7 +49,10 @@ type Bitmap struct {
 	// Counters for the experiment harnesses.
 	totalDirtied uint64 // pages ever marked dirty (including re-dirtying after flush)
 	totalFlushed uint64 // pages written back by Flush
-	totalReads   uint64 // metafile page reads charged by scans
+	// totalReads counts metafile page reads charged by scans. It is atomic
+	// because parallel mount-walk shards charge the shared aggregate bitmap
+	// concurrently; all other state keeps the single-mutator model.
+	totalReads atomic.Uint64
 }
 
 // New creates a bitmap covering n blocks, all free.
@@ -337,7 +341,7 @@ func (b *Bitmap) ChargeScan(r block.Range) uint64 {
 	first := r.Start.BitmapBlock()
 	last := (r.End - 1).BitmapBlock()
 	n := last - first + 1
-	b.totalReads += n
+	b.totalReads.Add(n)
 	return n
 }
 
@@ -350,7 +354,7 @@ type Stats struct {
 
 // Stats returns the lifetime counters.
 func (b *Bitmap) Stats() Stats {
-	return Stats{PagesDirtied: b.totalDirtied, PagesFlushed: b.totalFlushed, PageReads: b.totalReads}
+	return Stats{PagesDirtied: b.totalDirtied, PagesFlushed: b.totalFlushed, PageReads: b.totalReads.Load()}
 }
 
 // Grow extends the bitmap to track n blocks (n must not shrink it). The new

@@ -7,6 +7,7 @@ import (
 
 	"waflfs/internal/aa"
 	"waflfs/internal/hbps"
+	"waflfs/internal/parallel"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -104,10 +105,12 @@ func RunAblations(cfg Config, w io.Writer) *AblationResult {
 }
 
 // ablateBinWidth churns an HBPS at several bin widths and records the
-// regret of its picks against the true best score.
+// regret of its picks against the true best score. Each width owns its
+// structure and rng, so the points fan out over the work pool.
 func ablateBinWidth(cfg Config) []BinWidthPoint {
-	var out []BinWidthPoint
-	for _, bw := range []uint32{256, 1024, 4096, 8192} {
+	widths := []uint32{256, 1024, 4096, 8192}
+	return parallel.Map(cfg.Workers, len(widths), func(wi int) BinWidthPoint {
+		bw := widths[wi]
 		h := hbps.New(hbps.Config{MaxScore: 32768, BinWidth: bw, ListCap: 1000})
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		const n = 4000
@@ -146,18 +149,19 @@ func ablateBinWidth(cfg Config) []BinWidthPoint {
 		if probes > 0 {
 			p.MeanRegret = regretSum / float64(probes)
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // ablateAASize ages one HDD aggregate per AA size and measures pick quality
-// and stripe efficiency.
+// and stripe efficiency. Each size ages its own System, so the points fan
+// out over the work pool.
 func ablateAASize(cfg Config) []AASizePoint {
-	var out []AASizePoint
 	per := cfg.scaled(1<<17, 1<<14)
-	for _, stripes := range []uint64{1024, 4096, 16384} {
-		tun := wafl.DefaultTunables()
+	sizes := []uint64{1024, 4096, 16384}
+	return parallel.Map(cfg.Workers, len(sizes), func(si int) AASizePoint {
+		stripes := sizes[si]
+		tun := cfg.tunables()
 		spec := wafl.GroupSpec{
 			DataDevices: 6, ParityDevices: 1, BlocksPerDevice: per,
 			Media: aa.MediaHDD, StripesPerAA: stripes,
@@ -186,16 +190,16 @@ func ablateAASize(cfg Config) []AASizePoint {
 		if full+partial > 0 {
 			p.FullStripeFraction = float64(full) / float64(full+partial)
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // ablateThreshold reruns the Fig 7 imbalanced-aging setup across bias
-// thresholds.
+// thresholds, one independent System per threshold, fanned over the pool.
 func ablateThreshold(cfg Config) []ThresholdPoint {
-	var out []ThresholdPoint
-	for _, th := range []float64{0, 0.05, 0.25, 0.5} {
+	thresholds := []float64{0, 0.05, 0.25, 0.5}
+	return parallel.Map(cfg.Workers, len(thresholds), func(ti int) ThresholdPoint {
+		th := thresholds[ti]
 		r := runFig7With(cfg, th)
 		aged := r.BlocksPerTetris[0]
 		agedFull := 0.0
@@ -204,11 +208,10 @@ func ablateThreshold(cfg Config) []ThresholdPoint {
 			// fill for the aged groups (6 data devices, 64 stripes).
 			agedFull = aged / 384.0
 		}
-		out = append(out, ThresholdPoint{
+		return ThresholdPoint{
 			Threshold:        th,
 			FreshToAgedRatio: r.FreshToAgedBlockRatio,
 			AgedFullStripes:  agedFull,
-		})
-	}
-	return out
+		}
+	})
 }

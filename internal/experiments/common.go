@@ -39,6 +39,11 @@ type Config struct {
 	// services many commands at once): per-device demand is divided by it
 	// before queueing. 1 (or 0) means a single-server device.
 	DeviceParallel int
+	// Workers bounds the work-pool fan-out: independent experiment arms, MVA
+	// sweep points, and (via wafl.Tunables.Workers) CP flushes and mount
+	// walks run across this many workers. 0 selects min(GOMAXPROCS, 8),
+	// 1 forces serial execution; results are identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -50,6 +55,14 @@ func DefaultConfig() Config {
 		Think:   5 * time.Millisecond,
 		Clients: []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
 	}
+}
+
+// tunables returns the default tunables with the experiment's parallelism
+// knob applied, so every System an experiment builds inherits Workers.
+func (c Config) tunables() wafl.Tunables {
+	tun := wafl.DefaultTunables()
+	tun.Workers = c.Workers
+	return tun
 }
 
 // scaled multiplies n by the scale factor with a floor of min.
@@ -151,7 +164,7 @@ func (c Curve) Peak() CurvePoint {
 func curveFrom(label string, m measurement, cfg Config) Curve {
 	centers := m.centers(cfg.Cores, cfg.DeviceParallel)
 	cv := Curve{Label: label}
-	for _, r := range sim.Sweep(centers, cfg.Think, cfg.Clients) {
+	for _, r := range sim.SweepParallel(centers, cfg.Think, cfg.Clients, cfg.Workers) {
 		cv.Points = append(cv.Points, CurvePoint{
 			Clients:    r.Clients,
 			Throughput: r.Throughput,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/parallel"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -47,7 +48,7 @@ func mountTime(ms wafl.MountStats) time.Duration {
 }
 
 func fig10Point(cfg Config, nvols int, volBlocks uint64) Fig10Point {
-	tun := wafl.DefaultTunables()
+	tun := cfg.tunables()
 	specs := []wafl.GroupSpec{{
 		DataDevices: 6, ParityDevices: 1,
 		BlocksPerDevice: cfg.scaled(1<<17, 1<<14), Media: aa.MediaHDD,
@@ -77,15 +78,29 @@ func fig10Point(cfg Config, nvols int, volBlocks uint64) Fig10Point {
 func RunFig10(cfg Config, w io.Writer) *Fig10Result {
 	res := &Fig10Result{}
 
-	// Panel A: 8 volumes, growing per-volume size.
+	// Every sweep point builds and remounts its own System, so both panels
+	// flatten into one work list and fan out over the pool; the ordered
+	// result slice splits back into the two panels.
 	base := uint64(16) * aa.RAIDAgnosticBlocks
-	for _, mult := range []uint64{1, 2, 4, 8, 16} {
-		res.SizeSweep = append(res.SizeSweep, fig10Point(cfg, 8, base*mult))
+	type job struct {
+		vols      int
+		volBlocks uint64
+	}
+	var jobs []job
+	// Panel A: 8 volumes, growing per-volume size.
+	sizeMults := []uint64{1, 2, 4, 8, 16}
+	for _, mult := range sizeMults {
+		jobs = append(jobs, job{8, base * mult})
 	}
 	// Panel B: fixed-size volumes, growing count.
 	for _, n := range []int{5, 10, 20, 40} {
-		res.CountSweep = append(res.CountSweep, fig10Point(cfg, n, base))
+		jobs = append(jobs, job{n, base})
 	}
+	points := parallel.Map(cfg.Workers, len(jobs), func(i int) Fig10Point {
+		return fig10Point(cfg, jobs[i].vols, jobs[i].volBlocks)
+	})
+	res.SizeSweep = points[:len(sizeMults)]
+	res.CountSweep = points[len(sizeMults):]
 
 	norm := res.SizeSweep[0].WithoutTopAA
 	tbA := stats.Table{

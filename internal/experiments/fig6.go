@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/parallel"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -75,7 +76,7 @@ type fig6Run struct {
 }
 
 func fig6RunOne(cfg Config, label string, aggCache, volCache bool) fig6Run {
-	tun := wafl.DefaultTunables()
+	tun := cfg.tunables()
 	tun.AggregateCacheEnabled = aggCache
 	tun.VolCacheEnabled = volCache
 
@@ -134,10 +135,22 @@ func RunFig6(cfg Config, w io.Writer) *Fig6Result {
 	if cfg.DeviceParallel == 0 {
 		cfg.DeviceParallel = 4 // enterprise SSDs service many commands at once
 	}
-	both := fig6RunOne(cfg, "both", true, true)
-	aggOnly := fig6RunOne(cfg, "agg-only", true, false)
-	volOnly := fig6RunOne(cfg, "vol-only", false, true)
-	neither := fig6RunOne(cfg, "none", false, false)
+	// The four cache configurations are independent arms — each builds its
+	// own System and rng from cfg.Seed — so they fan out over the work pool
+	// and land in fixed slots.
+	arms := []struct {
+		label    string
+		agg, vol bool
+	}{
+		{"both", true, true},
+		{"agg-only", true, false},
+		{"vol-only", false, true},
+		{"none", false, false},
+	}
+	runs := parallel.Map(cfg.Workers, len(arms), func(i int) fig6Run {
+		return fig6RunOne(cfg, arms[i].label, arms[i].agg, arms[i].vol)
+	})
+	both, aggOnly, volOnly, neither := runs[0], runs[1], runs[2], runs[3]
 
 	res := &Fig6Result{
 		Curves:           []Curve{both.curve, aggOnly.curve, volOnly.curve, neither.curve},

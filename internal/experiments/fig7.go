@@ -46,7 +46,7 @@ func RunFig7(cfg Config, w io.Writer) *Fig7Result {
 // runFig7With runs the Figure 7 workload with a configurable
 // fragmented-group bias threshold (also used by the threshold ablation).
 func runFig7With(cfg Config, minFraction float64) *Fig7Result {
-	tun := wafl.DefaultTunables()
+	tun := cfg.tunables()
 	tun.MinAAScoreFraction = minFraction
 	per := cfg.scaled(1<<17, 1<<14)
 	g := wafl.GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: per, Media: aa.MediaHDD}

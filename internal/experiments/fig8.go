@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/parallel"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -41,7 +42,7 @@ func fig8Sizes(cfg Config) (per, eraseUnit, hddAA uint64) {
 }
 
 func fig8RunOne(cfg Config, label string, useHDDAA bool) (Curve, float64) {
-	tun := wafl.DefaultTunables()
+	tun := cfg.tunables()
 	per, eraseUnit, hddAA := fig8Sizes(cfg)
 	stripesPerAA := uint64(0) // media-derived: 4x erase unit
 	if useHDDAA {
@@ -88,8 +89,21 @@ func RunFig8(cfg Config, w io.Writer) *Fig8Result {
 	if cfg.DeviceParallel == 0 {
 		cfg.DeviceParallel = 4
 	}
-	small, waSmall := fig8RunOne(cfg, "hdd-aa", true)
-	large, waLarge := fig8RunOne(cfg, "large-aa", false)
+	// The two AA sizings are independent arms; fan them out.
+	type fig8Run struct {
+		curve Curve
+		wa    float64
+	}
+	arms := []struct {
+		label    string
+		useHDDAA bool
+	}{{"hdd-aa", true}, {"large-aa", false}}
+	runs := parallel.Map(cfg.Workers, len(arms), func(i int) fig8Run {
+		c, wa := fig8RunOne(cfg, arms[i].label, arms[i].useHDDAA)
+		return fig8Run{c, wa}
+	})
+	small, waSmall := runs[0].curve, runs[0].wa
+	large, waLarge := runs[1].curve, runs[1].wa
 
 	res := &Fig8Result{
 		Curves:  []Curve{small, large},

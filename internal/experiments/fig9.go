@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/parallel"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -27,7 +28,7 @@ type Fig9Result struct {
 }
 
 func fig9RunOne(cfg Config, label string, stripesPerAA uint64) (Curve, uint64, uint64) {
-	tun := wafl.DefaultTunables()
+	tun := cfg.tunables()
 	per := cfg.scaled(1<<19, 1<<17)
 	spec := wafl.GroupSpec{
 		DataDevices:     3,
@@ -66,8 +67,21 @@ func fig9RunOne(cfg Config, label string, stripesPerAA uint64) (Curve, uint64, u
 
 // RunFig9 regenerates Figure 9.
 func RunFig9(cfg Config, w io.Writer) *Fig9Result {
-	small, csSmall, ivSmall := fig9RunOne(cfg, "hdd-aa", aa.DefaultHDDStripes)
-	large, csLarge, ivLarge := fig9RunOne(cfg, "smr-aa", 0)
+	// The two AA sizings are independent arms; fan them out.
+	type fig9Run struct {
+		curve         Curve
+		rndCS, interv uint64
+	}
+	arms := []struct {
+		label   string
+		stripes uint64
+	}{{"hdd-aa", aa.DefaultHDDStripes}, {"smr-aa", 0}}
+	runs := parallel.Map(cfg.Workers, len(arms), func(i int) fig9Run {
+		c, cs, iv := fig9RunOne(cfg, arms[i].label, arms[i].stripes)
+		return fig9Run{c, cs, iv}
+	})
+	small, csSmall, ivSmall := runs[0].curve, runs[0].rndCS, runs[0].interv
+	large, csLarge, ivLarge := runs[1].curve, runs[1].rndCS, runs[1].interv
 
 	res := &Fig9Result{
 		Curves:              []Curve{small, large},

@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"time"
+
+	"waflfs/internal/parallel"
 )
 
 // Experiment is one runnable reproduction target.
@@ -47,6 +52,33 @@ func All() []Experiment {
 			Run:         func(cfg Config, w io.Writer) { RunAblations(cfg, w) },
 		},
 	}
+}
+
+// RunAllContext runs every experiment across the work pool (the drivers
+// share nothing: each builds its own Systems from cfg.Seed), buffering each
+// one's output and writing the buffers to w in registry order, so the
+// printed report is identical at any worker count. Cancelling ctx skips
+// experiments that have not started; in-flight ones run to completion (the
+// pool drains) and their output is still printed. Returns ctx.Err() when
+// canceled, in which case the report is incomplete.
+func RunAllContext(ctx context.Context, cfg Config, w io.Writer) error {
+	all := All()
+	outs := make([]*bytes.Buffer, len(all))
+	err := parallel.ForEachCtx(ctx, cfg.Workers, len(all), func(i int) {
+		e := all[i]
+		buf := &bytes.Buffer{}
+		start := time.Now()
+		fmt.Fprintf(buf, "### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
+		e.Run(cfg, buf)
+		fmt.Fprintf(buf, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		outs[i] = buf
+	})
+	for _, buf := range outs {
+		if buf != nil {
+			w.Write(buf.Bytes())
+		}
+	}
+	return err
 }
 
 // Lookup finds an experiment by name.

@@ -1,0 +1,174 @@
+// Package parallel is the repo's single deterministic work-pool: every
+// concurrent fan-out — CP flushes across RAID groups, experiment arms,
+// MVA sweep points, mount-time bitmap walks — runs on these primitives
+// rather than ad-hoc goroutines.
+//
+// The pool's contract is determinism: callers hand it n independent work
+// items addressed by index, workers claim indexes from a shared counter,
+// and every result lands in the slot its index owns. Because no item reads
+// another item's output and merges happen in index order after the
+// barrier, the observable result is bit-identical for every worker count,
+// including 1. Randomized work keeps that property by giving each shard
+// its own rand.Rand derived from a root seed (SplitSeed/Rands) instead of
+// sharing one stream whose interleaving would depend on scheduling.
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAutoWorkers caps the automatic worker count; fan-outs here are
+// popcount- and accounting-bound, and past 8 workers coordination overhead
+// outweighs the spread.
+const maxAutoWorkers = 8
+
+// Workers resolves a worker-count knob to a concrete count: w itself when
+// positive, otherwise min(GOMAXPROCS, 8).
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	if n := runtime.GOMAXPROCS(0); n < maxAutoWorkers {
+		return n
+	}
+	return maxAutoWorkers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 selects the automatic count) and returns when
+// all items are done. Items are claimed in index order from a shared
+// counter, so short items load-balance; fn must only write state owned by
+// its index. A panic in any item is re-raised on the caller's goroutine
+// after the pool drains.
+func ForEach(workers, n int, fn func(i int)) {
+	if err := forEach(context.Background(), workers, n, fn); err != nil {
+		panic(err) // unreachable: background context never cancels
+	}
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, workers stop
+// claiming new indexes, in-flight items run to completion, and the drained
+// pool returns ctx.Err(). Items that never started are simply skipped, so
+// the caller must treat a non-nil error as "results incomplete".
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return forEach(ctx, workers, n, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+				}
+			}()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index and returns the results in index order —
+// the fan-out/ordered-collect shape of experiment arms and sweep points.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Makespan models the wall-clock of executing tasks with the given
+// durations on `workers` parallel workers: tasks are assigned in order to
+// the worker that frees earliest (ties to the lowest worker). With one
+// worker this is the serial sum; with workers >= len(tasks) it is the max.
+// The CP engine uses it to report flush wall-clock as max-over-groups plus
+// merge rather than sum-over-groups, without making any measured counter
+// depend on the worker count.
+func Makespan(tasks []time.Duration, workers int) time.Duration {
+	workers = Workers(workers)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 0 {
+		return 0
+	}
+	free := make([]time.Duration, workers)
+	for _, d := range tasks {
+		earliest := 0
+		for w := 1; w < workers; w++ {
+			if free[w] < free[earliest] {
+				earliest = w
+			}
+		}
+		free[earliest] += d
+	}
+	var span time.Duration
+	for _, f := range free {
+		if f > span {
+			span = f
+		}
+	}
+	return span
+}
+
+// SplitSeed derives a statistically independent child seed for one shard
+// of a fan-out from a root seed (splitmix64 finalizer). Equal inputs give
+// equal outputs, so sharded randomness is reproducible and identical for
+// every worker count.
+func SplitSeed(root int64, shard int) int64 {
+	z := uint64(root) + (uint64(shard)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Rands returns n generators, shard i seeded with SplitSeed(root, i) —
+// one private stream per work item, so randomized shards stay bit-identical
+// to a serial run regardless of scheduling.
+func Rands(root int64, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(SplitSeed(root, i)))
+	}
+	return out
+}

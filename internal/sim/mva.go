@@ -15,6 +15,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"waflfs/internal/parallel"
 )
 
 // Center is one queueing service center.
@@ -97,11 +99,17 @@ func Solve(centers []Center, think time.Duration, clients int) Result {
 // Sweep solves for each client count and returns results in order; the
 // experiment harness plots latency against achieved throughput from these.
 func Sweep(centers []Center, think time.Duration, clientCounts []int) []Result {
-	out := make([]Result, 0, len(clientCounts))
-	for _, n := range clientCounts {
-		out = append(out, Solve(centers, think, n))
-	}
-	return out
+	return SweepParallel(centers, think, clientCounts, 1)
+}
+
+// SweepParallel is Sweep with the per-population solves fanned across the
+// deterministic work pool. Each Solve reads only the shared centers and
+// recurs over its own population, so every point is independent and the
+// ordered result slice is identical at any worker count.
+func SweepParallel(centers []Center, think time.Duration, clientCounts []int, workers int) []Result {
+	return parallel.Map(workers, len(clientCounts), func(i int) Result {
+		return Solve(centers, think, clientCounts[i])
+	})
 }
 
 // Bottleneck returns the index and utilization of the most utilized center.

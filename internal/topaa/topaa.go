@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/block"
@@ -98,8 +99,11 @@ func LoadRAIDAware(buf []byte) ([]heapcache.Entry, error) {
 
 // Store simulates the TopAA metafile's blocks, keyed by file-system
 // instance name (one aggregate or FlexVol per key). It counts block reads
-// and writes so experiments can charge mount-time I/O.
+// and writes so experiments can charge mount-time I/O. All methods are
+// safe for concurrent use: parallel mount rebuilds load every space's
+// metafile from worker shards, and each key is owned by exactly one space.
 type Store struct {
+	mu     sync.Mutex
 	blocks map[string][]byte
 
 	reads  uint64 // blocks read
@@ -114,24 +118,33 @@ func NewStore() *Store {
 // SaveRAIDAware persists the cache's 512 best AAs under name. This runs at
 // each CP boundary in WAFL; it costs one block write.
 func (s *Store) SaveRAIDAware(name string, c *heapcache.Cache) {
-	s.blocks[name] = MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	buf := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocks[name] = buf
 	s.writes++
 }
 
 // LoadRAIDAware reads the named block and decodes the seed entries,
 // charging one block read.
 func (s *Store) LoadRAIDAware(name string) ([]heapcache.Entry, error) {
+	s.mu.Lock()
 	buf, ok := s.blocks[name]
+	if ok {
+		s.reads++
+	}
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("topaa: no metafile block for %q", name)
 	}
-	s.reads++
 	return LoadRAIDAware(buf)
 }
 
 // SaveAgnostic persists an HBPS verbatim (two or more blocks) under name.
 func (s *Store) SaveAgnostic(name string, h *hbps.HBPS) {
 	data := h.Marshal()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.blocks[name] = data
 	s.writes += uint64(len(data) / block.BlockSize)
 }
@@ -139,16 +152,22 @@ func (s *Store) SaveAgnostic(name string, h *hbps.HBPS) {
 // LoadAgnostic reads and reconstructs the named HBPS, charging one read per
 // block.
 func (s *Store) LoadAgnostic(name string) (*hbps.HBPS, error) {
+	s.mu.Lock()
 	buf, ok := s.blocks[name]
+	if ok {
+		s.reads += uint64(len(buf) / block.BlockSize)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("topaa: no metafile blocks for %q", name)
 	}
-	s.reads += uint64(len(buf) / block.BlockSize)
 	return hbps.Load(buf)
 }
 
 // Has reports whether a metafile exists for name.
 func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.blocks[name]
 	return ok
 }
@@ -156,6 +175,8 @@ func (s *Store) Has(name string) bool {
 // Corrupt flips a byte in the named metafile, simulating media damage that
 // RAID could not reconstruct; used to exercise the repair/fallback path.
 func (s *Store) Corrupt(name string, offset int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	buf, ok := s.blocks[name]
 	if !ok {
 		return fmt.Errorf("topaa: no metafile for %q", name)
@@ -167,8 +188,14 @@ func (s *Store) Corrupt(name string, offset int) error {
 // Drop removes the named metafile (e.g. a fresh file system that has never
 // completed a CP).
 func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.blocks, name)
 }
 
 // Stats reports lifetime I/O to the store.
-func (s *Store) Stats() (reads, writes uint64) { return s.reads, s.writes }
+func (s *Store) Stats() (reads, writes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}

@@ -3,13 +3,13 @@ package wafl
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
 	"waflfs/internal/heapcache"
+	"waflfs/internal/parallel"
 	"waflfs/internal/topaa"
 )
 
@@ -170,8 +170,15 @@ type CPStats struct {
 	// MetafilePagesVols is the total dirty virtual-bitmap pages across
 	// volumes.
 	MetafilePagesVols int
-	// DeviceBusy is the device time consumed flushing data and parity.
+	// DeviceBusy is the device time consumed flushing data and parity,
+	// summed over groups — a worker-count-invariant total that feeds the
+	// measured Counters and MVA demands.
 	DeviceBusy time.Duration
+	// FlushWall is the modeled wall-clock of the flush phase: the makespan
+	// of the per-group (and pool) flush times over Tunables.Workers. With
+	// one worker it equals DeviceBusy; with enough workers it approaches
+	// max-over-groups, the payoff of flushing RAID groups concurrently.
+	FlushWall time.Duration
 	// TopAABlocks is the number of TopAA metafile blocks persisted.
 	TopAABlocks int
 }
@@ -180,26 +187,50 @@ type CPStats struct {
 // writes as tetrises (charging the device models), applies the batched AA
 // score updates to every cache, writes back dirty bitmap-metafile pages,
 // and persists the TopAA metafiles (§3.3, §3.4).
+//
+// The per-group flush + delta fold fans out over the work pool: each
+// group's devices, tetris stats, cache, and delta map are group-local, so
+// the items are independent and every counter merges to the same total at
+// any worker count. The aggregate-wide steps — TopAA saves, the shared
+// physical-bitmap write-back — run serially after the barrier, in group
+// order. Per-volume CP work (delta fold + virtual-bitmap write-back) fans
+// out the same way, since each volume owns its bitmap and HBPS.
 func (ag *Aggregate) CommitCP() CPStats {
 	var st CPStats
-	for _, g := range ag.groups {
-		st.DeviceBusy += g.flushCP()
+	workers := ag.workers()
+
+	busy := make([]time.Duration, len(ag.groups))
+	parallel.ForEach(workers, len(ag.groups), func(i int) {
+		g := ag.groups[i]
+		busy[i] = g.flushCP()
 		g.applyCPDeltas()
+	})
+	for i, g := range ag.groups {
+		st.DeviceBusy += busy[i]
 		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
 		st.TopAABlocks++
 	}
 	if ag.pool != nil {
-		st.DeviceBusy += ag.pool.flushCP()
+		poolBusy := ag.pool.flushCP()
+		st.DeviceBusy += poolBusy
+		busy = append(busy, poolBusy) // the object store flushes alongside the groups
 		ag.pool.space.applyCPDeltas()
 		ag.store.SaveAgnostic(poolTopAAKey, ag.pool.space.cache)
 		st.TopAABlocks += 2
 	}
+	st.FlushWall = parallel.Makespan(busy, workers)
 	st.MetafilePagesAggregate = ag.bm.Flush()
-	for _, v := range ag.vols {
+
+	volPages := make([]int, len(ag.vols))
+	parallel.ForEach(workers, len(ag.vols), func(i int) {
+		v := ag.vols[i]
 		v.space.applyCPDeltas()
+		volPages[i] = v.bm.Flush()
+	})
+	for i, v := range ag.vols {
 		ag.store.SaveAgnostic(v.Name, v.space.cache)
 		st.TopAABlocks += 2
-		st.MetafilePagesVols += v.bm.Flush()
+		st.MetafilePagesVols += volPages[i]
 	}
 	return st
 }
@@ -227,6 +258,15 @@ type MountStats struct {
 // dropped, then the AA caches are rebuilt — from the TopAA metafiles when
 // useTopAA is true (falling back per space on damage), or by walking the
 // bitmap metafiles otherwise.
+//
+// Both rebuild passes fan out over the work pool: every group and every
+// agnostic space owns its cache, cursor, and delta map, the TopAA store is
+// thread-safe, and bitmap scans only read bit words while charging an
+// atomic counter. Fallback walks additionally shard their own popcount
+// work (aa.ScoreAllParallel), so a single damaged space still spreads its
+// full-bitmap walk across workers. Per-item stats land in index-owned
+// slots and merge in order, keeping MountStats identical at any worker
+// count.
 func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	var ms MountStats
 	preReads, _ := ag.store.Stats()
@@ -236,7 +276,15 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		preVolBM[i] = v.bm.Stats().PageReads
 	}
 
-	for _, g := range ag.groups {
+	workers := ag.workers()
+	type rebuildStats struct {
+		inserts   uint64
+		fallbacks int
+	}
+
+	groupStats := make([]rebuildStats, len(ag.groups))
+	parallel.ForEach(workers, len(ag.groups), func(i int) {
+		g := ag.groups[i]
 		g.curValid = false
 		g.cpWrites = g.cpWrites[:0]
 		g.deltas = make(map[aa.ID]int64)
@@ -257,7 +305,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 					cache := heapcache.New(g.topo.NumAAs())
 					for _, e := range entries {
 						cache.Insert(e.ID, e.Score)
-						ms.CacheInserts++
+						groupStats[i].inserts++
 					}
 					g.cache = cache
 					g.seedOnly = true
@@ -265,16 +313,21 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 				}
 			}
 			if !rebuilt {
-				ms.Fallbacks++
+				groupStats[i].fallbacks++
 			}
 		}
 		if !rebuilt {
-			scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+			scores := aa.ScoreAllParallel(g.topo, ag.bm, workers)
 			g.cache = heapcache.NewFromScores(scores)
 			g.seedOnly = false
-			ms.CacheInserts += uint64(len(scores))
+			groupStats[i].inserts += uint64(len(scores))
 		}
+	})
+	for _, st := range groupStats {
+		ms.CacheInserts += st.inserts
+		ms.Fallbacks += st.fallbacks
 	}
+
 	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)
 	names := make([]string, 0, len(ag.vols)+1)
 	for _, v := range ag.vols {
@@ -285,7 +338,9 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		spaces = append(spaces, ag.pool.space)
 		names = append(names, poolTopAAKey)
 	}
-	for i, sp := range spaces {
+	spaceStats := make([]rebuildStats, len(spaces))
+	parallel.ForEach(workers, len(spaces), func(i int) {
+		sp := spaces[i]
 		sp.curValid = false
 		sp.deltas = make(map[aa.ID]int64)
 		rebuilt := false
@@ -294,13 +349,17 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 				sp.cache = h
 				rebuilt = true
 			} else {
-				ms.Fallbacks++
+				spaceStats[i].fallbacks++
 			}
 		}
 		if !rebuilt {
 			sp.replenish()
-			ms.CacheInserts += uint64(sp.topo.NumAAs())
+			spaceStats[i].inserts += uint64(sp.topo.NumAAs())
 		}
+	})
+	for _, st := range spaceStats {
+		ms.CacheInserts += st.inserts
+		ms.Fallbacks += st.fallbacks
 	}
 
 	postReads, _ := ag.store.Stats()
@@ -312,14 +371,8 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	return ms
 }
 
-// rebuildWorkers bounds the parallelism of background cache rebuilds.
-func rebuildWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	return w
-}
+// workers resolves the aggregate's parallelism knob (Tunables.Workers).
+func (ag *Aggregate) workers() int { return parallel.Workers(ag.tun.Workers) }
 
 // CompleteBackgroundFill finishes the post-mount background work for
 // seed-only RAID-aware caches: every AA absent from the seed is scored from
@@ -331,7 +384,7 @@ func (ag *Aggregate) CompleteBackgroundFill() uint64 {
 		if !g.seedOnly {
 			continue
 		}
-		scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+		scores := aa.ScoreAllParallel(g.topo, ag.bm, ag.workers())
 		for id := 0; id < g.topo.NumAAs(); id++ {
 			if g.curValid && aa.ID(id) == g.curAA {
 				continue // held by the allocator; reinserted at finishAA
@@ -358,7 +411,7 @@ func (ag *Aggregate) RepairTopAA() int {
 	repaired := 0
 	for _, g := range ag.groups {
 		g.finishAA(ag.bm)
-		scores := aa.ScoreAllParallel(g.topo, ag.bm, rebuildWorkers())
+		scores := aa.ScoreAllParallel(g.topo, ag.bm, ag.workers())
 		g.cache = heapcache.NewFromScores(scores)
 		g.seedOnly = false
 		g.deltas = make(map[aa.ID]int64)

@@ -3,6 +3,7 @@ package wafl
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
@@ -21,6 +22,7 @@ type agnosticSpace struct {
 
 	cache        *hbps.HBPS
 	cacheEnabled bool
+	workers      int // fan-out knob for replenish walks (Tunables.Workers)
 
 	// Allocation cursor within the current AA.
 	curAA    aa.ID
@@ -47,12 +49,13 @@ type agnosticSpace struct {
 	allocatedBlocks uint64
 }
 
-func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand) *agnosticSpace {
+func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand, workers int) *agnosticSpace {
 	s := &agnosticSpace{
 		name:         name,
 		topo:         aa.NewLinearDefault(space),
 		bm:           bm,
 		cacheEnabled: enabled,
+		workers:      workers,
 		deltas:       make(map[aa.ID]int64),
 		rng:          rng,
 	}
@@ -114,16 +117,20 @@ func (s *agnosticSpace) pick() bool {
 
 // replenish rebuilds the HBPS from a full bitmap walk — the background scan
 // of §3.3.2 — charging the metafile reads and discarding pending deltas
-// (the recomputed scores already include them).
+// (the recomputed scores already include them). The popcount work shards
+// across the work pool; the scan is charged whole-space once up front, so
+// accounting does not depend on the shard count, and the scores feed the
+// HBPS in AA order regardless of which worker computed them.
 func (s *agnosticSpace) replenish() {
 	s.replenishes++
 	s.bm.ChargeScan(s.topo.Space())
 	for id := range s.deltas {
 		delete(s.deltas, id)
 	}
+	scores := aa.Scores(s.topo, s.bm, s.workers)
 	s.cache.Replenish(func(yield func(aa.ID, uint32)) {
-		for id := 0; id < s.topo.NumAAs(); id++ {
-			yield(aa.ID(id), s.aaScore(aa.ID(id)))
+		for id, sc := range scores {
+			yield(aa.ID(id), uint32(sc))
 		}
 	})
 	s.cacheOps += uint64(s.topo.NumAAs())
@@ -177,7 +184,10 @@ func (s *agnosticSpace) free(v block.VBN) {
 
 // applyCPDeltas flushes the batched score updates into the HBPS at the CP
 // boundary. HBPS stores no per-AA scores, so the previous score is derived
-// from the authoritative bitmap count minus the pending delta.
+// from the authoritative bitmap count minus the pending delta. Updates are
+// applied in AA order: the HBPS pop order breaks score ties by insertion
+// sequence, so folding the deltas in map-iteration order would make
+// allocation decisions vary run to run.
 func (s *agnosticSpace) applyCPDeltas() {
 	if !s.cacheEnabled {
 		for id := range s.deltas {
@@ -185,7 +195,8 @@ func (s *agnosticSpace) applyCPDeltas() {
 		}
 		return
 	}
-	for id, d := range s.deltas {
+	for _, id := range sortedIDs(s.deltas) {
+		d := s.deltas[id]
 		if d == 0 {
 			delete(s.deltas, id)
 			continue
@@ -199,6 +210,17 @@ func (s *agnosticSpace) applyCPDeltas() {
 		s.cacheOps++
 		delete(s.deltas, id)
 	}
+}
+
+// sortedIDs returns the map's keys in ascending AA order, so cache updates
+// derived from delta maps are applied deterministically.
+func sortedIDs[V any](m map[aa.ID]V) []aa.ID {
+	ids := make([]aa.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // SpaceMetrics mirrors GroupMetrics for RAID-agnostic spaces.

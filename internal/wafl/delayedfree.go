@@ -57,9 +57,12 @@ func (d *delayedFrees) pop() (aa.ID, []block.VBN, bool) {
 			if d.count > 0 {
 				// The list ran dry while counts remain: replenish from the
 				// authoritative queue (the background scan of §3.3.2).
+				// Yield in AA order: the HBPS breaks score ties by
+				// insertion sequence, so map order would leak run-to-run
+				// nondeterminism into the reclamation order.
 				d.cache.Replenish(func(yield func(aa.ID, uint32)) {
-					for id, vs := range d.pending {
-						yield(id, uint32(len(vs)))
+					for _, id := range sortedIDs(d.pending) {
+						yield(id, uint32(len(d.pending[id])))
 					}
 				})
 				continue

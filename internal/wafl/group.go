@@ -442,7 +442,10 @@ func (g *Group) applyCPDeltas() {
 		}
 		return
 	}
-	for id, d := range g.deltas {
+	// Sorted order keeps the heap's tie-break (insertion sequence) — and
+	// hence pick order — identical run to run.
+	for _, id := range sortedIDs(g.deltas) {
+		d := g.deltas[id]
 		if g.curValid && id == g.curAA {
 			continue // still held by the allocator; folded in at finishAA
 		}

@@ -100,6 +100,13 @@ type Tunables struct {
 	// operations. CPs in WAFL are triggered by timers and dirty-buffer
 	// thresholds; an op-count trigger is equivalent for steady workloads.
 	CPEveryOps int
+
+	// Workers bounds the fan-out of the deterministic work pool used for CP
+	// flushes, cache rebuilds, and mount-time bitmap walks: 0 selects
+	// min(GOMAXPROCS, 8), 1 forces serial execution. Every measured counter
+	// is identical for every value (see internal/parallel); only the modeled
+	// CPStats.FlushWall shrinks as workers increase.
+	Workers int
 }
 
 // Defaults fills zero fields with production-flavoured values.

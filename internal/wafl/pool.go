@@ -79,7 +79,7 @@ func (ag *Aggregate) AddObjectPool(spec PoolSpec) *Pool {
 	ag.bm.Grow(uint64(start) + spec.Blocks)
 	p := &Pool{spec: spec}
 	p.space = newAgnosticSpace(poolTopAAKey, block.R(start, start+block.VBN(spec.Blocks)),
-		ag.bm, ag.tun.AggregateCacheEnabled, ag.rng)
+		ag.bm, ag.tun.AggregateCacheEnabled, ag.rng, ag.tun.Workers)
 	ag.pool = p
 	return p
 }

@@ -26,6 +26,11 @@ type System struct {
 	opsSinceCP    int
 
 	c Counters
+	// cpWall accumulates the modeled flush wall-clock (CPStats.FlushWall)
+	// across CPs. Kept out of Counters: it is the one quantity that is
+	// *supposed* to shrink with Tunables.Workers, while every Counters field
+	// stays worker-count invariant.
+	cpWall time.Duration
 }
 
 // deviceStatser is satisfied by all concrete device models.
@@ -252,8 +257,15 @@ func (s *System) CP() CPStats {
 	cacheCPU := time.Duration(s.cacheOps()-cacheOpsBefore) * s.tun.CPUPerCacheOp
 	s.c.CPUTime += cacheCPU
 	s.c.CacheCPUTime += cacheCPU
+	s.cpWall += st.FlushWall
 	return st
 }
+
+// CPFlushWall returns the cumulative modeled wall-clock of CP flush phases:
+// each CP contributes the makespan of its per-group (and pool) flush times
+// over Tunables.Workers rather than their serial sum. Compare runs with
+// Workers=1 vs Workers=N to see the concurrent-flush payoff.
+func (s *System) CPFlushWall() time.Duration { return s.cpWall }
 
 // virtScanBlocks sums the virtual allocation cursors' cumulative sweep
 // lengths across volumes.
