@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	fsinspect [-media hdd|ssd|smr] [-groups 2] [-fill 0.5] [-churn 0.5]
+//	fsinspect [-media hdd|ssd|smr] [-groups 2] [-fill 0.5] [-churn 0.5] [-json]
+//
+// With -json the text report is replaced by a machine-readable snapshot of
+// the system's metric registry (every counter, gauge, and histogram the
+// observability layer tracks), suitable for piping into jq.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/obs"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
 )
@@ -28,6 +33,7 @@ func main() {
 	fill := flag.Float64("fill", 0.5, "fraction of the aggregate to fill")
 	churn := flag.Float64("churn", 0.5, "random-overwrite churn factor applied after fill")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit the metric-registry snapshot as JSON instead of the text report")
 	flag.Parse()
 
 	var media aa.Media
@@ -63,6 +69,14 @@ func main() {
 	if lunBlocks > 0 {
 		lun := s.Agg.Vols()[0].CreateLUN("lun0", lunBlocks)
 		workload.Age(s, []*wafl.LUN{lun}, rng, *churn)
+	}
+
+	if *jsonOut {
+		if err := obs.WriteJSON(os.Stdout, "fsinspect", s.Registry().Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("aggregate: %d blocks (%d groups x %d devices x %d), %.1f%% used\n",

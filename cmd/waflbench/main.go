@@ -8,10 +8,18 @@
 //
 //	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
 //	          [-parallel N] [-cpuprofile f] [-memprofile f]
+//	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
 //
 // -parallel sets the deterministic work-pool width: experiment arms, MVA
 // sweep points, CP flushes, and mount walks fan out across N workers, with
 // bit-identical results at any N (0 selects min(GOMAXPROCS, 8)).
+//
+// The observability flags wire every experiment arm into shared sinks:
+// -metrics-addr serves a Prometheus text endpoint at /metrics for the
+// duration of the run (":0" picks a free port; the bench self-checks the
+// endpoint before exiting), -csv-out appends one row per metric per
+// consistency point per arm, and -trace-out writes the canonical CP-phase /
+// allocator event sequence as JSON Lines.
 //
 // Absolute numbers are simulation-scale; the comparisons (who wins, by what
 // factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
@@ -22,12 +30,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"waflfs/internal/experiments"
+	"waflfs/internal/obs"
+	"waflfs/internal/stats"
 )
 
 func main() {
@@ -40,6 +53,10 @@ func main() {
 		"work-pool width for experiments, CP flushes, and mount walks (0 = min(GOMAXPROCS,8), 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus metrics at /metrics on this address during the run (\":0\" picks a free port)")
+	csvOut := flag.String("csv-out", "", "write per-CP metric rows to this CSV file")
+	traceOut := flag.String("trace-out", "", "write the CP-phase/allocator trace to this JSON Lines file")
 	flag.Parse()
 
 	if *list {
@@ -86,20 +103,129 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Workers = *workers
 
+	// Observability sinks. One export registry / tracer / CSV stream is
+	// shared by every experiment arm; each arm registers its metrics under
+	// its own name prefix so the streams stay disjoint.
+	var (
+		export  *obs.Registry
+		tracer  *obs.Tracer
+		csvFile *os.File
+		csvRec  *obs.CSVRecorder
+	)
+	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" {
+		export = obs.NewRegistry()
+		sink := &experiments.ObsSink{Export: export}
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+			sink.Tracer = tracer
+		}
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			csvFile = f
+			csvRec = obs.NewCSVRecorder(f)
+			sink.CSV = csvRec
+		}
+		cfg.Obs = sink
+	}
+
+	var metricsURL string
+	var srv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(export))
+		srv = &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
+		fmt.Printf("serving metrics at %s\n\n", metricsURL)
+	}
+
 	if *exp == "all" {
 		if err := experiments.RunAllContext(context.Background(), cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		e, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
+		start := time.Now()
+		e.Run(cfg, os.Stdout)
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
-	e, err := experiments.Lookup(*exp)
-	if err != nil {
+
+	if err := finishObs(metricsURL, srv, tracer, *traceOut, csvRec, csvFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
-	fmt.Printf("### %s — %s (scale %.2f)\n\n", e.Name, e.Description, cfg.Scale)
-	start := time.Now()
-	e.Run(cfg, os.Stdout)
-	fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+}
+
+// finishObs drains the observability sinks after the experiments finish:
+// it self-checks the metrics endpoint (so scripted runs need no external
+// HTTP client), flushes the trace file with a phase-duration digest, and
+// closes the CSV stream. Any failure is reported as a run failure.
+func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
+	traceOut string, csvRec *obs.CSVRecorder, csvFile *os.File) error {
+	if srv != nil {
+		resp, err := http.Get(metricsURL)
+		if err != nil {
+			return fmt.Errorf("metrics self-check: %w", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("metrics self-check: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			return fmt.Errorf("metrics self-check: status %d, %d bytes", resp.StatusCode, len(body))
+		}
+		fmt.Printf("metrics self-check ok: %d bytes from %s\n", len(body), metricsURL)
+		srv.Close()
+	}
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		evs := tracer.Events()
+		durs := make([]float64, 0, len(evs))
+		for _, ev := range evs {
+			if ev.Dur > 0 {
+				durs = append(durs, float64(ev.Dur))
+			}
+		}
+		sum := stats.Summarize(durs)
+		fmt.Printf("trace: %d events to %s (timed spans: %d, p50 %v, p95 %v)\n",
+			len(evs), traceOut, sum.N(),
+			time.Duration(sum.Percentile(50)).Round(time.Microsecond),
+			time.Duration(sum.Percentile(95)).Round(time.Microsecond))
+	}
+	if csvRec != nil {
+		if err := csvRec.Flush(); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+		if err := csvFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("csv: %d rows\n", csvRec.Rows())
+	}
+	return nil
 }

@@ -24,7 +24,6 @@ import (
 
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
-	"waflfs/internal/parallel"
 	"waflfs/internal/raid"
 )
 
@@ -212,15 +211,7 @@ func (s *Striped) Space() block.Range { return s.geo.VBNRange() }
 // concurrently; scores are pure reads of the bit words. Callers charge
 // scan I/O themselves, so the accounting never depends on the shard count.
 func Scores(t Topology, bm *bitmap.Bitmap, workers int) []uint64 {
-	scores := make([]uint64, t.NumAAs())
-	parallel.ForEach(workers, len(scores), func(id int) {
-		var s uint64
-		for _, seg := range t.Segments(ID(id)) {
-			s += bm.CountFree(seg)
-		}
-		scores[id] = s
-	})
-	return scores
+	return ScoresObs(t, bm, workers, nil, nil)
 }
 
 // ScoreAllParallel computes every AA's score like ScoreAll, fanning the

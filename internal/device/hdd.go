@@ -1,6 +1,10 @@
 package device
 
-import "time"
+import (
+	"time"
+
+	"waflfs/internal/obs"
+)
 
 // HDD is an analytic cost model of a hard drive. A write or read I/O pays a
 // positioning cost (seek + rotational latency) once and then a per-block
@@ -14,7 +18,11 @@ type HDD struct {
 	TransferPerBlock time.Duration
 
 	stats DiskStats
+	hist  *obs.Histogram
 }
+
+// SetBusyHist attaches a per-I/O service-time histogram (nil detaches).
+func (h *HDD) SetBusyHist(hist *obs.Histogram) { h.hist = hist }
 
 // DiskStats records the I/O a disk model has served.
 type DiskStats struct {
@@ -41,6 +49,7 @@ func (h *HDD) WriteChain(start, n uint64) time.Duration {
 	h.stats.WriteIOs++
 	h.stats.BlocksWritten += n
 	h.stats.BusyTime += d
+	h.hist.ObserveDuration(d)
 	return d
 }
 
@@ -50,6 +59,7 @@ func (h *HDD) Read(n uint64) time.Duration {
 	h.stats.ReadIOs++
 	h.stats.BlocksRead += n
 	h.stats.BusyTime += d
+	h.hist.ObserveDuration(d)
 	return d
 }
 

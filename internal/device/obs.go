@@ -1,0 +1,11 @@
+package device
+
+import "waflfs/internal/obs"
+
+// BusyObserver is implemented by device models that can stream per-I/O
+// service times into an observability histogram. The histogram pointer may
+// stay nil (the default): obs instruments are nil-safe, so an unattached
+// model pays one branch per I/O.
+type BusyObserver interface {
+	SetBusyHist(h *obs.Histogram)
+}

@@ -1,6 +1,10 @@
 package device
 
-import "time"
+import (
+	"time"
+
+	"waflfs/internal/obs"
+)
 
 // SSD couples the FTL simulation with a timing model. Host writes cost the
 // flash program time; pages the FTL's garbage collection relocates as a
@@ -16,7 +20,11 @@ type SSD struct {
 	ReadPerBlock time.Duration
 
 	stats DiskStats
+	hist  *obs.Histogram
 }
+
+// SetBusyHist attaches a per-I/O service-time histogram (nil detaches).
+func (s *SSD) SetBusyHist(hist *obs.Histogram) { s.hist = hist }
 
 // Mapping selects the FTL model an SSD uses.
 type Mapping int
@@ -91,6 +99,7 @@ func (s *SSD) WriteChain(start, n uint64) time.Duration {
 	s.stats.WriteIOs++
 	s.stats.BlocksWritten += n
 	s.stats.BusyTime += d
+	s.hist.ObserveDuration(d)
 	return d
 }
 
@@ -100,6 +109,7 @@ func (s *SSD) Read(n uint64) time.Duration {
 	s.stats.ReadIOs++
 	s.stats.BlocksRead += n
 	s.stats.BusyTime += d
+	s.hist.ObserveDuration(d)
 	return d
 }
 

@@ -161,7 +161,7 @@ func ablateAASize(cfg Config) []AASizePoint {
 	sizes := []uint64{1024, 4096, 16384}
 	return parallel.Map(cfg.Workers, len(sizes), func(si int) AASizePoint {
 		stripes := sizes[si]
-		tun := cfg.tunables()
+		tun := cfg.tunablesNamed(fmt.Sprintf("ablate.aasize%d", stripes))
 		spec := wafl.GroupSpec{
 			DataDevices: 6, ParityDevices: 1, BlocksPerDevice: per,
 			Media: aa.MediaHDD, StripesPerAA: stripes,
@@ -200,7 +200,7 @@ func ablateThreshold(cfg Config) []ThresholdPoint {
 	thresholds := []float64{0, 0.05, 0.25, 0.5}
 	return parallel.Map(cfg.Workers, len(thresholds), func(ti int) ThresholdPoint {
 		th := thresholds[ti]
-		r := runFig7With(cfg, th)
+		r := runFig7With(cfg, th, fmt.Sprintf("ablate.bias%g", th))
 		aged := r.BlocksPerTetris[0]
 		agedFull := 0.0
 		if aged > 0 {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"time"
 
+	"waflfs/internal/obs"
 	"waflfs/internal/sim"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
@@ -44,6 +45,25 @@ type Config struct {
 	// walks run across this many workers. 0 selects min(GOMAXPROCS, 8),
 	// 1 forces serial execution; results are identical for every value.
 	Workers int
+	// Obs, when non-nil, routes every System the experiments build into the
+	// shared observability sinks (metric export, tracing, per-CP CSV).
+	Obs *ObsSink
+}
+
+// ObsSink is the shared observability plumbing for an experiment run. Every
+// arm registers under its own name prefix (e.g. "fig6.both."), so arms that
+// execute concurrently never collide in the export registry, and the sinks
+// themselves are safe for concurrent use.
+type ObsSink struct {
+	// Export receives every arm's metrics, prefixed with the arm name.
+	Export *obs.Registry
+	// Tracer records CP-phase and allocator events across all arms; events
+	// carry the arm name in their Sys field.
+	Tracer *obs.Tracer
+	// CSV receives one row per metric per consistency point per arm.
+	CSV *obs.CSVRecorder
+	// DeviceHistograms enables per-device service-time histograms.
+	DeviceHistograms bool
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -57,11 +77,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// tunables returns the default tunables with the experiment's parallelism
-// knob applied, so every System an experiment builds inherits Workers.
-func (c Config) tunables() wafl.Tunables {
+// tunablesNamed returns the default tunables with the experiment's
+// parallelism knob applied and — when Config.Obs is set — the observability
+// sinks wired in under the given arm name. Arms run concurrently, so every
+// call site must pass a distinct name: name collisions in a shared export
+// registry are resolved by construction order, which parallel arms don't
+// have.
+func (c Config) tunablesNamed(name string) wafl.Tunables {
 	tun := wafl.DefaultTunables()
 	tun.Workers = c.Workers
+	if c.Obs != nil {
+		tun.Obs = &wafl.ObsOptions{
+			Name:             name,
+			Export:           c.Obs.Export,
+			Tracer:           c.Obs.Tracer,
+			CSV:              c.Obs.CSV,
+			DeviceHistograms: c.Obs.DeviceHistograms,
+		}
+	}
 	return tun
 }
 

@@ -48,7 +48,10 @@ func mountTime(ms wafl.MountStats) time.Duration {
 }
 
 func fig10Point(cfg Config, nvols int, volBlocks uint64) Fig10Point {
-	tun := cfg.tunables()
+	// The name carries both sweep dimensions: panel A reuses one volume
+	// count at several sizes, and same-named systems would share one trace
+	// seq space nondeterministically under parallel arms.
+	tun := cfg.tunablesNamed(fmt.Sprintf("fig10.vols%d.blk%d", nvols, volBlocks))
 	specs := []wafl.GroupSpec{{
 		DataDevices: 6, ParityDevices: 1,
 		BlocksPerDevice: cfg.scaled(1<<17, 1<<14), Media: aa.MediaHDD,

@@ -76,7 +76,7 @@ type fig6Run struct {
 }
 
 func fig6RunOne(cfg Config, label string, aggCache, volCache bool) fig6Run {
-	tun := cfg.tunables()
+	tun := cfg.tunablesNamed("fig6." + label)
 	tun.AggregateCacheEnabled = aggCache
 	tun.VolCacheEnabled = volCache
 

@@ -38,15 +38,17 @@ const nominalFig7Load = 68000.0
 
 // RunFig7 regenerates Figure 7.
 func RunFig7(cfg Config, w io.Writer) *Fig7Result {
-	res := runFig7With(cfg, 0.05)
+	res := runFig7With(cfg, 0.05, "fig7.min0.05")
 	printFig7(w, res)
 	return res
 }
 
 // runFig7With runs the Figure 7 workload with a configurable
-// fragmented-group bias threshold (also used by the threshold ablation).
-func runFig7With(cfg Config, minFraction float64) *Fig7Result {
-	tun := cfg.tunables()
+// fragmented-group bias threshold. The threshold ablation reuses it with
+// its own sysName: fig7 and the ablations run as concurrent experiments,
+// so they must not register the same system name against shared sinks.
+func runFig7With(cfg Config, minFraction float64, sysName string) *Fig7Result {
+	tun := cfg.tunablesNamed(sysName)
 	tun.MinAAScoreFraction = minFraction
 	per := cfg.scaled(1<<17, 1<<14)
 	g := wafl.GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: per, Media: aa.MediaHDD}

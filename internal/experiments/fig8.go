@@ -42,7 +42,7 @@ func fig8Sizes(cfg Config) (per, eraseUnit, hddAA uint64) {
 }
 
 func fig8RunOne(cfg Config, label string, useHDDAA bool) (Curve, float64) {
-	tun := cfg.tunables()
+	tun := cfg.tunablesNamed("fig8." + label)
 	per, eraseUnit, hddAA := fig8Sizes(cfg)
 	stripesPerAA := uint64(0) // media-derived: 4x erase unit
 	if useHDDAA {

@@ -28,7 +28,7 @@ type Fig9Result struct {
 }
 
 func fig9RunOne(cfg Config, label string, stripesPerAA uint64) (Curve, uint64, uint64) {
-	tun := cfg.tunables()
+	tun := cfg.tunablesNamed("fig9." + label)
 	per := cfg.scaled(1<<19, 1<<17)
 	spec := wafl.GroupSpec{
 		DataDevices:     3,

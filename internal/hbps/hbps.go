@@ -85,7 +85,28 @@ type HBPS struct {
 	pos map[aa.ID]int32
 
 	total uint64 // tracked items across all bins
+
+	m Metrics
 }
+
+// Metrics counts the structural work the HBPS has done since construction.
+// BinMigrations is the number of Update calls that moved an item between
+// histogram bins — the rebalance cost the paper's batched-update design
+// bounds to one moved element per bin; Evictions counts list evictions in
+// favor of a better-binned item. The observability layer exposes these per
+// FlexVol.
+type Metrics struct {
+	Tracks        uint64
+	Untracks      uint64
+	Updates       uint64
+	BinMigrations uint64
+	Pops          uint64
+	Evictions     uint64
+	Replenishes   uint64
+}
+
+// Metrics returns the instance's operation counters.
+func (h *HBPS) Metrics() Metrics { return h.m }
 
 // New creates an empty HBPS.
 func New(cfg Config) *HBPS {
@@ -161,6 +182,7 @@ func (h *HBPS) Listed(id aa.ID) bool {
 // the list if it qualifies. The caller must not Track an id twice without an
 // intervening Untrack.
 func (h *HBPS) Track(id aa.ID, score uint32) {
+	h.m.Tracks++
 	b := h.Bin(score)
 	h.counts[b]++
 	h.total++
@@ -170,6 +192,7 @@ func (h *HBPS) Track(id aa.ID, score uint32) {
 // Untrack removes an item entirely; score must be the last score the
 // structure was told about (HBPS stores no per-item scores, by design).
 func (h *HBPS) Untrack(id aa.ID, score uint32) {
+	h.m.Untracks++
 	b := h.Bin(score)
 	if h.counts[b] == 0 {
 		panic(fmt.Sprintf("hbps: untrack underflow in bin %d", b))
@@ -186,7 +209,9 @@ func (h *HBPS) Untrack(id aa.ID, score uint32) {
 // rises into one of the top ranges is inserted into the list (§3.3.2).
 func (h *HBPS) Update(id aa.ID, oldScore, newScore uint32) {
 	bo, bn := h.Bin(oldScore), h.Bin(newScore)
+	h.m.Updates++
 	if bo != bn {
+		h.m.BinMigrations++
 		if h.counts[bo] == 0 {
 			panic(fmt.Sprintf("hbps: update underflow in bin %d", bo))
 		}
@@ -223,6 +248,7 @@ func (h *HBPS) PopBest() (aa.ID, bool) {
 		return 0, false
 	}
 	id := h.list[0]
+	h.m.Pops++
 	h.removeListed(id)
 	return id, true
 }
@@ -280,6 +306,7 @@ func (h *HBPS) tryList(id aa.ID, b int) bool {
 
 // evictLast drops the final list element, which belongs to worst listed bin w.
 func (h *HBPS) evictLast(w int) {
+	h.m.Evictions++
 	last := len(h.list) - 1
 	delete(h.pos, h.list[last])
 	h.list = h.list[:last]
@@ -351,6 +378,7 @@ func (h *HBPS) NeedsReplenish() bool {
 // of the bitmap metafiles does. The iterator must yield each tracked item
 // exactly once.
 func (h *HBPS) Replenish(items func(yield func(id aa.ID, score uint32))) {
+	h.m.Replenishes++
 	for b := range h.counts {
 		h.counts[b] = 0
 		h.listed[b] = 0

@@ -31,7 +31,27 @@ type Cache struct {
 	heap []Entry
 	// pos maps AA id -> index in heap, or -1 when the AA is not tracked.
 	pos []int32
+
+	m Metrics
 }
+
+// Metrics counts the structural work the heap has done since construction
+// (bulk heapify in NewFromScores is not counted). Swaps is the rebalance
+// cost: one sift step moved an entry. The observability layer exposes these
+// per RAID group.
+type Metrics struct {
+	Inserts uint64
+	Updates uint64
+	Pops    uint64
+	Removes uint64
+	Swaps   uint64
+}
+
+// Ops sums the logical operations (not swaps).
+func (m Metrics) Ops() uint64 { return m.Inserts + m.Updates + m.Pops + m.Removes }
+
+// Metrics returns the cache's operation counters.
+func (c *Cache) Metrics() Metrics { return c.m }
 
 // New creates an empty cache able to track AAs with ids in [0, numAAs).
 func New(numAAs int) *Cache {
@@ -57,6 +77,7 @@ func NewFromScores(scores []uint64) *Cache {
 	for i := len(c.heap)/2 - 1; i >= 0; i-- {
 		c.siftDown(i)
 	}
+	c.m = Metrics{} // bulk heapify is construction, not operational work
 	return c
 }
 
@@ -92,6 +113,7 @@ func (c *Cache) Insert(id aa.ID, score uint64) {
 		c.Update(id, score)
 		return
 	}
+	c.m.Inserts++
 	c.heap = append(c.heap, Entry{ID: id, Score: score})
 	c.pos[id] = int32(len(c.heap) - 1)
 	c.siftUp(len(c.heap) - 1)
@@ -100,6 +122,7 @@ func (c *Cache) Insert(id aa.ID, score uint64) {
 // Update changes the score of a tracked AA and restores the heap property.
 func (c *Cache) Update(id aa.ID, score uint64) {
 	c.mustTracked(id)
+	c.m.Updates++
 	i := int(c.pos[id])
 	old := c.heap[i].Score
 	c.heap[i].Score = score
@@ -127,6 +150,7 @@ func (c *Cache) PopBest() (Entry, bool) {
 		return Entry{}, false
 	}
 	top := c.heap[0]
+	c.m.Pops++
 	c.remove(0)
 	return top, true
 }
@@ -135,6 +159,7 @@ func (c *Cache) PopBest() (Entry, bool) {
 // after a shrink). It panics if untracked.
 func (c *Cache) Remove(id aa.ID) {
 	c.mustTracked(id)
+	c.m.Removes++
 	c.remove(int(c.pos[id]))
 }
 
@@ -251,6 +276,7 @@ func (c *Cache) siftDown(i int) {
 }
 
 func (c *Cache) swap(i, j int) {
+	c.m.Swaps++
 	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
 	c.pos[c.heap[i].ID] = int32(i)
 	c.pos[c.heap[j].ID] = int32(j)

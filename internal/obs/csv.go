@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CSVHeader is the first row a CSVRecorder writes: long/tidy format, one row
+// per metric per consistency point.
+const CSVHeader = "sys,cp,metric,kind,value\n"
+
+// csvChunk is one Record call's worth of rows: all metrics of one system at
+// one consistency point.
+type csvChunk struct {
+	sys  string
+	cp   uint64
+	rows string
+	n    uint64
+}
+
+// CSVRecorder collects per-CP metric snapshots and writes them to w as a
+// tidy CSV time series. Safe for concurrent use by multiple systems
+// (experiment arms): Record buffers, and Flush writes every buffered chunk
+// in canonical (sys, cp) order — like Tracer.Events, the byte stream is
+// independent of how concurrent arms interleaved their Record calls, so
+// runs at any worker count produce identical files. Histograms contribute
+// two rows, <name>.sum and <name>.count, so the file stays rectangular.
+//
+// Write errors are sticky: the first one is kept, returned from Flush, and
+// reported by Err.
+type CSVRecorder struct {
+	mu         sync.Mutex
+	w          io.Writer
+	chunks     []csvChunk
+	wroteHead  bool
+	err        error
+	rowsOut    uint64
+	volatileOK bool
+}
+
+// NewCSVRecorder creates a recorder writing to w. Volatile metrics are
+// excluded by default so CSV output is worker-count invariant; see
+// IncludeVolatile.
+func NewCSVRecorder(w io.Writer) *CSVRecorder {
+	return &CSVRecorder{w: w}
+}
+
+// IncludeVolatile makes subsequent Record calls emit volatile metrics too.
+func (r *CSVRecorder) IncludeVolatile() *CSVRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.volatileOK = true
+	r.mu.Unlock()
+	return r
+}
+
+// Record buffers one row per metric in snap, tagged with the system name
+// and CP ordinal. Nothing reaches the writer until Flush. Nil-safe.
+func (r *CSVRecorder) Record(sys string, cp uint64, snap Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	prefix := csvField(sys) + "," + strconv.FormatUint(cp, 10) + ","
+	rows := uint64(0)
+	for _, m := range snap.Metrics {
+		if m.Volatile && !r.volatileOK {
+			continue
+		}
+		switch {
+		case m.Kind == KindCounter:
+			fmt.Fprintf(&b, "%s%s,counter,%d\n", prefix, csvField(m.Name), m.Value)
+			rows++
+		case m.Kind == KindGauge:
+			fmt.Fprintf(&b, "%s%s,gauge,%d\n", prefix, csvField(m.Name), m.Gauge)
+			rows++
+		case m.Kind == KindHistogram && m.Hist != nil:
+			fmt.Fprintf(&b, "%s%s.sum,histogram,%d\n", prefix, csvField(m.Name), m.Hist.Sum)
+			fmt.Fprintf(&b, "%s%s.count,histogram,%d\n", prefix, csvField(m.Name), m.Hist.Count)
+			rows += 2
+		}
+	}
+	r.chunks = append(r.chunks, csvChunk{sys: sys, cp: cp, rows: b.String(), n: rows})
+	r.rowsOut += rows
+}
+
+// Flush writes the header (once) and every buffered chunk in canonical
+// (sys, cp) order, then drops the buffer. Call it after the run — flushing
+// while systems are still recording would freeze an arbitrary prefix of
+// the stream and forfeit the canonical ordering. Nil-safe.
+func (r *CSVRecorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	sort.SliceStable(r.chunks, func(i, j int) bool {
+		if r.chunks[i].sys != r.chunks[j].sys {
+			return r.chunks[i].sys < r.chunks[j].sys
+		}
+		return r.chunks[i].cp < r.chunks[j].cp
+	})
+	var b strings.Builder
+	if !r.wroteHead {
+		b.WriteString(CSVHeader)
+		r.wroteHead = true
+	}
+	for _, c := range r.chunks {
+		b.WriteString(c.rows)
+	}
+	r.chunks = nil
+	if _, err := io.WriteString(r.w, b.String()); err != nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Rows reports the number of data rows recorded so far.
+func (r *CSVRecorder) Rows() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rowsOut
+}
+
+// Err returns the first write error, if any.
+func (r *CSVRecorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// csvField quotes a field if it contains a comma, quote, or newline.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// sanitizeProm maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:]; dots, dashes, '#' and anything else become underscores.
+func sanitizeProm(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: metrics appear in
+// snapshot (name-sorted) order.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range snap.Metrics {
+		name := sanitizeProm(m.Name)
+		switch {
+		case m.Kind == KindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, m.Value)
+		case m.Kind == KindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, m.Gauge)
+		case m.Kind == KindHistogram && m.Hist != nil:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			cum := uint64(0)
+			for i, bound := range m.Hist.Bounds {
+				cum += m.Hist.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+			}
+			cum += m.Hist.Counts[len(m.Hist.Bounds)]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, m.Hist.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in the Prometheus text format on every path
+// (conventionally scraped at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}

@@ -1,0 +1,408 @@
+// Package obs is the repo's structured observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms), a span/event
+// tracer driven by the simulation's modeled clock, and exporters for the
+// Prometheus text format, per-CP CSV time series, and JSON snapshots.
+//
+// Two properties are load-bearing:
+//
+//   - Zero-overhead off switch. Every instrument type is nil-safe: calling
+//     Add/Observe/Emit on a nil *Counter, *Histogram, or *SysTracer is a
+//     single branch and no allocation, so instrumentation sites can hold
+//     possibly-nil pointers and the default (observability off) costs
+//     nothing measurable (see BenchmarkCounterHotPath).
+//
+//   - Determinism. Snapshots are ordered by metric name, counter and
+//     histogram updates are commutative atomics, and tracer events sort into
+//     a canonical order, so a run at Workers=8 produces bit-identical
+//     stable snapshots and event sequences to the same run at Workers=1.
+//     Metrics whose value legitimately depends on the worker count (modeled
+//     flush wall-clock, pool slot accounting) are registered as volatile and
+//     excluded from StableSnapshot.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is unusable;
+// obtain one from Registry.Counter. All methods are nil-safe no-ops so
+// disabled instrumentation costs one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddDuration adds a non-negative duration, counted in nanoseconds.
+func (c *Counter) AddDuration(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(uint64(d))
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over uint64 samples. Bounds are
+// inclusive upper bounds in ascending order; an implicit +Inf bucket catches
+// the overflow. Observations are two atomic adds plus a small binary search:
+// no allocation on the hot path.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// DurationBuckets is the standard bucket layout for modeled latencies, in
+// nanoseconds: 1µs to 10s in decades.
+var DurationBuckets = []uint64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// FanoutBuckets is the standard bucket layout for work-pool fan-out widths.
+var FanoutBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a non-negative duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil || d < 0 {
+		return
+	}
+	h.Observe(uint64(d))
+}
+
+// Value snapshots the histogram.
+func (h *Histogram) Value() HistValue {
+	if h == nil {
+		return HistValue{}
+	}
+	hv := HistValue{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		hv.Counts[i] = h.counts[i].Load()
+	}
+	return hv
+}
+
+// HistValue is the exported state of a histogram.
+type HistValue struct {
+	// Bounds are the inclusive upper bucket bounds, ascending.
+	Bounds []uint64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the +Inf bucket.
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Kind names in snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Metric is one named instrument's snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Value uint64 `json:"value,omitempty"` // counters
+	Gauge int64  `json:"gauge,omitempty"` // gauges
+	// Hist is set for histograms only.
+	Hist *HistValue `json:"hist,omitempty"`
+	// Volatile marks metrics whose value legitimately varies with the
+	// worker count; StableSnapshot excludes them.
+	Volatile bool `json:"volatile,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a registry, ordered by metric name.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns the named metric from the snapshot.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+type entry struct {
+	name     string
+	kind     string
+	volatile bool
+
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	cfn func() uint64 // counter-valued read-through
+	gfn func() int64  // gauge-valued read-through
+}
+
+func (e *entry) snapshot() Metric {
+	m := Metric{Name: e.name, Kind: e.kind, Volatile: e.volatile}
+	switch {
+	case e.c != nil:
+		m.Value = e.c.Value()
+	case e.cfn != nil:
+		m.Value = e.cfn()
+	case e.g != nil:
+		m.Gauge = e.g.Value()
+	case e.gfn != nil:
+		m.Gauge = e.gfn()
+	case e.h != nil:
+		hv := e.h.Value()
+		m.Hist = &hv
+	}
+	return m
+}
+
+// Registry names and snapshots a set of instruments. Registration is
+// idempotent by name (re-registering returns the existing instrument);
+// snapshots are deterministic: sorted by name, with read-through functions
+// evaluated at snapshot time.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	// mirror, when set, receives a prefixed alias of every entry registered
+	// here — how per-System registries feed a shared export registry without
+	// double accounting (the alias shares the underlying instrument).
+	mirror       *Registry
+	mirrorPrefix string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// MirrorTo makes every current and future entry of r also visible in dst
+// under prefix+name. The mirrored entries share the underlying instruments,
+// so there is exactly one accounting path. Name collisions in dst get a
+// deterministic "#2", "#3", ... suffix.
+func (r *Registry) MirrorTo(dst *Registry, prefix string) {
+	if dst == nil {
+		return
+	}
+	r.mu.Lock()
+	r.mirror, r.mirrorPrefix = dst, prefix
+	existing := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		existing = append(existing, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(existing, func(i, j int) bool { return existing[i].name < existing[j].name })
+	for _, e := range existing {
+		dst.attach(prefix+e.name, e)
+	}
+}
+
+func (r *Registry) attach(name string, src *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	final := name
+	for n := 2; ; n++ {
+		if _, taken := r.entries[final]; !taken {
+			break
+		}
+		final = fmt.Sprintf("%s#%d", name, n)
+	}
+	alias := *src
+	alias.name = final
+	r.entries[final] = &alias
+}
+
+// register adds e under its name, or returns the existing entry of the same
+// kind. A kind mismatch panics: it is a programming error.
+func (r *Registry) register(e *entry) *entry {
+	r.mu.Lock()
+	if old, ok := r.entries[e.name]; ok {
+		r.mu.Unlock()
+		if old.kind != e.kind {
+			panic(fmt.Sprintf("obs: %q re-registered as %s (was %s)", e.name, e.kind, old.kind))
+		}
+		return old
+	}
+	r.entries[e.name] = e
+	mirror, prefix := r.mirror, r.mirrorPrefix
+	r.mu.Unlock()
+	if mirror != nil {
+		mirror.attach(prefix+e.name, e)
+	}
+	return e
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name string) *Counter {
+	return r.register(&entry{name: name, kind: KindCounter, c: &Counter{}}).c
+}
+
+// VolatileCounter registers a counter excluded from StableSnapshot.
+func (r *Registry) VolatileCounter(name string) *Counter {
+	return r.register(&entry{name: name, kind: KindCounter, volatile: true, c: &Counter{}}).c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.register(&entry{name: name, kind: KindGauge, g: &Gauge{}}).g
+}
+
+// Histogram registers (or fetches) a histogram with the given bounds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	return r.register(&entry{name: name, kind: KindHistogram, h: NewHistogram(bounds)}).h
+}
+
+// CounterFunc registers a read-through counter: fn is evaluated at snapshot
+// time. This is how existing accounting fields become registry views without
+// a second accounting path that could drift.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.register(&entry{name: name, kind: KindCounter, cfn: fn})
+}
+
+// VolatileCounterFunc is CounterFunc for worker-count-dependent values.
+func (r *Registry) VolatileCounterFunc(name string, fn func() uint64) {
+	r.register(&entry{name: name, kind: KindCounter, volatile: true, cfn: fn})
+}
+
+// GaugeFunc registers a read-through gauge.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.register(&entry{name: name, kind: KindGauge, gfn: fn})
+}
+
+// Value returns the current counter value of the named metric.
+func (r *Registry) Value(name string) (uint64, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	m := e.snapshot()
+	return m.Value, true
+}
+
+// Snapshot returns every metric, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	return r.snapshot(true)
+}
+
+// StableSnapshot returns every non-volatile metric, sorted by name. Two runs
+// of the same workload at different worker counts produce DeepEqual stable
+// snapshots — the registry's determinism contract.
+func (r *Registry) StableSnapshot() Snapshot {
+	return r.snapshot(false)
+}
+
+func (r *Registry) snapshot(includeVolatile bool) Snapshot {
+	r.mu.Lock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if !includeVolatile && e.volatile {
+			continue
+		}
+		es = append(es, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	snap := Snapshot{Metrics: make([]Metric, len(es))}
+	for i, e := range es {
+		snap.Metrics[i] = e.snapshot()
+	}
+	return snap
+}

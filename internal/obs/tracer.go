@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one trace record: a CP phase span, a mount-time rebuild shard, or
+// an allocator decision. Timestamps come from the modeled clock (cumulative
+// worker-invariant simulated time), never the host clock, so traces are
+// reproducible and comparable across worker counts.
+type Event struct {
+	// Sys names the emitting system (experiment arm label or "wafl").
+	Sys string `json:"sys"`
+	// CP is the consistency-point ordinal at emission time (0 before the
+	// first CP, e.g. for mount events).
+	CP uint64 `json:"cp"`
+	// Phase groups events: "cp.alloc", "cp.flush", "cp.fold", "cp.metafile",
+	// "cp.topaa", "cp.delayed_free", "alloc.phys", "alloc.virt", "mount.group",
+	// "mount.space", ...
+	Phase string `json:"phase"`
+	// Shard is the deterministic shard index within the phase (RAID-group
+	// index, volume index, ...; -1 for aggregate-wide events).
+	Shard int `json:"shard"`
+	// Seq orders events within (Sys, CP, Phase, Shard); assigned under the
+	// tracer lock in emission order, which is deterministic per shard.
+	Seq int `json:"seq"`
+	// Name is the event kind within the phase ("cache_hit", "group_flush",
+	// "heap_rebalance", ...).
+	Name string `json:"name"`
+	// At is the modeled-clock timestamp.
+	At time.Duration `json:"at_ns"`
+	// Dur is the modeled duration for span-like events (0 for point events).
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Value carries the event's payload (score, blocks, update count, ...).
+	Value int64 `json:"value,omitempty"`
+}
+
+type seqKey struct {
+	sys   string
+	cp    uint64
+	phase string
+	shard int
+}
+
+// Tracer collects events from one or more systems. It is safe for
+// concurrent use: events emitted from parallel shards carry deterministic
+// (Phase, Shard, Seq) coordinates, and Events returns the canonical order,
+// so traces from Workers=1 and Workers=8 runs compare DeepEqual.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	seq    map[seqKey]int
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{seq: make(map[seqKey]int)}
+}
+
+// Sys returns a per-system handle with its own CP ordinal and modeled
+// clock. Returns nil (a valid no-op handle) if t is nil.
+func (t *Tracer) Sys(name string) *SysTracer {
+	if t == nil {
+		return nil
+	}
+	return &SysTracer{t: t, sys: name}
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of all events in canonical order: sorted by
+// (Sys, CP, Phase, Shard, Seq). This order is independent of the
+// interleaving of parallel shards during recording.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Sys != b.Sys {
+			return a.Sys < b.Sys
+		}
+		if a.CP != b.CP {
+			return a.CP < b.CP
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return evs
+}
+
+// WriteJSONL writes the canonical event sequence as JSON Lines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SysTracer is a per-system emission handle. The CP ordinal and modeled
+// clock are written only from the system's serial sections (BeginCP /
+// Advance run between parallel phases); Emit may be called from parallel
+// shards and is serialized by the shared tracer lock. All methods are
+// nil-safe so instrumentation sites need no enablement checks.
+type SysTracer struct {
+	t     *Tracer
+	sys   string
+	cp    uint64
+	clock time.Duration
+}
+
+// BeginCP advances the CP ordinal; call at the start of each CP.
+func (s *SysTracer) BeginCP() {
+	if s == nil {
+		return
+	}
+	s.cp++
+}
+
+// Advance moves the modeled clock forward by d. The caller must advance by
+// worker-invariant quantities only (device busy time, modeled CPU) — never
+// by makespans — or timestamps would differ across worker counts.
+func (s *SysTracer) Advance(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.clock += d
+}
+
+// Clock returns the current modeled-clock reading.
+func (s *SysTracer) Clock() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.clock
+}
+
+// Emit records one event at the current CP and modeled clock.
+func (s *SysTracer) Emit(phase string, shard int, name string, dur time.Duration, value int64) {
+	if s == nil {
+		return
+	}
+	k := seqKey{sys: s.sys, cp: s.cp, phase: phase, shard: shard}
+	s.t.mu.Lock()
+	seq := s.t.seq[k]
+	s.t.seq[k] = seq + 1
+	s.t.events = append(s.t.events, Event{
+		Sys:   s.sys,
+		CP:    s.cp,
+		Phase: phase,
+		Shard: shard,
+		Seq:   seq,
+		Name:  name,
+		At:    s.clock,
+		Dur:   dur,
+		Value: value,
+	})
+	s.t.mu.Unlock()
+}

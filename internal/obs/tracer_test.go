@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	st := tr.Sys("x")
+	st.BeginCP()
+	st.Advance(time.Second)
+	st.Emit("cp.flush", 0, "group_flush", time.Millisecond, 1)
+	if st.Clock() != 0 || tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be a no-op")
+	}
+}
+
+func TestTracerCanonicalOrder(t *testing.T) {
+	tr := NewTracer()
+	st := tr.Sys("a")
+	st.BeginCP()
+	// Emit shards out of order, as a parallel pool might.
+	st.Emit("cp.flush", 2, "group_flush", 30, 0)
+	st.Emit("cp.flush", 0, "group_flush", 10, 0)
+	st.Emit("cp.flush", 0, "group_flush", 11, 0) // second event on shard 0
+	st.Emit("cp.flush", 1, "group_flush", 20, 0)
+	st.Advance(60)
+	st.BeginCP()
+	st.Emit("cp.alloc", 0, "vol", 0, 5)
+
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	// Canonical: cp1 shard0 seq0, shard0 seq1, shard1, shard2, then cp2.
+	wantDur := []time.Duration{10, 11, 20, 30, 0}
+	for i, ev := range evs {
+		if ev.Dur != wantDur[i] {
+			t.Fatalf("event %d dur = %d, want %d (order wrong: %+v)", i, ev.Dur, wantDur[i], evs)
+		}
+	}
+	if evs[4].CP != 2 || evs[4].At != 60 {
+		t.Fatalf("cp2 event = %+v, want CP=2 At=60", evs[4])
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("per-shard seq = %d,%d, want 0,1", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+// TestTracerParallelDeterminism emits the same per-shard event sequences
+// from concurrent goroutines twice and checks the canonical orders match —
+// the property CP flush shards rely on.
+func TestTracerParallelDeterminism(t *testing.T) {
+	run := func() []Event {
+		tr := NewTracer()
+		st := tr.Sys("sys")
+		st.BeginCP()
+		var wg sync.WaitGroup
+		for shard := 0; shard < 8; shard++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					st.Emit("cp.fold", shard, "update", 0, int64(shard*10+i))
+				}
+			}(shard)
+		}
+		wg.Wait()
+		return tr.Events()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("canonical event order differs between identical concurrent runs")
+	}
+	if len(a) != 40 {
+		t.Fatalf("got %d events, want 40", len(a))
+	}
+}

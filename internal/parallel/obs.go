@@ -1,0 +1,42 @@
+package parallel
+
+import "waflfs/internal/obs"
+
+// Obs carries the pool instruments a caller wants fan-outs recorded into.
+// All fields may be nil (obs instruments are nil-safe), and a nil *Obs is a
+// valid no-op, so instrumented call sites need no enablement checks.
+type Obs struct {
+	// Fanouts counts ForEachObs invocations.
+	Fanouts *obs.Counter
+	// Items counts the work items dispatched across all fan-outs — the
+	// queue depth fed to the pool.
+	Items *obs.Counter
+	// Width is the distribution of fan-out widths (items per invocation).
+	Width *obs.Histogram
+	// Occupancy sums the resolved worker counts actually used per fan-out
+	// (min(workers, n)). It depends on the configured worker count, so
+	// register it volatile: it is expected to differ across worker counts.
+	Occupancy *obs.Counter
+}
+
+func (o *Obs) record(workers, n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.Fanouts.Inc()
+	o.Items.Add(uint64(n))
+	o.Width.Observe(uint64(n))
+	eff := Workers(workers)
+	if eff > n {
+		eff = n
+	}
+	o.Occupancy.Add(uint64(eff))
+}
+
+// ForEachObs is ForEach with pool telemetry recorded into o (which may be
+// nil). The recording happens before dispatch on the caller's goroutine, so
+// it adds nothing to item execution and is identical for every worker count.
+func ForEachObs(workers, n int, o *Obs, fn func(i int)) {
+	o.record(workers, n)
+	ForEach(workers, n, fn)
+}

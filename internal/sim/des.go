@@ -4,8 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
+
+	"waflfs/internal/stats"
 )
 
 // Discrete-event simulation of the same closed queueing network Solve
@@ -157,17 +158,14 @@ func Simulate(cfg DESConfig) DESResult {
 		res.Throughput = float64(measured) / elapsed
 	}
 	res.MeanLatency = time.Duration(latSum / float64(measured) * float64(time.Second))
-	res.P50 = desPercentile(lats, 0.50)
-	res.P95 = desPercentile(lats, 0.95)
+	// One Summarize sorts the latencies once for every quantile we serve,
+	// instead of the old per-percentile copy-and-sort.
+	sum := stats.Summarize(lats)
+	res.P50 = desSeconds(sum.Percentile(50))
+	res.P95 = desSeconds(sum.Percentile(95))
 	return res
 }
 
-func desPercentile(xs []float64, p float64) time.Duration {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	idx := int(p * float64(len(sorted)-1))
-	return time.Duration(sorted[idx] * float64(time.Second))
+func desSeconds(secs float64) time.Duration {
+	return time.Duration(secs * float64(time.Second))
 }

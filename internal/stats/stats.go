@@ -43,6 +43,75 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[rank]
 }
 
+// Summary is a one-time-sorted view of a sample set. Percentile sorts a
+// fresh copy on every call, which is wasteful when a harness asks for
+// several quantiles of the same data; Summarize sorts once and then serves
+// Mean/Percentile/Min/Max/Stddev in O(1)/O(1)/O(n) without re-sorting.
+type Summary struct {
+	sorted []float64
+	mean   float64
+}
+
+// Summarize copies and sorts xs once. The input slice is not modified.
+func Summarize(xs []float64) Summary {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{sorted: sorted, mean: Mean(sorted)}
+}
+
+// N returns the sample count.
+func (s Summary) N() int { return len(s.sorted) }
+
+// Mean returns the arithmetic mean (0 for an empty summary).
+func (s Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 for an empty summary).
+func (s Summary) Min() float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest sample (0 for an empty summary).
+func (s Summary) Max() float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest rank,
+// matching the package-level Percentile but without the per-call sort.
+func (s Summary) Percentile(p float64) float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.sorted) {
+		rank = len(s.sorted) - 1
+	}
+	return s.sorted[rank]
+}
+
+// Stddev returns the population standard deviation.
+func (s Summary) Stddev() float64 {
+	if len(s.sorted) < 2 {
+		return 0
+	}
+	var acc float64
+	for _, x := range s.sorted {
+		acc += (x - s.mean) * (x - s.mean)
+	}
+	return math.Sqrt(acc / float64(len(s.sorted)))
+}
+
 // Stddev returns the population standard deviation of xs.
 func Stddev(xs []float64) float64 {
 	if len(xs) < 2 {

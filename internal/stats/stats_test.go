@@ -41,6 +41,46 @@ func TestPercentile(t *testing.T) {
 	Percentile(xs, 101)
 }
 
+func TestSummaryMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6}
+	s := Summarize(xs)
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 95, 100} {
+		if got, want := s.Percentile(p), Percentile(xs, p); got != want {
+			t.Fatalf("Summary.Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if s.Mean() != Mean(xs) {
+		t.Fatalf("Summary.Mean = %v, want %v", s.Mean(), Mean(xs))
+	}
+	if math.Abs(s.Stddev()-Stddev(xs)) > 1e-12 {
+		t.Fatalf("Summary.Stddev = %v, want %v", s.Stddev(), Stddev(xs))
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.N() != 9 {
+		t.Fatalf("min/max/n = %v/%v/%d", s.Min(), s.Max(), s.N())
+	}
+	// Summarize must not mutate its input.
+	if xs[0] != 9 {
+		t.Fatal("Summarize sorted its input")
+	}
+}
+
+func TestSummaryEmptyAndPanics(t *testing.T) {
+	var empty Summary
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 || empty.Min() != 0 ||
+		empty.Max() != 0 || empty.Stddev() != 0 || empty.N() != 0 {
+		t.Fatal("zero Summary must read zero")
+	}
+	if Summarize(nil).Percentile(99) != 0 {
+		t.Fatal("empty Summarize percentile")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile did not panic")
+		}
+	}()
+	Summarize([]float64{1}).Percentile(-1)
+}
+
 func TestStddev(t *testing.T) {
 	if Stddev([]float64{3}) != 0 {
 		t.Fatal("single-element stddev")

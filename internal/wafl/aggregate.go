@@ -9,6 +9,7 @@ import (
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
 	"waflfs/internal/heapcache"
+	"waflfs/internal/obs"
 	"waflfs/internal/parallel"
 	"waflfs/internal/topaa"
 )
@@ -26,6 +27,16 @@ type Aggregate struct {
 	rng    *rand.Rand
 
 	nextRR int // round-robin start position over groups
+
+	// Observability (see obs.go). reg always exists; st is nil unless a
+	// tracer was configured.
+	reg       *obs.Registry
+	st        *obs.SysTracer
+	obsOpts   ObsOptions
+	pobs      *parallel.Obs
+	scoredAAs *obs.Counter
+	cpTot     cpTotals
+	mountTot  mountTotals
 }
 
 // NewAggregate builds an aggregate from RAID-group specs. The seed makes
@@ -44,6 +55,10 @@ func NewAggregate(specs []GroupSpec, tun Tunables, seed int64) *Aggregate {
 		next = g.geo.VBNRange().End
 	}
 	ag.bm = bitmap.New(uint64(next))
+	ag.initObs()
+	for _, g := range ag.groups {
+		ag.registerGroupObs(g)
+	}
 	return ag
 }
 
@@ -82,6 +97,7 @@ func (ag *Aggregate) AddGroup(spec GroupSpec) *Group {
 	g := buildGroup(len(ag.groups), spec, start, ag.tun, ag.rng)
 	ag.groups = append(ag.groups, g)
 	ag.bm.Grow(uint64(g.geo.VBNRange().End))
+	ag.registerGroupObs(g)
 	return g
 }
 
@@ -95,6 +111,7 @@ func (ag *Aggregate) AddVolume(spec VolSpec) *FlexVol {
 	}
 	v := newFlexVol(spec, ag.tun, ag.rng)
 	ag.vols = append(ag.vols, v)
+	ag.registerSpaceObs(v.space, "vol."+v.Name+".", len(ag.vols)-1)
 	return v
 }
 
@@ -200,29 +217,34 @@ func (ag *Aggregate) CommitCP() CPStats {
 	workers := ag.workers()
 
 	busy := make([]time.Duration, len(ag.groups))
-	parallel.ForEach(workers, len(ag.groups), func(i int) {
+	parallel.ForEachObs(workers, len(ag.groups), ag.pobs, func(i int) {
 		g := ag.groups[i]
 		busy[i] = g.flushCP()
+		ag.st.Emit("cp.flush", i, "group", busy[i], 0)
 		g.applyCPDeltas()
 	})
 	for i, g := range ag.groups {
 		st.DeviceBusy += busy[i]
 		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
 		st.TopAABlocks++
+		ag.st.Emit("cp.topaa", g.Index, "group", 0, 1)
 	}
 	if ag.pool != nil {
 		poolBusy := ag.pool.flushCP()
 		st.DeviceBusy += poolBusy
 		busy = append(busy, poolBusy) // the object store flushes alongside the groups
+		ag.st.Emit("cp.flush", poolShard, "pool", poolBusy, 0)
 		ag.pool.space.applyCPDeltas()
 		ag.store.SaveAgnostic(poolTopAAKey, ag.pool.space.cache)
 		st.TopAABlocks += 2
+		ag.st.Emit("cp.topaa", poolShard, "pool", 0, 2)
 	}
 	st.FlushWall = parallel.Makespan(busy, workers)
 	st.MetafilePagesAggregate = ag.bm.Flush()
+	ag.st.Emit("cp.metafile", -1, "aggregate", 0, int64(st.MetafilePagesAggregate))
 
 	volPages := make([]int, len(ag.vols))
-	parallel.ForEach(workers, len(ag.vols), func(i int) {
+	parallel.ForEachObs(workers, len(ag.vols), ag.pobs, func(i int) {
 		v := ag.vols[i]
 		v.space.applyCPDeltas()
 		volPages[i] = v.bm.Flush()
@@ -231,7 +253,10 @@ func (ag *Aggregate) CommitCP() CPStats {
 		ag.store.SaveAgnostic(v.Name, v.space.cache)
 		st.TopAABlocks += 2
 		st.MetafilePagesVols += volPages[i]
+		ag.st.Emit("cp.metafile", i, "volume", 0, int64(volPages[i]))
+		ag.st.Emit("cp.topaa", i, "volume", 0, 2)
 	}
+	ag.cpTot.add(st)
 	return st
 }
 
@@ -283,7 +308,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	}
 
 	groupStats := make([]rebuildStats, len(ag.groups))
-	parallel.ForEach(workers, len(ag.groups), func(i int) {
+	parallel.ForEachObs(workers, len(ag.groups), ag.pobs, func(i int) {
 		g := ag.groups[i]
 		g.curValid = false
 		g.cpWrites = g.cpWrites[:0]
@@ -317,11 +342,12 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 			}
 		}
 		if !rebuilt {
-			scores := aa.ScoreAllParallel(g.topo, ag.bm, workers)
+			scores := aa.ScoreAllParallelObs(g.topo, ag.bm, workers, ag.pobs, ag.scoredAAs)
 			g.cache = heapcache.NewFromScores(scores)
 			g.seedOnly = false
 			groupStats[i].inserts += uint64(len(scores))
 		}
+		ag.st.Emit("mount.group", i, rebuildKind(rebuilt), 0, int64(groupStats[i].inserts))
 	})
 	for _, st := range groupStats {
 		ms.CacheInserts += st.inserts
@@ -339,7 +365,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		names = append(names, poolTopAAKey)
 	}
 	spaceStats := make([]rebuildStats, len(spaces))
-	parallel.ForEach(workers, len(spaces), func(i int) {
+	parallel.ForEachObs(workers, len(spaces), ag.pobs, func(i int) {
 		sp := spaces[i]
 		sp.curValid = false
 		sp.deltas = make(map[aa.ID]int64)
@@ -356,6 +382,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 			sp.replenish()
 			spaceStats[i].inserts += uint64(sp.topo.NumAAs())
 		}
+		ag.st.Emit("mount.space", sp.shard, rebuildKind(rebuilt), 0, int64(spaceStats[i].inserts))
 	})
 	for _, st := range spaceStats {
 		ms.CacheInserts += st.inserts
@@ -368,7 +395,16 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	for i, v := range ag.vols {
 		ms.BitmapPagesRead += v.bm.Stats().PageReads - preVolBM[i]
 	}
+	ag.mountTot.add(ms)
 	return ms
+}
+
+// rebuildKind names a mount rebuild path for trace events.
+func rebuildKind(fromTopAA bool) string {
+	if fromTopAA {
+		return "topaa_seed"
+	}
+	return "bitmap_walk"
 }
 
 // workers resolves the aggregate's parallelism knob (Tunables.Workers).
@@ -384,7 +420,7 @@ func (ag *Aggregate) CompleteBackgroundFill() uint64 {
 		if !g.seedOnly {
 			continue
 		}
-		scores := aa.ScoreAllParallel(g.topo, ag.bm, ag.workers())
+		scores := aa.ScoreAllParallelObs(g.topo, ag.bm, ag.workers(), ag.pobs, ag.scoredAAs)
 		for id := 0; id < g.topo.NumAAs(); id++ {
 			if g.curValid && aa.ID(id) == g.curAA {
 				continue // held by the allocator; reinserted at finishAA
@@ -411,7 +447,7 @@ func (ag *Aggregate) RepairTopAA() int {
 	repaired := 0
 	for _, g := range ag.groups {
 		g.finishAA(ag.bm)
-		scores := aa.ScoreAllParallel(g.topo, ag.bm, ag.workers())
+		scores := aa.ScoreAllParallelObs(g.topo, ag.bm, ag.workers(), ag.pobs, ag.scoredAAs)
 		g.cache = heapcache.NewFromScores(scores)
 		g.seedOnly = false
 		g.deltas = make(map[aa.ID]int64)

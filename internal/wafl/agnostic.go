@@ -9,6 +9,8 @@ import (
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
 	"waflfs/internal/hbps"
+	"waflfs/internal/obs"
+	"waflfs/internal/parallel"
 )
 
 // agnosticSpace is the allocation machinery shared by every RAID-agnostic
@@ -47,6 +49,12 @@ type agnosticSpace struct {
 	// colocating virtual VBNs, which the CPU model charges per unit.
 	scannedBlocks   uint64
 	allocatedBlocks uint64
+
+	// Observability handles (nil-safe; set by Aggregate.registerSpaceObs).
+	st     *obs.SysTracer
+	shard  int // trace shard: volume index, or poolShard for the pool
+	pobs   *parallel.Obs
+	scored *obs.Counter
 }
 
 func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand, workers int) *agnosticSpace {
@@ -78,6 +86,7 @@ func (s *agnosticSpace) pick() bool {
 	if s.cacheEnabled {
 		got, ok := s.cache.PopBest()
 		if !ok {
+			s.st.Emit("alloc.virt", s.shard, "list_dry", 0, 0)
 			s.replenish()
 			if got, ok = s.cache.PopBest(); !ok {
 				return false
@@ -85,6 +94,9 @@ func (s *agnosticSpace) pick() bool {
 		}
 		s.cacheOps++
 		id = got
+		if s.st != nil { // score recomputation is pure popcount; skip when off
+			s.st.Emit("alloc.virt", s.shard, "hbps_pop", 0, int64(s.aaScore(id)))
+		}
 	} else {
 		n := s.topo.NumAAs()
 		found := false
@@ -104,6 +116,9 @@ func (s *agnosticSpace) pick() bool {
 		}
 		if !found {
 			return false
+		}
+		if s.st != nil {
+			s.st.Emit("alloc.virt", s.shard, "random_pick", 0, int64(s.aaScore(id)))
 		}
 	}
 	s.curAA = id
@@ -127,7 +142,7 @@ func (s *agnosticSpace) replenish() {
 	for id := range s.deltas {
 		delete(s.deltas, id)
 	}
-	scores := aa.Scores(s.topo, s.bm, s.workers)
+	scores := aa.ScoresObs(s.topo, s.bm, s.workers, s.pobs, s.scored)
 	s.cache.Replenish(func(yield func(aa.ID, uint32)) {
 		for id, sc := range scores {
 			yield(aa.ID(id), uint32(sc))
@@ -195,6 +210,7 @@ func (s *agnosticSpace) applyCPDeltas() {
 		}
 		return
 	}
+	var folds int64
 	for _, id := range sortedIDs(s.deltas) {
 		d := s.deltas[id]
 		if d == 0 {
@@ -208,8 +224,10 @@ func (s *agnosticSpace) applyCPDeltas() {
 		}
 		s.cache.Update(id, uint32(old), newScore)
 		s.cacheOps++
+		folds++
 		delete(s.deltas, id)
 	}
+	s.st.Emit("cp.fold.virt", s.shard, "hbps_updates", 0, folds)
 }
 
 // sortedIDs returns the map's keys in ascending AA order, so cache updates

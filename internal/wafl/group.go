@@ -10,6 +10,7 @@ import (
 	"waflfs/internal/block"
 	"waflfs/internal/device"
 	"waflfs/internal/heapcache"
+	"waflfs/internal/obs"
 	"waflfs/internal/raid"
 )
 
@@ -72,6 +73,10 @@ type Group struct {
 	azcsSeqWrites    uint64
 	azcsRandomWrites uint64
 	deviceBusy       time.Duration // busy time charged during CP flushes
+
+	// Observability handles (nil-safe; set by Aggregate.registerGroupObs).
+	st     *obs.SysTracer
+	scored *obs.Counter
 }
 
 // buildGroup constructs the runtime for one spec at the given VBN offset.
@@ -227,6 +232,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 	if g.cacheEnabled {
 		e, ok := g.cache.PopBest()
 		if !ok {
+			g.st.Emit("alloc.phys", g.Index, "cache_empty", 0, 0)
 			return false
 		}
 		g.cacheOps++
@@ -234,9 +240,11 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 			// Even the best AA has no free blocks: the group is full.
 			g.cache.Insert(e.ID, 0)
 			g.cacheOps++
+			g.st.Emit("alloc.phys", g.Index, "cache_exhausted", 0, 0)
 			return false
 		}
 		id, score = e.ID, e.Score
+		g.st.Emit("alloc.phys", g.Index, "cache_hit", 0, int64(score))
 	} else {
 		// Random selection; retry a bounded number of times to find an AA
 		// with any free space, then fall back to a linear sweep.
@@ -245,6 +253,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 		for try := 0; try < 16 && !found; try++ {
 			id = aa.ID(g.rng.Intn(n))
 			score = aa.Score(g.topo, bm, id)
+			g.scored.Inc()
 			found = score > 0
 		}
 		if !found {
@@ -252,6 +261,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 			for off := 0; off < n; off++ {
 				id = aa.ID((start + off) % n)
 				score = aa.Score(g.topo, bm, id)
+				g.scored.Inc()
 				if score > 0 {
 					found = true
 					break
@@ -261,6 +271,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 		if !found {
 			return false
 		}
+		g.st.Emit("alloc.phys", g.Index, "random_pick", 0, int64(score))
 	}
 	g.curAA = id
 	g.curValid = true
@@ -288,6 +299,7 @@ func (g *Group) finishAA(bm *bitmap.Bitmap) {
 	}
 	if g.cacheEnabled {
 		g.cache.Insert(g.curAA, aa.Score(g.topo, bm, g.curAA))
+		g.scored.Inc()
 		g.cacheOps++
 		delete(g.deltas, g.curAA) // the fresh score already reflects them
 	}
@@ -444,6 +456,7 @@ func (g *Group) applyCPDeltas() {
 	}
 	// Sorted order keeps the heap's tie-break (insertion sequence) — and
 	// hence pick order — identical run to run.
+	var folds int64
 	for _, id := range sortedIDs(g.deltas) {
 		d := g.deltas[id]
 		if g.curValid && id == g.curAA {
@@ -458,8 +471,10 @@ func (g *Group) applyCPDeltas() {
 		}
 		g.cache.Update(id, uint64(s))
 		g.cacheOps++
+		folds++
 		delete(g.deltas, id)
 	}
+	g.st.Emit("cp.fold.phys", g.Index, "heap_updates", 0, folds)
 }
 
 // GroupMetrics is a snapshot of the measurement counters.

@@ -1,0 +1,255 @@
+package wafl
+
+import (
+	"fmt"
+	"time"
+
+	"waflfs/internal/obs"
+	"waflfs/internal/parallel"
+)
+
+// Observability wiring. Every Aggregate owns a private obs.Registry holding
+// read-through views over the plain counters the simulation already keeps
+// (System.Counters, group/space measurement fields, cache Metrics, device
+// stats). There is exactly one accounting path — the registry never stores a
+// second copy of any number — so CPStats/Counters and the metric snapshots
+// cannot drift; CountersFromSnapshot plus the derived-view tests prove it.
+//
+// Determinism contract: all registered metrics except those marked volatile
+// (flush wall-clock, pool occupancy) are worker-count invariant, so
+// Registry().StableSnapshot() is DeepEqual across runs with different
+// Tunables.Workers; trace events carry only worker-invariant payloads and
+// modeled-clock timestamps advanced by worker-invariant quantities, so the
+// canonical event sequence is DeepEqual too (see obs_test.go).
+
+// ObsOptions enables the observability layer for a System/Aggregate via
+// Tunables.Obs. The zero value (and a nil pointer) keeps everything off:
+// the private registry still exists (registration is construction-time
+// work), but no tracer events, no CSV rows, no export mirroring, and no
+// per-I/O device histograms — the hot paths then pay only nil-checks.
+type ObsOptions struct {
+	// Name labels this system in the export registry (metric prefix), CSV
+	// rows, and trace events. Defaults to "wafl". Experiment arms sharing an
+	// Export registry must use distinct names, or the collision-suffix
+	// ("#2") assignment follows construction order.
+	Name string
+	// Export, when non-nil, receives every metric of the private registry
+	// under the prefix Name+"." (shared instruments, not copies) — the
+	// registry waflbench serves over -metrics-addr.
+	Export *obs.Registry
+	// Tracer, when non-nil, records CP-phase spans, mount-shard spans, and
+	// allocator decision events.
+	Tracer *obs.Tracer
+	// CSV, when non-nil, receives one row per non-volatile metric at the end
+	// of every consistency point.
+	CSV *obs.CSVRecorder
+	// DeviceHistograms attaches a per-I/O service-time histogram to every
+	// device model (one metric per device; sizeable cardinality, off by
+	// default).
+	DeviceHistograms bool
+}
+
+func (o *ObsOptions) normalized() ObsOptions {
+	var out ObsOptions
+	if o != nil {
+		out = *o
+	}
+	if out.Name == "" {
+		out.Name = "wafl"
+	}
+	return out
+}
+
+// poolShard is the trace shard index of the object pool's agnostic space,
+// kept clear of volume indexes (volumes may be added after the pool).
+const poolShard = 1 << 20
+
+// cpTotals accumulates the CPStats of every CommitCP — the single write
+// point the cp.* registry metrics read through.
+type cpTotals struct {
+	cps         uint64
+	pagesAgg    uint64
+	pagesVols   uint64
+	deviceBusy  time.Duration
+	flushWall   time.Duration
+	topAABlocks uint64
+}
+
+func (t *cpTotals) add(st CPStats) {
+	t.cps++
+	t.pagesAgg += uint64(st.MetafilePagesAggregate)
+	t.pagesVols += uint64(st.MetafilePagesVols)
+	t.deviceBusy += st.DeviceBusy
+	t.flushWall += st.FlushWall
+	t.topAABlocks += uint64(st.TopAABlocks)
+}
+
+// mountTotals likewise accumulates MountStats across Remounts.
+type mountTotals struct {
+	mounts          uint64
+	topAABlockReads uint64
+	bitmapPagesRead uint64
+	cacheInserts    uint64
+	fallbacks       uint64
+}
+
+func (t *mountTotals) add(ms MountStats) {
+	t.mounts++
+	t.topAABlockReads += ms.TopAABlockReads
+	t.bitmapPagesRead += ms.BitmapPagesRead
+	t.cacheInserts += ms.CacheInserts
+	t.fallbacks += uint64(ms.Fallbacks)
+}
+
+// initObs builds the aggregate's private registry, tracer handle, and pool
+// instruments, and registers the aggregate-wide metric views. Called once
+// from NewAggregate after the bitmap exists.
+func (ag *Aggregate) initObs() {
+	o := ag.tun.Obs.normalized()
+	ag.obsOpts = o
+	ag.reg = obs.NewRegistry()
+	if o.Export != nil {
+		ag.reg.MirrorTo(o.Export, o.Name+".")
+	}
+	ag.st = o.Tracer.Sys(o.Name)
+
+	ag.scoredAAs = ag.reg.Counter("aa.scored")
+	ag.pobs = &parallel.Obs{
+		Fanouts:   ag.reg.Counter("parallel.fanouts"),
+		Items:     ag.reg.Counter("parallel.items"),
+		Width:     ag.reg.Histogram("parallel.fanout_width", obs.FanoutBuckets),
+		Occupancy: ag.reg.VolatileCounter("parallel.occupancy"),
+	}
+
+	ag.reg.CounterFunc("cp.count", func() uint64 { return ag.cpTot.cps })
+	ag.reg.CounterFunc("cp.metafile_pages_agg", func() uint64 { return ag.cpTot.pagesAgg })
+	ag.reg.CounterFunc("cp.metafile_pages_vols", func() uint64 { return ag.cpTot.pagesVols })
+	ag.reg.CounterFunc("cp.device_busy_ns", func() uint64 { return uint64(ag.cpTot.deviceBusy) })
+	ag.reg.VolatileCounterFunc("cp.flush_wall_ns", func() uint64 { return uint64(ag.cpTot.flushWall) })
+	ag.reg.CounterFunc("cp.topaa_blocks", func() uint64 { return ag.cpTot.topAABlocks })
+
+	ag.reg.CounterFunc("mount.count", func() uint64 { return ag.mountTot.mounts })
+	ag.reg.CounterFunc("mount.topaa_block_reads", func() uint64 { return ag.mountTot.topAABlockReads })
+	ag.reg.CounterFunc("mount.bitmap_pages_read", func() uint64 { return ag.mountTot.bitmapPagesRead })
+	ag.reg.CounterFunc("mount.cache_inserts", func() uint64 { return ag.mountTot.cacheInserts })
+	ag.reg.CounterFunc("mount.fallbacks", func() uint64 { return ag.mountTot.fallbacks })
+
+	ag.reg.CounterFunc("topaa.block_reads", func() uint64 { r, _ := ag.store.Stats(); return r })
+	ag.reg.CounterFunc("topaa.block_writes", func() uint64 { _, w := ag.store.Stats(); return w })
+
+	ag.reg.CounterFunc("agg.bitmap.pages_dirtied", func() uint64 { return ag.bm.Stats().PagesDirtied })
+	ag.reg.CounterFunc("agg.bitmap.pages_flushed", func() uint64 { return ag.bm.Stats().PagesFlushed })
+	ag.reg.CounterFunc("agg.bitmap.page_reads", func() uint64 { return ag.bm.Stats().PageReads })
+	ag.reg.GaugeFunc("agg.used_blocks", func() int64 { return int64(ag.bm.Used()) })
+	ag.reg.GaugeFunc("agg.blocks", func() int64 { return int64(ag.bm.Size()) })
+}
+
+// Registry returns the aggregate's metric registry.
+func (ag *Aggregate) Registry() *obs.Registry { return ag.reg }
+
+// Registry returns the system's metric registry.
+func (s *System) Registry() *obs.Registry { return s.Agg.reg }
+
+// registerGroupObs exposes one RAID group's counters under rg<N>.* and
+// hands the group its tracer handle. Heap metrics read through the current
+// cache object, so they reset when a remount rebuilds the cache (exporters
+// treat that as a counter reset).
+func (ag *Aggregate) registerGroupObs(g *Group) {
+	g.st = ag.st
+	g.scored = ag.scoredAAs
+	p := fmt.Sprintf("rg%d.", g.Index)
+	ag.reg.CounterFunc(p+"picks", func() uint64 { return g.pickedCount })
+	ag.reg.CounterFunc(p+"cache_ops", func() uint64 { return g.cacheOps })
+	ag.reg.CounterFunc(p+"azcs.seq_writes", func() uint64 { return g.azcsSeqWrites })
+	ag.reg.CounterFunc(p+"azcs.random_writes", func() uint64 { return g.azcsRandomWrites })
+	ag.reg.CounterFunc(p+"device_busy_ns", func() uint64 { return uint64(g.deviceBusy) })
+	ag.reg.CounterFunc(p+"heap.updates", func() uint64 { return g.cache.Metrics().Updates })
+	ag.reg.CounterFunc(p+"heap.pops", func() uint64 { return g.cache.Metrics().Pops })
+	ag.reg.CounterFunc(p+"heap.inserts", func() uint64 { return g.cache.Metrics().Inserts })
+	ag.reg.CounterFunc(p+"heap.swaps", func() uint64 { return g.cache.Metrics().Swaps })
+	ag.reg.GaugeFunc(p+"heap.size", func() int64 { return int64(g.cache.Len()) })
+	if ag.obsOpts.DeviceHistograms {
+		for d, dev := range g.devices {
+			if bo, ok := dev.(interface{ SetBusyHist(*obs.Histogram) }); ok {
+				bo.SetBusyHist(ag.reg.Histogram(fmt.Sprintf("rg%d.dev%d.busy_ns", g.Index, d), obs.DurationBuckets))
+			}
+		}
+		if bo, ok := g.parity.(interface{ SetBusyHist(*obs.Histogram) }); ok {
+			bo.SetBusyHist(ag.reg.Histogram(fmt.Sprintf("rg%d.parity.busy_ns", g.Index), obs.DurationBuckets))
+		}
+	}
+}
+
+// registerSpaceObs exposes one agnostic space's counters under the given
+// prefix ("vol.<name>." or "pool.") and hands it its tracer handle, trace
+// shard, and scoring instruments. HBPS metrics read through the current
+// cache object (reset on remount, like the heap metrics).
+func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard int) {
+	sp.st = ag.st
+	sp.shard = shard
+	sp.pobs = ag.pobs
+	sp.scored = ag.scoredAAs
+	ag.reg.CounterFunc(prefix+"picks", func() uint64 { return sp.pickedCount })
+	ag.reg.CounterFunc(prefix+"cache_ops", func() uint64 { return sp.cacheOps })
+	ag.reg.CounterFunc(prefix+"replenishes", func() uint64 { return sp.replenishes })
+	ag.reg.CounterFunc(prefix+"scanned_blocks", func() uint64 { return sp.scannedBlocks })
+	ag.reg.CounterFunc(prefix+"allocated_blocks", func() uint64 { return sp.allocatedBlocks })
+	ag.reg.CounterFunc(prefix+"hbps.updates", func() uint64 { return sp.cache.Metrics().Updates })
+	ag.reg.CounterFunc(prefix+"hbps.bin_migrations", func() uint64 { return sp.cache.Metrics().BinMigrations })
+	ag.reg.CounterFunc(prefix+"hbps.evictions", func() uint64 { return sp.cache.Metrics().Evictions })
+	ag.reg.CounterFunc(prefix+"hbps.pops", func() uint64 { return sp.cache.Metrics().Pops })
+	if sp.delayed != nil {
+		ag.reg.GaugeFunc(prefix+"delayed.pending", func() int64 { return int64(sp.delayed.count) })
+		ag.reg.CounterFunc(prefix+"delayed.hbps_pops", func() uint64 { return sp.delayed.cache.Metrics().Pops })
+		ag.reg.CounterFunc(prefix+"delayed.hbps_replenishes", func() uint64 { return sp.delayed.cache.Metrics().Replenishes })
+	}
+}
+
+// registerSystemObs exposes the System's cumulative counters under wafl.*.
+// These are the derived views CountersFromSnapshot reconstructs.
+func (s *System) registerSystemObs() {
+	reg := s.Agg.reg
+	reg.CounterFunc("wafl.ops", func() uint64 { return s.c.Ops })
+	reg.CounterFunc("wafl.mod_ops", func() uint64 { return s.c.ModOps })
+	reg.CounterFunc("wafl.cps", func() uint64 { return s.c.CPs })
+	reg.CounterFunc("wafl.cpu_ns", func() uint64 { return uint64(s.c.CPUTime) })
+	reg.CounterFunc("wafl.cache_cpu_ns", func() uint64 { return uint64(s.c.CacheCPUTime) })
+	reg.CounterFunc("wafl.metafile_pages", func() uint64 { return s.c.MetafilePages })
+	reg.CounterFunc("wafl.topaa_blocks", func() uint64 { return s.c.TopAABlocks })
+	reg.CounterFunc("wafl.device_busy_ns", func() uint64 { return uint64(s.c.DeviceBusy) })
+	reg.CounterFunc("wafl.blocks_written", func() uint64 { return s.c.BlocksWritten })
+	reg.CounterFunc("wafl.blocks_freed", func() uint64 { return s.c.BlocksFreed })
+	reg.VolatileCounterFunc("wafl.cp_flush_wall_ns", func() uint64 { return uint64(s.cpWall) })
+}
+
+// CountersFromSnapshot reconstructs the cumulative Counters from a registry
+// snapshot. The derived-view equivalence test asserts this equals
+// System.Counters() exactly — the registry and the struct can never drift
+// because both read the same storage.
+func CountersFromSnapshot(snap obs.Snapshot) Counters {
+	return Counters{
+		Ops:           snap.Counter("wafl.ops"),
+		ModOps:        snap.Counter("wafl.mod_ops"),
+		CPs:           snap.Counter("wafl.cps"),
+		CPUTime:       time.Duration(snap.Counter("wafl.cpu_ns")),
+		CacheCPUTime:  time.Duration(snap.Counter("wafl.cache_cpu_ns")),
+		MetafilePages: snap.Counter("wafl.metafile_pages"),
+		TopAABlocks:   snap.Counter("wafl.topaa_blocks"),
+		DeviceBusy:    time.Duration(snap.Counter("wafl.device_busy_ns")),
+		BlocksWritten: snap.Counter("wafl.blocks_written"),
+		BlocksFreed:   snap.Counter("wafl.blocks_freed"),
+	}
+}
+
+// CPStatsFromRegistry reconstructs the cumulative CP totals from the
+// registry — the sum of every CPStats CommitCP has returned.
+func CPStatsFromRegistry(reg *obs.Registry) CPStats {
+	snap := reg.Snapshot()
+	return CPStats{
+		MetafilePagesAggregate: int(snap.Counter("cp.metafile_pages_agg")),
+		MetafilePagesVols:      int(snap.Counter("cp.metafile_pages_vols")),
+		DeviceBusy:             time.Duration(snap.Counter("cp.device_busy_ns")),
+		FlushWall:              time.Duration(snap.Counter("cp.flush_wall_ns")),
+		TopAABlocks:            int(snap.Counter("cp.topaa_blocks")),
+	}
+}

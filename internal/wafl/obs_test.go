@@ -1,0 +1,234 @@
+package wafl
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/obs"
+)
+
+// obsRun drives a moderate workload — fill, churn, CPs, delayed frees, a
+// seeded remount, and a fallback remount — with every observability sink
+// enabled, and returns the system plus the sinks.
+func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *strings.Builder, []CPStats) {
+	t.Helper()
+	export := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	var csv strings.Builder
+	rec := obs.NewCSVRecorder(&csv)
+	tun := DefaultTunables()
+	tun.Workers = workers
+	tun.CPEveryOps = 1 << 30 // CP only when the test says so, so all CPStats are captured
+	tun.DelayedVirtFrees = true
+	tun.Obs = &ObsOptions{
+		Name:   "arm",
+		Export: export,
+		Tracer: tracer,
+		CSV:    rec,
+	}
+	s := NewSystem(testSpecs(),
+		[]VolSpec{
+			{Name: "va", Blocks: 16 * aa.RAIDAgnosticBlocks},
+			{Name: "vb", Blocks: 16 * aa.RAIDAgnosticBlocks},
+		}, tun, 11)
+	lunA := s.Agg.Vols()[0].CreateLUN("lunA", 60000)
+	lunB := s.Agg.Vols()[1].CreateLUN("lunB", 60000)
+
+	var cps []CPStats
+	record := func() { cps = append(cps, s.CP()) }
+	for lba := uint64(0); lba < 60000; lba++ {
+		s.Write(lunA, lba, 1)
+		s.Write(lunB, lba, 1)
+		if s.pendingBlocks >= 8192 {
+			record()
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		s.Write(lunA, uint64(rng.Intn(60000)), 1)
+		s.Write(lunB, uint64(rng.Intn(60000)), 1)
+		if s.pendingBlocks >= 8192 {
+			record()
+		}
+	}
+	record()
+	s.Agg.Remount(true)
+	for i := 0; i < 3000; i++ {
+		s.Write(lunA, uint64(rng.Intn(60000)), 1)
+	}
+	record()
+	s.Agg.Remount(false)
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("csv flush: %v", err)
+	}
+	return s, export, tracer, &csv, cps
+}
+
+// The derived-view contract: the registry never stores a second copy of any
+// counter, so reconstructing Counters and the summed CPStats from a snapshot
+// must reproduce the struct-returning APIs exactly.
+func TestRegistryDerivedViewEquivalence(t *testing.T) {
+	s, _, _, _, cps := obsRun(t, 0)
+
+	got := CountersFromSnapshot(s.Registry().Snapshot())
+	if got != s.Counters() {
+		t.Errorf("CountersFromSnapshot mismatch:\nsnapshot: %+v\nstruct:   %+v", got, s.Counters())
+	}
+
+	var want CPStats
+	for _, st := range cps {
+		want.MetafilePagesAggregate += st.MetafilePagesAggregate
+		want.MetafilePagesVols += st.MetafilePagesVols
+		want.DeviceBusy += st.DeviceBusy
+		want.FlushWall += st.FlushWall
+		want.TopAABlocks += st.TopAABlocks
+	}
+	if gotCP := CPStatsFromRegistry(s.Registry()); gotCP != want {
+		t.Errorf("CPStatsFromRegistry mismatch:\nregistry: %+v\nsummed:   %+v", gotCP, want)
+	}
+	if n, ok := s.Registry().Value("cp.count"); !ok || n != uint64(len(cps)) {
+		t.Errorf("cp.count = %d,%v, want %d", n, ok, len(cps))
+	}
+	if n, ok := s.Registry().Value("wafl.cps"); !ok || n != uint64(len(cps)) {
+		t.Errorf("wafl.cps = %d,%v, want %d", n, ok, len(cps))
+	}
+}
+
+// The determinism contract with every sink enabled: stable metric snapshots,
+// canonical trace-event sequences, and CSV output are all bit-identical for
+// Workers=1 and Workers=8.
+func TestObsSerialEquivalence(t *testing.T) {
+	s1, _, tr1, csv1, cps1 := obsRun(t, 1)
+	s8, _, tr8, csv8, cps8 := obsRun(t, 8)
+
+	// FlushWall is the one field the Workers knob is supposed to change;
+	// every other CPStats field must match.
+	if len(cps1) != len(cps8) {
+		t.Fatalf("CP counts diverged: %d vs %d", len(cps1), len(cps8))
+	}
+	for i := range cps1 {
+		a, b := cps1[i], cps8[i]
+		a.FlushWall, b.FlushWall = 0, 0
+		if a != b {
+			t.Fatalf("CP %d stats diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	snap1 := s1.Registry().StableSnapshot()
+	snap8 := s8.Registry().StableSnapshot()
+	if !reflect.DeepEqual(snap1, snap8) {
+		for i := range snap1.Metrics {
+			if i < len(snap8.Metrics) && !reflect.DeepEqual(snap1.Metrics[i], snap8.Metrics[i]) {
+				t.Errorf("metric %q: workers=1 %+v, workers=8 %+v",
+					snap1.Metrics[i].Name, snap1.Metrics[i], snap8.Metrics[i])
+			}
+		}
+		t.Fatalf("stable snapshots diverged (%d vs %d metrics)", len(snap1.Metrics), len(snap8.Metrics))
+	}
+
+	ev1, ev8 := tr1.Events(), tr8.Events()
+	if len(ev1) == 0 {
+		t.Fatal("tracer recorded no events")
+	}
+	if !reflect.DeepEqual(ev1, ev8) {
+		n := len(ev1)
+		if len(ev8) < n {
+			n = len(ev8)
+		}
+		for i := 0; i < n; i++ {
+			if ev1[i] != ev8[i] {
+				t.Fatalf("event %d diverged:\nworkers=1: %+v\nworkers=8: %+v", i, ev1[i], ev8[i])
+			}
+		}
+		t.Fatalf("event counts diverged: %d vs %d", len(ev1), len(ev8))
+	}
+
+	if csv1.String() != csv8.String() {
+		t.Fatal("per-CP CSV output diverged across worker counts")
+	}
+	if !strings.HasPrefix(csv1.String(), obs.CSVHeader) {
+		t.Fatal("CSV output missing header")
+	}
+}
+
+// The export mirror shares instruments: two systems with distinct names in
+// one export registry, prefixed and live.
+func TestExportMirrorPrefixes(t *testing.T) {
+	export := obs.NewRegistry()
+	mk := func(name string) *System {
+		tun := DefaultTunables()
+		tun.CPEveryOps = 1 << 30
+		tun.Obs = &ObsOptions{Name: name, Export: export}
+		return NewSystem(testSpecs(), []VolSpec{{Name: "v", Blocks: 16 * aa.RAIDAgnosticBlocks}}, tun, 3)
+	}
+	sa, sb := mk("armA"), mk("armB")
+	lun := sa.Agg.Vols()[0].CreateLUN("l", 4096)
+	for lba := uint64(0); lba < 4096; lba++ {
+		sa.Write(lun, lba, 1)
+	}
+	sa.CP()
+
+	if n, ok := export.Value("armA.wafl.cps"); !ok || n != 1 {
+		t.Errorf("armA.wafl.cps = %d,%v, want 1", n, ok)
+	}
+	if n, ok := export.Value("armB.wafl.cps"); !ok || n != 0 {
+		t.Errorf("armB.wafl.cps = %d,%v, want 0", n, ok)
+	}
+	if got := CountersFromSnapshot(sb.Registry().Snapshot()); got != sb.Counters() {
+		t.Errorf("armB derived view broken: %+v vs %+v", got, sb.Counters())
+	}
+}
+
+// With no ObsOptions the registry still serves derived views, no trace is
+// recorded, and the workload runs exactly as before.
+func TestObsDisabledByDefault(t *testing.T) {
+	tun := DefaultTunables()
+	tun.CPEveryOps = 1 << 30
+	s := NewSystem(testSpecs(), []VolSpec{{Name: "v", Blocks: 16 * aa.RAIDAgnosticBlocks}}, tun, 3)
+	lun := s.Agg.Vols()[0].CreateLUN("l", 4096)
+	for lba := uint64(0); lba < 4096; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP()
+	if s.Agg.st != nil {
+		t.Fatal("tracer handle should be nil with Obs unset")
+	}
+	if got := CountersFromSnapshot(s.Registry().Snapshot()); got != s.Counters() {
+		t.Errorf("derived view broken with obs off: %+v vs %+v", got, s.Counters())
+	}
+	if n, ok := s.Registry().Value("rg0.picks"); !ok || n == 0 {
+		t.Errorf("rg0.picks = %d,%v, want > 0", n, ok)
+	}
+}
+
+// Mount totals surface through the registry, matching the MountStats the
+// calls returned.
+func TestMountMetrics(t *testing.T) {
+	s, _, tracer, _, _ := obsRun(t, 0)
+	reg := s.Registry()
+	if n, _ := reg.Value("mount.count"); n != 2 {
+		t.Errorf("mount.count = %d, want 2", n)
+	}
+	// Remount(false) is a deliberate walk, not a TopAA fallback, and the
+	// seeded remount found intact metafiles.
+	if n, _ := reg.Value("mount.fallbacks"); n != 0 {
+		t.Errorf("mount.fallbacks = %d, want 0", n)
+	}
+	if n, _ := reg.Value("mount.bitmap_pages_read"); n == 0 {
+		t.Error("mount.bitmap_pages_read = 0, want > 0")
+	}
+	var sawGroup, sawSpace bool
+	for _, ev := range tracer.Events() {
+		switch ev.Phase {
+		case "mount.group":
+			sawGroup = true
+		case "mount.space":
+			sawSpace = true
+		}
+	}
+	if !sawGroup || !sawSpace {
+		t.Errorf("missing mount trace events: group=%v space=%v", sawGroup, sawSpace)
+	}
+}

@@ -107,6 +107,11 @@ type Tunables struct {
 	// is identical for every value (see internal/parallel); only the modeled
 	// CPStats.FlushWall shrinks as workers increase.
 	Workers int
+
+	// Obs configures the observability layer (metric export, CP-phase
+	// tracing, per-CP CSV). Nil keeps every sink off; the hot paths then pay
+	// only nil-checks. See obs.go.
+	Obs *ObsOptions
 }
 
 // Defaults fills zero fields with production-flavoured values.

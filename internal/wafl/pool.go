@@ -81,6 +81,12 @@ func (ag *Aggregate) AddObjectPool(spec PoolSpec) *Pool {
 	p.space = newAgnosticSpace(poolTopAAKey, block.R(start, start+block.VBN(spec.Blocks)),
 		ag.bm, ag.tun.AggregateCacheEnabled, ag.rng, ag.tun.Workers)
 	ag.pool = p
+	ag.registerSpaceObs(p.space, "pool.", poolShard)
+	ag.reg.CounterFunc("pool.puts", func() uint64 { return p.puts })
+	ag.reg.CounterFunc("pool.gets", func() uint64 { return p.gets })
+	ag.reg.CounterFunc("pool.blocks_tiered", func() uint64 { return p.blocksTiered })
+	ag.reg.CounterFunc("pool.blocks_fetched", func() uint64 { return p.blocksFetched })
+	ag.reg.CounterFunc("pool.busy_ns", func() uint64 { return uint64(p.busy) })
 	return p
 }
 

@@ -31,6 +31,10 @@ type System struct {
 	// *supposed* to shrink with Tunables.Workers, while every Counters field
 	// stays worker-count invariant.
 	cpWall time.Duration
+	// obsMark is the (DeviceBusy + CPUTime) total already folded into the
+	// tracer's modeled clock; both terms are worker-count invariant, so
+	// trace timestamps are too.
+	obsMark time.Duration
 }
 
 // deviceStatser is satisfied by all concrete device models.
@@ -82,11 +86,13 @@ func NewSystem(specs []GroupSpec, vols []VolSpec, tun Tunables, seed int64) *Sys
 	for _, vs := range vols {
 		ag.AddVolume(vs)
 	}
-	return &System{
+	s := &System{
 		Agg:     ag,
 		tun:     ag.tun,
 		pending: make(map[*LUN]map[uint64]struct{}),
 	}
+	s.registerSystemObs()
+	return s
 }
 
 // Counters returns the cumulative counters.
@@ -198,9 +204,24 @@ func sortVBNs(xs []block.VBN) {
 func (s *System) CP() CPStats {
 	cacheOpsBefore := s.cacheOps()
 	scanBefore := s.virtScanBlocks()
+	s.Agg.st.BeginCP()
 
-	// Phase 1: write allocation + COW frees, volume by volume.
-	for l, dirty := range s.pending {
+	// Phase 1: write allocation + COW frees, volume by volume. The pending
+	// map is iterated in sorted (volume, LUN) order: map order would assign
+	// VBNs to LUNs differently run to run whenever more than one LUN is
+	// dirty, leaking nondeterminism into every downstream read and free.
+	luns := make([]*LUN, 0, len(s.pending))
+	for l := range s.pending {
+		luns = append(luns, l)
+	}
+	sort.Slice(luns, func(i, j int) bool {
+		if luns[i].vol.Name != luns[j].vol.Name {
+			return luns[i].vol.Name < luns[j].vol.Name
+		}
+		return luns[i].Name < luns[j].Name
+	})
+	for _, l := range luns {
+		dirty := s.pending[l]
 		n := len(dirty)
 		if n == 0 {
 			continue
@@ -235,6 +256,7 @@ func (s *System) CP() CPStats {
 			}
 		}
 		s.c.BlocksWritten += uint64(n)
+		s.Agg.st.Emit("cp.alloc", vol.space.shard, l.Name, 0, int64(n))
 		delete(s.pending, l)
 	}
 	s.pendingBlocks = 0
@@ -242,7 +264,11 @@ func (s *System) CP() CPStats {
 
 	// Phase 1.5: apply queued delayed frees, most-pending-AA-first.
 	for _, v := range s.Agg.vols {
-		v.space.reclaimDelayedFrees(s.tun.DelayedFreeBudgetPerCP)
+		freed, aas := v.space.reclaimDelayedFrees(s.tun.DelayedFreeBudgetPerCP)
+		if freed > 0 {
+			s.Agg.st.Emit("cp.delayed_free", v.space.shard, "reclaim", 0, int64(freed))
+			s.Agg.st.Emit("cp.delayed_free", v.space.shard, "aas_processed", 0, int64(aas))
+		}
 	}
 
 	// Phase 2: flush.
@@ -258,6 +284,16 @@ func (s *System) CP() CPStats {
 	s.c.CPUTime += cacheCPU
 	s.c.CacheCPUTime += cacheCPU
 	s.cpWall += st.FlushWall
+
+	// Advance the tracer's modeled clock by the worker-invariant time this
+	// CP (and the client ops since the last one) accrued, then record the
+	// per-CP metric row.
+	tot := s.c.DeviceBusy + s.c.CPUTime
+	s.Agg.st.Advance(tot - s.obsMark)
+	s.obsMark = tot
+	if rec := s.Agg.obsOpts.CSV; rec != nil {
+		rec.Record(s.Agg.obsOpts.Name, s.c.CPs, s.Agg.reg.Snapshot())
+	}
 	return st
 }
 

@@ -1,10 +1,31 @@
 #!/bin/sh
-# Tier-1 verification: build, full test suite, and the race detector over
-# every parallel path (CP flush fan-out, experiment arms, mount walks).
+# Tier-1 verification: formatting, build, full test suite, the race detector
+# over every parallel path (CP flush fan-out, experiment arms, mount walks),
+# and an end-to-end observability smoke test of the bench binary.
 # The race run uses -short to skip the slowest experiment reproductions;
 # every concurrency-bearing code path still executes under the detector.
 set -eux
+
+fmt=$(gofmt -l cmd internal)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on: $fmt" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go test ./...
 go test -race -short ./...
+
+# Observability smoke test: a small bench run must serve /metrics (the bench
+# self-checks the endpoint and exits nonzero if it cannot fetch it) and
+# produce non-empty CSV and trace files.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/waflbench" ./cmd/waflbench
+"$tmpdir/waflbench" -exp fig9 -scale 0.05 \
+    -metrics-addr 127.0.0.1:0 \
+    -csv-out "$tmpdir/bench.csv" \
+    -trace-out "$tmpdir/bench.jsonl" >/dev/null
+test -s "$tmpdir/bench.csv"
+test -s "$tmpdir/bench.jsonl"
