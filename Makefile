@@ -1,0 +1,36 @@
+# Developer entry points. Everything here is plain `go` plus the repo's own
+# tools; there are no external dependencies.
+
+SCALE ?= 1.0
+BENCH ?= BENCH_3.json
+
+.PHONY: all build test verify bench bench-artifact bench-diff
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Tier-1 gate: formatting, build, vet, tests, race detector, obs smoke,
+# bench-artifact smoke + benchdiff self-comparison.
+verify:
+	./verify.sh
+
+# Full go-bench figure suite (see bench_test.go).
+bench:
+	WAFL_BENCH_SCALE=$(SCALE) go test -bench . -benchtime 1x -run '^$$'
+
+# Regenerate the committed benchmark artifact at full scale and gate it
+# against the newest previously committed BENCH_<n>.json.
+bench-artifact:
+	go run ./cmd/waflbench -bench-json $(BENCH) -scale $(SCALE)
+	go run ./cmd/benchdiff $(BENCH) $(BENCH)
+
+# Compare a fresh full-scale artifact against the committed baseline without
+# overwriting it.
+bench-diff:
+	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -scale $(SCALE)
+	go run ./cmd/benchdiff -dir . /tmp/BENCH_new.json

@@ -85,7 +85,13 @@ func BenchmarkFig10(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunFig10(cfg, io.Discard)
+		if len(res.SizeSweep) == 0 {
+			b.Skip("no size-sweep points at this WAFL_BENCH_SCALE")
+		}
 		last := res.SizeSweep[len(res.SizeSweep)-1]
+		if last.WithTopAA == 0 {
+			b.Skip("degenerate mount point at this WAFL_BENCH_SCALE")
+		}
 		b.ReportMetric(float64(last.WithoutTopAA)/float64(last.WithTopAA), "walk/topaa-time")
 		b.ReportMetric(float64(last.TopAAReads), "topaaBlockReads")
 		b.ReportMetric(float64(last.BitmapPages), "bitmapPagesWalked")

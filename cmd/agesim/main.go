@@ -1,14 +1,22 @@
 // Command agesim ages a simulated WAFL file system in steps and reports how
 // free-space fragmentation evolves — the phenomenon that motivates the
-// paper (§2.2): longest free run, full-stripe-write fraction, write
-// amplification (SSD), and the AA cache's pick quality at each step.
+// paper (§2.2). Each step's row comes from the fragscan analyzer
+// (internal/obs/fragscan), which scans every space at CP boundaries:
+// longest free run, mean free-extent length, fully-free-stripe fraction,
+// the AA cache's pick quality, and write amplification (SSD).
 //
 // Usage:
 //
 //	agesim [-media ssd] [-steps 6] [-churn-per-step 0.25] [-fill 0.55]
+//	       [-json] [-csv-out f.csv]
+//
+// -json dumps every recorded fragscan report to stdout as JSON instead of
+// the table; -csv-out writes the tidy per-CP series (space, cp, series,
+// key, value) to a file — both consistent with waflbench's sink flags.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -16,6 +24,7 @@ import (
 	"strings"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -28,6 +37,8 @@ func main() {
 	fill := flag.Float64("fill", 0.55, "initial fill fraction")
 	perDev := flag.Uint64("blocks", 1<<17, "blocks per device")
 	seed := flag.Int64("seed", 7, "random seed")
+	jsonOut := flag.Bool("json", false, "dump all fragscan reports as JSON to stdout")
+	csvOut := flag.String("csv-out", "", "write tidy fragscan series rows to this CSV file")
 	flag.Parse()
 
 	var media aa.Media
@@ -43,11 +54,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	rec := fragscan.NewRecorder()
+	tun := wafl.DefaultTunables()
+	tun.Obs = &wafl.ObsOptions{Name: "agesim", Frag: rec}
+
 	spec := wafl.GroupSpec{DataDevices: 6, ParityDevices: 1, BlocksPerDevice: *perDev, Media: media}
 	aggBlocks := 2 * 6 * *perDev
 	lunBlocks := uint64(float64(aggBlocks) * *fill)
 	s := wafl.NewSystem([]wafl.GroupSpec{spec, spec},
-		[]wafl.VolSpec{{Name: "vol0", Blocks: lunBlocks * 2}}, wafl.DefaultTunables(), *seed)
+		[]wafl.VolSpec{{Name: "vol0", Blocks: lunBlocks * 2}}, tun, *seed)
 	lun := s.Agg.Vols()[0].CreateLUN("lun0", lunBlocks)
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -56,17 +71,36 @@ func main() {
 
 	tb := stats.Table{
 		Title: fmt.Sprintf("aging on %s (fill %.0f%%, %.2fx churn per step)", media, 100**fill, *churnStep),
-		Columns: []string{"step", "churn", "longest free run", "full-stripe frac",
-			"picked free frac", "write amp"},
+		Columns: []string{"step", "churn", "longest free run", "mean run",
+			"free-stripe frac", "picked free frac", "write amp"},
 	}
+	// Picks are sparse per CP (a group re-picks only when its AA drains), so
+	// the table aggregates pick quality over each step's whole CP window
+	// instead of showing the final CP's — usually empty — window.
+	var lastCP uint64
 	report := func(step int, churn float64) {
-		g := s.Agg.Groups()[0]
-		longest := s.Agg.Bitmap().LongestFreeRun(g.Geometry().DeviceRange(0))
-		m := g.Metrics()
+		rep, ok := rec.Last("agesim.rg0")
+		if !ok {
+			return
+		}
+		var picks uint64
+		var weighted float64
+		for _, r := range rec.Reports() {
+			if r.Space == "agesim.rg0" && r.CP > lastCP {
+				picks += r.Picks
+				weighted += r.PickedFreeFrac * float64(r.Picks)
+			}
+		}
+		lastCP = rep.CP
+		picked := 0.0
+		if picks > 0 {
+			picked = weighted / float64(picks)
+		}
 		tb.AddRow(step, fmt.Sprintf("%.2fx", churn),
-			longest,
-			fmt.Sprintf("%.3f", g.RAIDStats().FullStripeFraction()),
-			fmt.Sprintf("%.3f", m.PickedScoreFraction),
+			rep.LongestRun,
+			fmt.Sprintf("%.1f", rep.MeanRun),
+			fmt.Sprintf("%.3f", rep.FreeStripeFrac),
+			fmt.Sprintf("%.3f", picked),
 			fmt.Sprintf("%.2f", s.WriteAmplification()))
 	}
 	report(0, 0)
@@ -76,6 +110,39 @@ func main() {
 		workload.RandomOverwrite(s, []*wafl.LUN{lun}, rng, ops, 1)
 		s.CP()
 		report(step, float64(step)**churnStep)
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		out := struct {
+			Media        string            `json:"media"`
+			Fill         float64           `json:"fill"`
+			ChurnPerStep float64           `json:"churn_per_step"`
+			Steps        int               `json:"steps"`
+			Seed         int64             `json:"seed"`
+			Reports      []fragscan.Report `json:"reports"`
+		}{media.String(), *fill, *churnStep, *steps, *seed, rec.Reports()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println(tb.String())
 }

@@ -1,0 +1,93 @@
+// Command benchdiff compares two benchmark artifacts (BENCH_<n>.json, see
+// internal/benchfmt) and exits non-zero when any metric drifts beyond its
+// tolerance band — the regression gate for the repo's perf trajectory.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json    compare NEW against the OLD baseline
+//	benchdiff NEW.json             compare against the newest committed
+//	                               BENCH_<n>.json in -dir (excluding NEW)
+//
+// Tolerances are relative bands carried per metric by the OLD artifact
+// (default 0.25). Exit status: 0 = within bands, 1 = drift or missing
+// metrics, 2 = usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"waflfs/internal/benchfmt"
+	"waflfs/internal/stats"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory searched for the newest BENCH_<n>.json baseline")
+	verbose := flag.Bool("v", false, "print every metric, not just violations")
+	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, *dir, *verbose, flag.Args()))
+}
+
+func run(out, errw io.Writer, dir string, verbose bool, args []string) int {
+	var oldPath, newPath string
+	switch len(args) {
+	case 1:
+		newPath = args[0]
+		var err error
+		oldPath, err = benchfmt.FindLatest(dir, newPath)
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 2
+		}
+	case 2:
+		oldPath, newPath = args[0], args[1]
+	default:
+		fmt.Fprintln(errw, "usage: benchdiff [-dir D] [-v] [OLD.json] NEW.json")
+		return 2
+	}
+
+	oldArt, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	newArt, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	if err := benchfmt.CheckComparable(oldArt, newArt); err != nil {
+		fmt.Fprintf(errw, "benchdiff: artifacts not comparable: %v\n", err)
+		return 2
+	}
+
+	res := benchfmt.Compare(oldArt, newArt)
+	tb := stats.Table{
+		Title: fmt.Sprintf("benchdiff %s (%s) -> %s (%s)",
+			oldPath, oldArt.GitRev, newPath, newArt.GitRev),
+		Columns: []string{"metric", "old", "new", "drift", "tol", "status"},
+	}
+	shown := 0
+	for _, d := range res.Diffs {
+		if !verbose && d.Status == benchfmt.StatusOK {
+			continue
+		}
+		tb.AddRow(d.Name,
+			fmt.Sprintf("%.6g", d.Old), fmt.Sprintf("%.6g", d.New),
+			fmt.Sprintf("%.1f%%", 100*d.Rel), fmt.Sprintf("%.0f%%", 100*d.Tol),
+			d.Status)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintln(out, tb.String())
+	}
+	if res.Violations > 0 {
+		fmt.Fprintf(out, "FAIL: %d of %d metrics drifted beyond tolerance\n",
+			res.Violations, len(res.Diffs))
+		return 1
+	}
+	fmt.Fprintf(out, "ok: %d metrics within tolerance\n", len(res.Diffs))
+	return 0
+}

@@ -9,6 +9,12 @@
 //	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
 //	          [-parallel N] [-cpuprofile f] [-memprofile f]
 //	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
+//	          [-bench-json BENCH_n.json]
+//
+// -bench-json runs the canonical fig6–fig10 + microbench suite and writes a
+// schema-versioned benchmark artifact (headline metrics, fragscan
+// allocation-quality summaries, modeled clocks, provenance) for regression
+// gating with cmd/benchdiff; see internal/benchfmt.
 //
 // -parallel sets the deterministic work-pool width: experiment arms, MVA
 // sweep points, CP flushes, and mount walks fan out across N workers, with
@@ -34,14 +40,28 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"waflfs/internal/benchfmt"
 	"waflfs/internal/experiments"
 	"waflfs/internal/obs"
 	"waflfs/internal/stats"
 )
+
+// gitRev returns the short HEAD revision for artifact provenance, or
+// "unknown" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig6..fig10 or all")
@@ -57,6 +77,8 @@ func main() {
 		"serve Prometheus metrics at /metrics on this address during the run (\":0\" picks a free port)")
 	csvOut := flag.String("csv-out", "", "write per-CP metric rows to this CSV file")
 	traceOut := flag.String("trace-out", "", "write the CP-phase/allocator trace to this JSON Lines file")
+	benchJSON := flag.String("bench-json", "",
+		"run the canonical fig6-fig10 + microbench suite and write a schema-versioned benchmark artifact (BENCH_<n>.json) to this file; overrides -exp")
 	flag.Parse()
 
 	if *list {
@@ -148,7 +170,21 @@ func main() {
 		fmt.Printf("serving metrics at %s\n\n", metricsURL)
 	}
 
-	if *exp == "all" {
+	if *benchJSON != "" {
+		name := strings.TrimSuffix(filepath.Base(*benchJSON), ".json")
+		start := time.Now()
+		art, err := experiments.CollectArtifact(cfg, name, gitRev(), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := benchfmt.WriteFile(*benchJSON, art); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifact: %d metrics to %s (rev %s, scale %.2f, %v)\n",
+			len(art.Metrics), *benchJSON, art.GitRev, art.Scale, time.Since(start).Round(time.Millisecond))
+	} else if *exp == "all" {
 		if err := experiments.RunAllContext(context.Background(), cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -66,6 +66,18 @@ func Score(t Topology, bm *bitmap.Bitmap, id ID) uint64 {
 	return s
 }
 
+// Capacity returns the true block capacity of AA id — the sum of its
+// segment lengths, which is smaller than BlocksPerAA() for a truncated
+// final AA. Free-fraction analytics divide scores by this, not by the
+// nominal AA size.
+func Capacity(t Topology, id ID) uint64 {
+	var n uint64
+	for _, seg := range t.Segments(id) {
+		n += seg.Len()
+	}
+	return n
+}
+
 // ScoreAll computes the score of every AA in the topology, charging the
 // bitmap scan; this is the linear walk a cache rebuild performs when no
 // TopAA metafile is available (§3.4).

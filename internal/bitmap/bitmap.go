@@ -272,37 +272,80 @@ func (b *Bitmap) scan(v block.VBN, r block.Range, wantSet bool) (block.VBN, bool
 	return block.InvalidVBN, false
 }
 
-// FreeRuns returns the maximal runs of contiguous free blocks within r, in
-// ascending order. Runs of contiguous free space on a device are what permit
-// the long write chains of §2.4; the RAID layer uses this to cost writes.
-func (b *Bitmap) FreeRuns(r block.Range) []block.Range {
+// ForEachFreeRun calls fn for each maximal run of contiguous free blocks
+// within r, in ascending order, without allocating — the scan hook the
+// fragscan analyzer builds its run-length histograms on. fn returning false
+// stops the walk.
+func (b *Bitmap) ForEachFreeRun(r block.Range, fn func(run block.Range) bool) {
 	r = b.clampRange(r)
-	var runs []block.Range
 	pos := r.Start
 	for {
 		start, ok := b.NextFree(pos, r)
 		if !ok {
-			return runs
+			return
 		}
 		endUsed, ok := b.NextUsed(start, r)
 		if !ok {
-			runs = append(runs, block.Range{Start: start, End: r.End})
-			return runs
+			fn(block.Range{Start: start, End: r.End})
+			return
 		}
-		runs = append(runs, block.Range{Start: start, End: endUsed})
+		if !fn(block.Range{Start: start, End: endUsed}) {
+			return
+		}
 		pos = endUsed
 	}
+}
+
+// FreeRuns returns the maximal runs of contiguous free blocks within r, in
+// ascending order. Runs of contiguous free space on a device are what permit
+// the long write chains of §2.4; the RAID layer uses this to cost writes.
+func (b *Bitmap) FreeRuns(r block.Range) []block.Range {
+	var runs []block.Range
+	b.ForEachFreeRun(r, func(run block.Range) bool {
+		runs = append(runs, run)
+		return true
+	})
+	return runs
 }
 
 // LongestFreeRun returns the length of the longest contiguous free run in r.
 func (b *Bitmap) LongestFreeRun(r block.Range) uint64 {
 	var best uint64
-	for _, run := range b.FreeRuns(r) {
+	b.ForEachFreeRun(r, func(run block.Range) bool {
 		if l := run.Len(); l > best {
 			best = l
 		}
-	}
+		return true
+	})
 	return best
+}
+
+// FreeWord returns an n-bit word (n ≤ 64) whose bit i is set when block
+// start+i is free; positions at or beyond the bitmap's end read as
+// allocated. One call yields the free state of up to 64 consecutive VBNs,
+// which is how stripe-fullness analysis transposes per-device scans without
+// per-bit Test calls.
+func (b *Bitmap) FreeWord(start block.VBN, n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if n > wordBits {
+		n = wordBits
+	}
+	pos := uint64(start)
+	if pos >= b.nbits {
+		return 0
+	}
+	off := pos % wordBits
+	w := ^b.words[pos/wordBits] >> off
+	if off != 0 && pos/wordBits+1 < uint64(len(b.words)) {
+		w |= ^b.words[pos/wordBits+1] << (wordBits - off)
+	}
+	valid := uint64(n)
+	if pos+valid > b.nbits {
+		valid = b.nbits - pos
+	}
+	return w & maskUpto(valid)
 }
 
 // DirtyPages returns the number of metafile pages modified since the last

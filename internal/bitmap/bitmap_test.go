@@ -482,3 +482,56 @@ func BenchmarkSetRangeBulk(b *testing.B) {
 		bm.ClearRange(r)
 	}
 }
+
+func TestFreeWord(t *testing.T) {
+	b := New(200)
+	for _, v := range []block.VBN{0, 3, 64, 70, 130, 199} {
+		b.Set(v)
+	}
+	// Every offset and width must agree with per-bit Test.
+	for start := block.VBN(0); start < 210; start++ {
+		for _, n := range []uint{1, 7, 32, 63, 64} {
+			w := b.FreeWord(start, n)
+			for i := uint(0); i < 64; i++ {
+				v := start + block.VBN(i)
+				want := i < n && uint64(v) < b.Size() && !b.Test(v)
+				if got := w&(1<<i) != 0; got != want {
+					t.Fatalf("FreeWord(%d,%d) bit %d = %v, want %v", start, n, i, got, want)
+				}
+			}
+		}
+	}
+	if got := b.FreeWord(100, 0); got != 0 {
+		t.Errorf("FreeWord(_, 0) = %#x, want 0", got)
+	}
+}
+
+func TestForEachFreeRunMatchesFreeRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := New(4096)
+	for i := 0; i < 1500; i++ {
+		b.Set(block.VBN(rng.Intn(4096)))
+	}
+	for _, r := range []block.Range{block.R(0, 4096), block.R(100, 3000), block.R(63, 65)} {
+		want := b.FreeRuns(r)
+		var got []block.Range
+		b.ForEachFreeRun(r, func(run block.Range) bool {
+			got = append(got, run)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("range %v: %d runs vs %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range %v run %d: %v vs %v", r, i, got[i], want[i])
+			}
+		}
+		// Early termination stops after the first run.
+		calls := 0
+		b.ForEachFreeRun(r, func(block.Range) bool { calls++; return false })
+		if len(want) > 0 && calls != 1 {
+			t.Fatalf("range %v: early-stop walk made %d calls", r, calls)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"waflfs/internal/benchfmt"
+)
+
+func collectTiny(t *testing.T, workers int) benchfmt.Artifact {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = workers
+	art, err := CollectArtifact(cfg, "BENCH_test", "deadbee", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+// The artifact carries provenance and at least one metric from every family
+// the schema promises: figure headlines, fragscan summaries, microbench
+// results, and modeled clocks.
+func TestCollectArtifactShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
+	}
+	art := collectTiny(t, 1)
+	if art.Schema != benchfmt.SchemaVersion || art.Name != "BENCH_test" || art.GitRev != "deadbee" {
+		t.Fatalf("provenance: %+v", art)
+	}
+	if art.Scale != 0.05 || art.Workers != 1 {
+		t.Fatalf("provenance: scale=%v workers=%d", art.Scale, art.Workers)
+	}
+	if err := art.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig6.agg_picked_on",
+		"fig6.wa_on",
+		"fig7.fresh_aged_ratio",
+		"fig8.wa_large",
+		"fig9.interventions_small",
+		"micro.mount.seeded_reads",
+		"micro.cp.flush_speedup_x",
+		"micro.write.cpu_per_op_ns",
+	} {
+		if _, ok := art.Get(name); !ok {
+			t.Errorf("metric %q missing", name)
+		}
+	}
+	var hasFrag, hasClock bool
+	for _, m := range art.Metrics {
+		if strings.HasPrefix(m.Name, "frag.") {
+			hasFrag = true
+		}
+		if strings.HasPrefix(m.Name, "clock.") {
+			hasClock = true
+		}
+	}
+	if !hasFrag || !hasClock {
+		t.Errorf("metric families missing: frag=%v clock=%v", hasFrag, hasClock)
+	}
+	// The artifact round-trips byte-stably like any committed BENCH file.
+	var a, b bytes.Buffer
+	if err := benchfmt.Write(&a, art); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.Write(&b, art); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("artifact encoding not byte-stable")
+	}
+}
+
+// The whole pipeline is worker-invariant: artifacts collected at widths 1
+// and 8 carry identical metric lists, so benchdiff across widths audits the
+// determinism contract end to end.
+func TestCollectArtifactWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite twice")
+	}
+	a1 := collectTiny(t, 1)
+	a8 := collectTiny(t, 8)
+	if err := benchfmt.CheckComparable(a1, a8); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1.Metrics, a8.Metrics) {
+		res := benchfmt.Compare(a1, a8)
+		for _, d := range res.Diffs {
+			if d.Old != d.New {
+				t.Errorf("%s: workers=1 %v, workers=8 %v", d.Name, d.Old, d.New)
+			}
+		}
+		t.Fatal("metric lists diverged across worker widths")
+	}
+	if res := benchfmt.Compare(a1, a8); res.Violations != 0 {
+		t.Fatalf("cross-width compare: %d violations", res.Violations)
+	}
+}

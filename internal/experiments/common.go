@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/sim"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
@@ -62,6 +63,12 @@ type ObsSink struct {
 	Tracer *obs.Tracer
 	// CSV receives one row per metric per consistency point per arm.
 	CSV *obs.CSVRecorder
+	// Frag receives an allocation-quality scan of every arm's spaces at
+	// each CP boundary (report streams are keyed by arm-prefixed space
+	// names).
+	Frag *fragscan.Recorder
+	// FragEvery scans every Nth CP (≤1 = every CP).
+	FragEvery int
 	// DeviceHistograms enables per-device service-time histograms.
 	DeviceHistograms bool
 }
@@ -92,6 +99,8 @@ func (c Config) tunablesNamed(name string) wafl.Tunables {
 			Export:           c.Obs.Export,
 			Tracer:           c.Obs.Tracer,
 			CSV:              c.Obs.CSV,
+			Frag:             c.Obs.Frag,
+			FragEvery:        c.Obs.FragEvery,
 			DeviceHistograms: c.Obs.DeviceHistograms,
 		}
 	}

@@ -47,6 +47,15 @@ func mountTime(ms wafl.MountStats) time.Duration {
 		time.Duration(ms.CacheInserts)*mountInsertCPU
 }
 
+// normDuration guards the table normalizers against a degenerate zero-cost
+// mount point (possible at extreme scale-down).
+func normDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
 func fig10Point(cfg Config, nvols int, volBlocks uint64) Fig10Point {
 	// The name carries both sweep dimensions: panel A reuses one volume
 	// count at several sizes, and same-named systems would share one trace
@@ -105,7 +114,7 @@ func RunFig10(cfg Config, w io.Writer) *Fig10Result {
 	res.SizeSweep = points[:len(sizeMults)]
 	res.CountSweep = points[len(sizeMults):]
 
-	norm := res.SizeSweep[0].WithoutTopAA
+	norm := normDuration(res.SizeSweep[0].WithoutTopAA)
 	tbA := stats.Table{
 		Title:   "Fig 10 (A): first-CP time vs FlexVol size (8 volumes; normalized to smallest no-TopAA point)",
 		Columns: []string{"vol blocks", "with TopAA", "without TopAA", "TopAA reads", "bitmap pages"},
@@ -118,7 +127,7 @@ func RunFig10(cfg Config, w io.Writer) *Fig10Result {
 	}
 	fmt.Fprintln(w, tbA.String())
 
-	normB := res.CountSweep[0].WithoutTopAA
+	normB := normDuration(res.CountSweep[0].WithoutTopAA)
 	tbB := stats.Table{
 		Title:   "Fig 10 (B): first-CP time vs FlexVol count (fixed size; normalized to smallest no-TopAA point)",
 		Columns: []string{"volumes", "with TopAA", "without TopAA", "TopAA reads", "bitmap pages"},

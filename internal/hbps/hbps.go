@@ -172,6 +172,14 @@ func (h *HBPS) BinCount(b int) uint32 { return h.counts[b] }
 // BinListed returns how many of bin b's items are in the list.
 func (h *HBPS) BinListed(b int) uint32 { return h.listed[b] }
 
+// BinSnapshot returns a copy of the histogram page: every bin's tracked-item
+// count in bin order (bin 0 = best). This is the cheap scan hook the
+// fragscan analyzer uses to contrast the cache's coarse score view with the
+// bitmap-truth distribution.
+func (h *HBPS) BinSnapshot() []uint32 {
+	return append([]uint32(nil), h.counts...)
+}
+
 // Listed reports whether item id is currently in the list.
 func (h *HBPS) Listed(id aa.ID) bool {
 	_, ok := h.pos[id]

@@ -92,6 +92,14 @@ func (c *Cache) Tracked(id aa.ID) bool {
 	return int(id) < len(c.pos) && c.pos[id] >= 0
 }
 
+// Entries returns a copy of every tracked (AA, score) pair in internal heap
+// order. This is the cheap O(n) enumeration hook analytics use to histogram
+// the cache's view of AA scores without disturbing heap invariants; callers
+// that need a deterministic ranking should sort or use TopK.
+func (c *Cache) Entries() []Entry {
+	return append([]Entry(nil), c.heap...)
+}
+
 // Score returns the cached score of AA id; it panics if untracked.
 func (c *Cache) Score(id aa.ID) uint64 {
 	c.mustTracked(id)

@@ -1,0 +1,213 @@
+package fragscan
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/bitmap"
+	"waflfs/internal/block"
+)
+
+// A fresh space: one run spanning everything, all AAs fully free.
+func TestScanFreshSpace(t *testing.T) {
+	bm := bitmap.New(256)
+	rep := Scan(Target{
+		Space: "s", Kind: KindHBPS,
+		Topo: aa.NewLinear(block.R(0, 256), 64), Bits: bm,
+	}, 1)
+	if rep.Blocks != 256 || rep.Free != 256 || rep.FreeFrac() != 1 {
+		t.Fatalf("totals: %+v", rep)
+	}
+	if rep.Runs != 1 || rep.LongestRun != 256 || rep.MeanRun != 256 {
+		t.Fatalf("runs: %+v", rep)
+	}
+	for i, d := range rep.Deciles {
+		if d != 1 {
+			t.Fatalf("decile %d = %v, want 1", i, d)
+		}
+	}
+	wantHist := make([]uint64, DefaultAABuckets)
+	wantHist[DefaultAABuckets-1] = 4
+	if !reflect.DeepEqual(rep.AAHist, wantHist) {
+		t.Fatalf("AAHist = %v, want %v", rep.AAHist, wantHist)
+	}
+	// 256 = 2^8 lands in the first bucket with bound >= 256.
+	if rep.RunCounts[8] != 1 {
+		t.Fatalf("RunCounts = %v, want single run at bucket 8", rep.RunCounts)
+	}
+}
+
+// Known allocation pattern: AA0 fully used, AA1 alternating, AA2-3 free.
+func TestScanKnownPattern(t *testing.T) {
+	bm := bitmap.New(256)
+	bm.SetRange(block.R(0, 64))
+	for v := block.VBN(64); v < 128; v += 2 {
+		bm.Set(v)
+	}
+	rep := Scan(Target{
+		Space: "s", Kind: KindHBPS,
+		Topo: aa.NewLinear(block.R(0, 256), 64), Bits: bm,
+	}, 2)
+	if rep.Free != 32+128 {
+		t.Fatalf("free = %d, want 160", rep.Free)
+	}
+	// 32 single-block runs in AA1; the last one merges with AA2-3's 128
+	// free blocks (runs don't observe AA boundaries): 31 runs of length 1
+	// plus one run of 129.
+	if rep.Runs != 32 || rep.LongestRun != 129 {
+		t.Fatalf("runs=%d longest=%d, want 32/129", rep.Runs, rep.LongestRun)
+	}
+	if rep.RunCounts[0] != 31 { // bound 1
+		t.Fatalf("RunCounts[<=1] = %d, want 31", rep.RunCounts[0])
+	}
+	// Per-AA fractions 0, 0.5, 1, 1: min 0, median 0.5..1 band, max 1.
+	if rep.Deciles[0] != 0 || rep.Deciles[10] != 1 {
+		t.Fatalf("deciles = %v", rep.Deciles)
+	}
+	if rep.AAHist[0] != 1 || rep.AAHist[5] != 1 || rep.AAHist[DefaultAABuckets-1] != 2 {
+		t.Fatalf("AAHist = %v", rep.AAHist)
+	}
+}
+
+// Stripe fullness transposes per-device spans: with 2 devices of 64
+// stripes, allocating device 0's stripe 3 leaves 63 fully-free stripes.
+func TestScanStripeFullness(t *testing.T) {
+	bm := bitmap.New(128)
+	bm.Set(3) // device 0, stripe 3
+	rep := Scan(Target{
+		Space: "s", Kind: KindRAID,
+		Topo:        aa.NewLinear(block.R(0, 128), 64),
+		Bits:        bm,
+		DeviceSpans: []block.Range{block.R(0, 64), block.R(64, 128)},
+	}, 1)
+	if len(rep.StripeHist) != 3 {
+		t.Fatalf("StripeHist = %v", rep.StripeHist)
+	}
+	if rep.StripeHist[2] != 63 || rep.StripeHist[1] != 1 || rep.StripeHist[0] != 0 {
+		t.Fatalf("StripeHist = %v, want [0 1 63]", rep.StripeHist)
+	}
+	if want := 63.0 / 64.0; rep.FreeStripeFrac != want {
+		t.Fatalf("FreeStripeFrac = %v, want %v", rep.FreeStripeFrac, want)
+	}
+	// Runs are per device span: device 0 has runs [0,3) and [4,64).
+	if rep.Runs != 3 || rep.LongestRun != 64 {
+		t.Fatalf("runs=%d longest=%d, want 3/64", rep.Runs, rep.LongestRun)
+	}
+}
+
+// Scans must be identical at any worker width.
+func TestScanWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bm := bitmap.New(1 << 16)
+	for i := 0; i < 1<<15; i++ {
+		bm.Set(block.VBN(rng.Intn(1 << 16)))
+	}
+	mk := func(workers int) Report {
+		return Scan(Target{
+			Space: "s", Kind: KindHBPS,
+			Topo: aa.NewLinear(block.R(0, 1<<16), 4096), Bits: bm,
+			Workers: workers,
+		}, 7)
+	}
+	if r1, r8 := mk(1), mk(8); !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("worker divergence:\n1: %+v\n8: %+v", r1, r8)
+	}
+}
+
+// Recorder: canonical (Space, CP, Seq) ordering regardless of record order,
+// Seq assignment for same-(space,cp) scans, Last, and CSV shape.
+func TestRecorderOrderingAndCSV(t *testing.T) {
+	rec := NewRecorder()
+	mk := func(space string, cp uint64) Report {
+		return Report{Space: space, CP: cp, Kind: KindHBPS,
+			RunBounds: []uint64{1}, RunCounts: []uint64{0, 0},
+			Deciles: make([]float64, 11), AAHist: make([]uint64, DefaultAABuckets)}
+	}
+	rec.Record(mk("b", 2))
+	rec.Record(mk("a", 5))
+	rec.Record(mk("b", 1))
+	rec.Record(mk("b", 2)) // same (space, cp): Seq 1
+	rec.Record(mk("a", 3))
+
+	reps := rec.Reports()
+	wantOrder := []struct {
+		space string
+		cp    uint64
+		seq   int
+	}{{"a", 3, 0}, {"a", 5, 0}, {"b", 1, 0}, {"b", 2, 0}, {"b", 2, 1}}
+	if len(reps) != len(wantOrder) {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for i, w := range wantOrder {
+		if reps[i].Space != w.space || reps[i].CP != w.cp || reps[i].Seq != w.seq {
+			t.Fatalf("report %d = (%s,%d,%d), want %+v", i, reps[i].Space, reps[i].CP, reps[i].Seq, w)
+		}
+	}
+	if last, ok := rec.Last("b"); !ok || last.CP != 2 || last.Seq != 1 {
+		t.Fatalf("Last(b) = %+v,%v", last, ok)
+	}
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Rows per report: 8 scalars + 2 run_le + 10 aa_bucket + 11 decile.
+	if want := 1 + 5*(8+2+10+11); len(lines) != want {
+		t.Fatalf("%d CSV lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[1], "a,3,scalar,blocks,") {
+		t.Fatalf("first data row = %q", lines[1])
+	}
+}
+
+// The heatmap row key (space, AA-bucket, CP) appears literally in CSV.
+func TestCSVHeatmapRows(t *testing.T) {
+	rec := NewRecorder()
+	bm := bitmap.New(128)
+	bm.SetRange(block.R(0, 64))
+	rec.Record(Scan(Target{Space: "hm", Kind: KindHBPS,
+		Topo: aa.NewLinear(block.R(0, 128), 64), Bits: bm}, 4))
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hm,4,aa_bucket,0,1\n") ||
+		!strings.Contains(sb.String(), "hm,4,aa_bucket,9,1\n") {
+		t.Fatalf("heatmap rows missing:\n%s", sb.String())
+	}
+}
+
+// Summaries: final-scan state, pick-weighted picked quality.
+func TestSummaries(t *testing.T) {
+	rec := NewRecorder()
+	base := Report{Kind: KindHBPS, RunBounds: []uint64{1}, RunCounts: []uint64{0, 0},
+		Deciles: make([]float64, 11), AAHist: make([]uint64, DefaultAABuckets)}
+	r1 := base
+	r1.Space, r1.CP, r1.Blocks, r1.Free, r1.Picks, r1.PickedFreeFrac = "x", 1, 100, 80, 4, 0.5
+	r2 := base
+	r2.Space, r2.CP, r2.Blocks, r2.Free, r2.Picks, r2.PickedFreeFrac = "x", 2, 100, 60, 12, 0.75
+	r2.Deciles[5] = 0.6
+	rec.Record(r1)
+	rec.Record(r2)
+
+	sums := rec.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	s := sums[0]
+	if s.Space != "x" || s.Scans != 2 || s.FreeFrac != 0.6 || s.MedianAAFrac != 0.6 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Picks != 16 {
+		t.Fatalf("picks = %d", s.Picks)
+	}
+	if want := (0.5*4 + 0.75*12) / 16; s.PickedFreeFrac != want {
+		t.Fatalf("picked = %v, want %v", s.PickedFreeFrac, want)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"waflfs/internal/stats"
+)
+
+// Quantile estimates must track exact stats.Summary percentiles on known
+// distributions, within one bucket width (the information the histogram
+// retains).
+func TestHistogramQuantileVsSummary(t *testing.T) {
+	bounds := make([]uint64, 20)
+	for i := range bounds {
+		bounds[i] = uint64(i+1) * 50 // 50, 100, ..., 1000
+	}
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name string
+		gen  func() uint64
+		n    int
+	}{
+		{"uniform", func() uint64 { return uint64(rng.Intn(1000)) + 1 }, 20000},
+		{"bimodal", func() uint64 {
+			if rng.Intn(2) == 0 {
+				return uint64(rng.Intn(100)) + 1
+			}
+			return uint64(rng.Intn(100)) + 800
+		}, 20000},
+		{"skewed", func() uint64 {
+			v := rng.ExpFloat64() * 150
+			if v > 999 {
+				v = 999
+			}
+			return uint64(v) + 1
+		}, 20000},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(bounds)
+		var samples []float64
+		for i := 0; i < tc.n; i++ {
+			v := tc.gen()
+			h.Observe(v)
+			samples = append(samples, float64(v))
+		}
+		sum := stats.Summarize(samples)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			got := h.Quantile(q)
+			want := sum.Percentile(q * 100)
+			if diff := got - want; diff > 50 || diff < -50 {
+				t.Errorf("%s q%.2f: histogram %.1f vs exact %.1f (> one bucket width apart)",
+					tc.name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	h := NewHistogram([]uint64{10, 20})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// All mass in the +Inf bucket clamps to the highest finite bound.
+	h.Observe(1000)
+	if got := h.Quantile(0.99); got != 20 {
+		t.Errorf("overflow quantile = %v, want clamp to 20", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	h2 := NewHistogram([]uint64{10})
+	h2.Observe(5)
+	if got := h2.Quantile(-1); got < 0 || got > 10 {
+		t.Errorf("q=-1 -> %v, want within bucket", got)
+	}
+	if got := h2.Quantile(2); got < 0 || got > 10 {
+		t.Errorf("q=2 -> %v, want within bucket", got)
+	}
+	// A point mass interpolates within its bucket and never leaves it.
+	h3 := NewHistogram([]uint64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h3.Observe(15)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h3.Quantile(q); got < 10 || got > 20 {
+			t.Errorf("point-mass q%.1f = %v, outside (10,20]", q, got)
+		}
+	}
+}

@@ -182,6 +182,55 @@ type HistValue struct {
 	Count  uint64   `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded samples by
+// linear interpolation within the containing bucket, assuming samples are
+// uniformly spread over each bucket's (lower, upper] range. Samples landing
+// in the +Inf bucket are clamped to the highest finite bound, so tail
+// quantiles are a lower bound once the histogram overflows. Returns 0 for
+// an empty histogram.
+func (hv HistValue) Quantile(q float64) float64 {
+	if hv.Count == 0 || len(hv.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	var cum uint64
+	for i, c := range hv.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(hv.Bounds) { // +Inf bucket: clamp
+			return float64(hv.Bounds[len(hv.Bounds)-1])
+		}
+		var lo float64
+		if i > 0 {
+			lo = float64(hv.Bounds[i-1])
+		}
+		hi := float64(hv.Bounds[i])
+		frac := (rank - float64(cum-c)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return float64(hv.Bounds[len(hv.Bounds)-1])
+}
+
+// Quantile estimates the q-quantile of the live histogram; see
+// HistValue.Quantile. Returns 0 for nil or empty histograms.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Value().Quantile(q)
+}
+
 // Kind names in snapshots.
 const (
 	KindCounter   = "counter"

@@ -37,6 +37,9 @@ type Aggregate struct {
 	scoredAAs *obs.Counter
 	cpTot     cpTotals
 	mountTot  mountTotals
+	// fragMarks tracks per-space picked-quality baselines between
+	// allocation-quality scans (see fragscan.go).
+	fragMarks map[string]fragMark
 }
 
 // NewAggregate builds an aggregate from RAID-group specs. The seed makes

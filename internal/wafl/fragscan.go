@@ -1,0 +1,147 @@
+package wafl
+
+import (
+	"fmt"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+	"waflfs/internal/obs/fragscan"
+)
+
+// Allocation-quality scanning. With ObsOptions.Frag set, every CP boundary
+// (and any on-demand System.FragScan call) runs the fragscan analyzer over
+// each space the aggregate owns: one RAID-aware target per group, one HBPS
+// target per volume, and one for the object pool. The scans read bitmaps
+// through the cheap hooks only — no ChargeScan, no counter increments — so
+// enabling them changes no modeled clock and no allocator decision, and the
+// recorded streams stay byte-identical at any worker count.
+
+// fragMark remembers a space's picked-quality counters as of its previous
+// scan so each report carries the picks of its own CP window.
+type fragMark struct {
+	sum   float64
+	count uint64
+}
+
+// pickedDelta converts absolute picked counters into a since-last-scan
+// window, tolerating counter resets (ResetMetrics zeroes the sums).
+func (ag *Aggregate) pickedDelta(space string, sum float64, count uint64) (uint64, float64) {
+	if ag.fragMarks == nil {
+		ag.fragMarks = make(map[string]fragMark)
+	}
+	last := ag.fragMarks[space]
+	if count < last.count {
+		last = fragMark{}
+	}
+	ag.fragMarks[space] = fragMark{sum: sum, count: count}
+	picks := count - last.count
+	if picks == 0 {
+		return 0, 0
+	}
+	return picks, (sum - last.sum) / float64(picks)
+}
+
+// fragTargets builds one scan target per space, in a fixed order (groups by
+// index, volumes in creation order, then the pool) so recorded sequence
+// numbers are deterministic.
+func (ag *Aggregate) fragTargets() []fragscan.Target {
+	name := ag.obsOpts.Name
+	workers := ag.workers()
+	var out []fragscan.Target
+	for _, g := range ag.groups {
+		spans := make([]block.Range, g.geo.DataDevices)
+		for d := range spans {
+			spans[d] = g.geo.DeviceRange(d)
+		}
+		t := fragscan.Target{
+			Space:       fmt.Sprintf("%s.rg%d", name, g.Index),
+			Kind:        fragscan.KindRAID,
+			Topo:        g.topo,
+			Bits:        ag.bm,
+			DeviceSpans: spans,
+			CacheBins:   heapBins(g, fragscan.DefaultAABuckets),
+			Workers:     workers,
+		}
+		t.Picks, t.PickedFreeFrac = ag.pickedDelta(t.Space, g.pickedScoreSum, g.pickedCount)
+		out = append(out, t)
+	}
+	for _, v := range ag.vols {
+		out = append(out, ag.agnosticTarget(name+".vol."+v.Name, v.space))
+	}
+	if ag.pool != nil {
+		out = append(out, ag.agnosticTarget(name+".pool", ag.pool.space))
+	}
+	return out
+}
+
+func (ag *Aggregate) agnosticTarget(space string, s *agnosticSpace) fragscan.Target {
+	bins := s.cache.BinSnapshot()
+	cacheBins := make([]uint64, len(bins))
+	for i, c := range bins {
+		cacheBins[i] = uint64(c)
+	}
+	t := fragscan.Target{
+		Space:     space,
+		Kind:      fragscan.KindHBPS,
+		Topo:      s.topo,
+		Bits:      s.bm,
+		CacheBins: cacheBins,
+		Workers:   ag.workers(),
+	}
+	t.Picks, t.PickedFreeFrac = ag.pickedDelta(space, s.pickedScoreSum, s.pickedCount)
+	return t
+}
+
+// heapBins buckets the heapcache's cached scores by free fraction — the
+// cache's coarse view of the same distribution fragscan derives from the
+// bitmap. Bucketing makes the result independent of internal heap order.
+func heapBins(g *Group, buckets int) []uint64 {
+	bins := make([]uint64, buckets)
+	for _, e := range g.cache.Entries() {
+		cap := aa.Capacity(g.topo, e.ID)
+		if cap == 0 {
+			continue
+		}
+		b := int(float64(e.Score) / float64(cap) * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// FragScan scans every space at the given CP ordinal, records the reports
+// into ObsOptions.Frag (when set), and returns them in target order.
+func (ag *Aggregate) FragScan(cp uint64) []fragscan.Report {
+	targets := ag.fragTargets()
+	reports := make([]fragscan.Report, len(targets))
+	for i, t := range targets {
+		reports[i] = fragscan.Scan(t, cp)
+	}
+	if rec := ag.obsOpts.Frag; rec != nil {
+		for _, rep := range reports {
+			rec.Record(rep)
+		}
+	}
+	return reports
+}
+
+// FragScan runs an on-demand allocation-quality scan of every space,
+// stamped with the current CP count. CP-boundary scans use the same path.
+func (s *System) FragScan() []fragscan.Report {
+	return s.Agg.FragScan(s.c.CPs)
+}
+
+// maybeFragScan is the CP-boundary hook: scan when a recorder is attached
+// and this CP ordinal matches the FragEvery cadence.
+func (s *System) maybeFragScan() {
+	o := &s.Agg.obsOpts
+	if o.Frag == nil {
+		return
+	}
+	if o.FragEvery > 1 && s.c.CPs%uint64(o.FragEvery) != 0 {
+		return
+	}
+	s.Agg.FragScan(s.c.CPs)
+}

@@ -284,10 +284,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 
 // aaBlockCount returns the capacity of AA id, accounting for a truncated
 // final AA.
-func aaBlockCount(t *aa.Striped, id aa.ID) uint64 {
-	from, to := t.StripeRange(id)
-	return (to - from) * uint64(t.Geometry().DataDevices)
-}
+func aaBlockCount(t *aa.Striped, id aa.ID) uint64 { return aa.Capacity(t, id) }
 
 // finishAA returns the drained AA to the cache with its current score.
 func (g *Group) finishAA(bm *bitmap.Bitmap) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/parallel"
 )
 
@@ -47,6 +48,13 @@ type ObsOptions struct {
 	// device model (one metric per device; sizeable cardinality, off by
 	// default).
 	DeviceHistograms bool
+	// Frag, when non-nil, receives an allocation-quality scan of every
+	// space (RAID groups, volumes, object pool) at each CP boundary. The
+	// scans are purely observational — no modeled cost is charged.
+	Frag *fragscan.Recorder
+	// FragEvery scans every Nth CP (≤1 = every CP). On-demand scans via
+	// System.FragScan are unaffected.
+	FragEvery int
 }
 
 func (o *ObsOptions) normalized() ObsOptions {

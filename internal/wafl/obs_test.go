@@ -8,15 +8,17 @@ import (
 
 	"waflfs/internal/aa"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/fragscan"
 )
 
 // obsRun drives a moderate workload — fill, churn, CPs, delayed frees, a
 // seeded remount, and a fallback remount — with every observability sink
 // enabled, and returns the system plus the sinks.
-func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *strings.Builder, []CPStats) {
+func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *strings.Builder, *fragscan.Recorder, []CPStats) {
 	t.Helper()
 	export := obs.NewRegistry()
 	tracer := obs.NewTracer()
+	frag := fragscan.NewRecorder()
 	var csv strings.Builder
 	rec := obs.NewCSVRecorder(&csv)
 	tun := DefaultTunables()
@@ -28,6 +30,7 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 		Export: export,
 		Tracer: tracer,
 		CSV:    rec,
+		Frag:   frag,
 	}
 	s := NewSystem(testSpecs(),
 		[]VolSpec{
@@ -64,14 +67,14 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 	if err := rec.Flush(); err != nil {
 		t.Fatalf("csv flush: %v", err)
 	}
-	return s, export, tracer, &csv, cps
+	return s, export, tracer, &csv, frag, cps
 }
 
 // The derived-view contract: the registry never stores a second copy of any
 // counter, so reconstructing Counters and the summed CPStats from a snapshot
 // must reproduce the struct-returning APIs exactly.
 func TestRegistryDerivedViewEquivalence(t *testing.T) {
-	s, _, _, _, cps := obsRun(t, 0)
+	s, _, _, _, _, cps := obsRun(t, 0)
 
 	got := CountersFromSnapshot(s.Registry().Snapshot())
 	if got != s.Counters() {
@@ -101,8 +104,8 @@ func TestRegistryDerivedViewEquivalence(t *testing.T) {
 // canonical trace-event sequences, and CSV output are all bit-identical for
 // Workers=1 and Workers=8.
 func TestObsSerialEquivalence(t *testing.T) {
-	s1, _, tr1, csv1, cps1 := obsRun(t, 1)
-	s8, _, tr8, csv8, cps8 := obsRun(t, 8)
+	s1, _, tr1, csv1, frag1, cps1 := obsRun(t, 1)
+	s8, _, tr8, csv8, frag8, cps8 := obsRun(t, 8)
 
 	// FlushWall is the one field the Workers knob is supposed to change;
 	// every other CPStats field must match.
@@ -150,6 +153,46 @@ func TestObsSerialEquivalence(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv1.String(), obs.CSVHeader) {
 		t.Fatal("CSV output missing header")
+	}
+
+	// Fragmentation analytics obey the same contract: report streams and
+	// their CSV serialization are identical at any worker width.
+	rep1, rep8 := frag1.Reports(), frag8.Reports()
+	if len(rep1) == 0 {
+		t.Fatal("fragscan recorded no reports")
+	}
+	if !reflect.DeepEqual(rep1, rep8) {
+		n := len(rep1)
+		if len(rep8) < n {
+			n = len(rep8)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(rep1[i], rep8[i]) {
+				t.Fatalf("fragscan report %d diverged:\nworkers=1: %+v\nworkers=8: %+v", i, rep1[i], rep8[i])
+			}
+		}
+		t.Fatalf("fragscan report counts diverged: %d vs %d", len(rep1), len(rep8))
+	}
+	var fcsv1, fcsv8 strings.Builder
+	if err := frag1.WriteCSV(&fcsv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := frag8.WriteCSV(&fcsv8); err != nil {
+		t.Fatal(err)
+	}
+	if fcsv1.String() != fcsv8.String() {
+		t.Fatal("fragscan CSV diverged across worker counts")
+	}
+	// One report stream per RAID group and per volume (this system has no
+	// object pool).
+	spaces := map[string]bool{}
+	for _, r := range rep1 {
+		spaces[r.Space] = true
+	}
+	for _, want := range []string{"arm.rg0", "arm.rg1", "arm.vol.va", "arm.vol.vb"} {
+		if !spaces[want] {
+			t.Errorf("no fragscan reports for space %q (have %v)", want, spaces)
+		}
 	}
 }
 
@@ -206,7 +249,7 @@ func TestObsDisabledByDefault(t *testing.T) {
 // Mount totals surface through the registry, matching the MountStats the
 // calls returned.
 func TestMountMetrics(t *testing.T) {
-	s, _, tracer, _, _ := obsRun(t, 0)
+	s, _, tracer, _, _, _ := obsRun(t, 0)
 	reg := s.Registry()
 	if n, _ := reg.Value("mount.count"); n != 2 {
 		t.Errorf("mount.count = %d, want 2", n)

@@ -294,6 +294,7 @@ func (s *System) CP() CPStats {
 	if rec := s.Agg.obsOpts.CSV; rec != nil {
 		rec.Record(s.Agg.obsOpts.Name, s.c.CPs, s.Agg.reg.Snapshot())
 	}
+	s.maybeFragScan()
 	return st
 }
 

@@ -29,3 +29,11 @@ go build -o "$tmpdir/waflbench" ./cmd/waflbench
     -trace-out "$tmpdir/bench.jsonl" >/dev/null
 test -s "$tmpdir/bench.csv"
 test -s "$tmpdir/bench.jsonl"
+
+# Benchmark-artifact smoke test: a tiny-scale artifact must collect, and
+# benchdiff comparing it against itself must report zero drift (exit 0) —
+# the regression gate's own sanity check.
+go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
+"$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -scale 0.05 >/dev/null
+test -s "$tmpdir/BENCH_smoke.json"
+"$tmpdir/benchdiff" "$tmpdir/BENCH_smoke.json" "$tmpdir/BENCH_smoke.json"
