@@ -2,7 +2,7 @@
 # tools; there are no external dependencies.
 
 SCALE ?= 1.0
-BENCH ?= BENCH_3.json
+BENCH ?= BENCH_4.json
 
 .PHONY: all build test verify bench bench-artifact bench-diff
 

@@ -114,7 +114,7 @@ func main() {
 		// Round-trip the volume's HBPS through its TopAA metafile — the
 		// same bytes a mount would read — so the tool inspects exactly
 		// what is persisted.
-		h, err := s.Agg.Store().LoadAgnostic(v.Name)
+		h, _, err := s.Agg.Store().LoadAgnostic(v.Name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "warning: TopAA metafile for %s unreadable: %v\n", v.Name, err)
 			continue

@@ -9,7 +9,13 @@
 //	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
 //	          [-parallel N] [-cpuprofile f] [-memprofile f]
 //	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
-//	          [-bench-json BENCH_n.json]
+//	          [-bench-json BENCH_n.json] [-faults matrix|<plan-spec>]
+//
+// -faults runs the crash-recovery harness instead of a figure: "matrix"
+// sweeps a crash at every CP phase × media fault kind and exits nonzero if
+// any recovered cache silently disagrees with the bitmap metafiles; any
+// other value is a fault-plan spec (e.g. "phase=flush,fault=torn,cp=2")
+// running a single crash-and-recover scenario. See internal/faultinject.
 //
 // -bench-json runs the canonical fig6–fig10 + microbench suite and writes a
 // schema-versioned benchmark artifact (headline metrics, fragscan
@@ -49,6 +55,7 @@ import (
 
 	"waflfs/internal/benchfmt"
 	"waflfs/internal/experiments"
+	"waflfs/internal/faultinject"
 	"waflfs/internal/obs"
 	"waflfs/internal/stats"
 )
@@ -79,6 +86,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the CP-phase/allocator trace to this JSON Lines file")
 	benchJSON := flag.String("bench-json", "",
 		"run the canonical fig6-fig10 + microbench suite and write a schema-versioned benchmark artifact (BENCH_<n>.json) to this file; overrides -exp")
+	faults := flag.String("faults", "",
+		"fault-injection mode: 'matrix' sweeps a crash at every CP phase × media fault and exits 1 on silent divergence; any other value is a plan spec like 'phase=flush,fault=torn,cp=2' running one crash-and-recover scenario; overrides -exp")
 	flag.Parse()
 
 	if *list {
@@ -170,7 +179,12 @@ func main() {
 		fmt.Printf("serving metrics at %s\n\n", metricsURL)
 	}
 
-	if *benchJSON != "" {
+	if *faults != "" {
+		if err := runFaults(cfg, *faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if *benchJSON != "" {
 		name := strings.TrimSuffix(filepath.Base(*benchJSON), ".json")
 		start := time.Now()
 		art, err := experiments.CollectArtifact(cfg, name, gitRev(), os.Stdout)
@@ -205,6 +219,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runFaults handles -faults: the full crash matrix, or one plan-spec
+// scenario. Either way a silently-divergent cache is a hard failure.
+func runFaults(cfg experiments.Config, mode string) error {
+	if mode == "matrix" {
+		res := experiments.RunCrashMatrix(cfg, os.Stdout)
+		if div := res.Divergent(); len(div) > 0 {
+			return fmt.Errorf("crash matrix: silent divergence in %d of %d cells", len(div), len(res.Cells))
+		}
+		return nil
+	}
+	plan, err := faultinject.ParsePlan(mode)
+	if err != nil {
+		return err
+	}
+	if plan.Seed == 0 {
+		plan.Seed = cfg.Seed
+	}
+	cell := experiments.RunFaultScenario(cfg, plan, "faults")
+	fmt.Printf("fault scenario: phase=%q fault=%s crashed=%v\n", cell.Phase, cell.Fault, cell.Crashed)
+	if cell.Damage != "" {
+		fmt.Printf("  media damage: %s\n", cell.Damage)
+	}
+	fmt.Printf("  remount: %d spaces — %d clean, %d reconstructed, %d fallbacks (stale %d, torn %d, damaged %d, missing %d)\n",
+		cell.Spaces, cell.CleanLoads, cell.Reconstructed, cell.Fallbacks,
+		cell.Stale, cell.Torn, cell.Damaged, cell.Missing)
+	if cell.Divergent > 0 {
+		return fmt.Errorf("scrub: silent divergence in %d spaces (first: %s)", cell.Divergent, cell.FirstDivergence)
+	}
+	fmt.Println("  scrub: clean — every cache agrees with the bitmap metafiles")
+	return nil
 }
 
 // finishObs drains the observability sinks after the experiments finish:

@@ -38,6 +38,16 @@ const (
 	// StripesPerTetris is the number of consecutive stripes in a tetris,
 	// the unit of write I/O sent from WAFL to a RAID group (§4.2).
 	StripesPerTetris = 64
+
+	// ChunkSize is the sector-level protection unit within a 4KiB block:
+	// metafile blocks carry a checksum per 512-byte chunk plus one XOR
+	// parity chunk, so a single damaged or unreadable chunk can be
+	// RAID-reconstructed before falling back to recomputation (§3.2.4 and
+	// the repair path of §3.4).
+	ChunkSize = 512
+
+	// ChunksPerBlock is the number of protection chunks in one 4KiB block.
+	ChunksPerBlock = BlockSize / ChunkSize
 )
 
 // Common capacity units, in bytes.

@@ -1,0 +1,66 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultyDiskInjectsEveryNth(t *testing.T) {
+	inner := &HDD{Position: time.Millisecond, TransferPerBlock: time.Microsecond}
+	f := &FaultyDisk{Inner: inner, Every: 3, Penalty: 10 * time.Millisecond}
+
+	clean := inner.Position + time.Microsecond
+	var total time.Duration
+	for i := 1; i <= 9; i++ {
+		d := f.Read(1)
+		total += d
+		want := clean
+		if i%3 == 0 {
+			want += 10 * time.Millisecond
+		}
+		if d != want {
+			t.Fatalf("read %d: d = %v, want %v", i, d, want)
+		}
+	}
+	st := f.Stats()
+	if st.ReadErrors != 3 {
+		t.Fatalf("ReadErrors = %d, want 3", st.ReadErrors)
+	}
+	if st.ReadIOs != 9 {
+		t.Fatalf("ReadIOs = %d, want 9", st.ReadIOs)
+	}
+	if st.BusyTime != total {
+		t.Fatalf("BusyTime = %v, want %v (penalties included)", st.BusyTime, total)
+	}
+	// Writes pass through untouched.
+	if d := f.WriteChain(0, 4); d != inner.Position+4*time.Microsecond {
+		t.Fatalf("WriteChain = %v", d)
+	}
+}
+
+func TestFaultyDiskDisabledAndDefaults(t *testing.T) {
+	inner := DefaultHDD()
+	f := &FaultyDisk{Inner: inner} // Every == 0: inert
+	for i := 0; i < 10; i++ {
+		f.Read(1)
+	}
+	if st := f.Stats(); st.ReadErrors != 0 || st.BusyTime != inner.Stats().BusyTime {
+		t.Fatalf("disabled wrapper injected: %+v", st)
+	}
+
+	f2 := &FaultyDisk{Inner: DefaultHDD(), Every: 1} // default penalty
+	clean := f2.Inner.(*HDD).Position + f2.Inner.(*HDD).TransferPerBlock
+	if d := f2.Read(1); d != clean+DefaultReadErrorPenalty {
+		t.Fatalf("default penalty: %v", d)
+	}
+}
+
+func TestFaultyDiskForwardsTrim(t *testing.T) {
+	ssd := NewSSD(DefaultSSDConfig(1 << 12))
+	f := &FaultyDisk{Inner: ssd, Every: 2}
+	f.WriteChain(0, 8)
+	f.Trim(0, 8) // must reach the FTL without panicking
+	// An HDD has no Trim; forwarding must be a no-op.
+	f2 := &FaultyDisk{Inner: DefaultHDD()}
+	f2.Trim(0, 8)
+}

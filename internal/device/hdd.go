@@ -31,6 +31,9 @@ type DiskStats struct {
 	ReadIOs       uint64
 	BlocksRead    uint64
 	BusyTime      time.Duration
+	// ReadErrors counts read I/Os that hit an injected media error and
+	// paid the RAID-reconstruction penalty (FaultyDisk wrapping).
+	ReadErrors uint64
 }
 
 // DefaultHDD returns a model of a 7.2k-RPM SAS drive: ~8ms average

@@ -91,13 +91,27 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	addFig10Point(&art, "fig10.size", r10.SizeSweep)
 	addFig10Point(&art, "fig10.count", r10.CountSweep)
 
+	// Crash-recovery matrix: exact counts with a zero-tolerance band — any
+	// change to how recovery classifies a cell is a regression, and a single
+	// silently-divergent cache must fail the benchdiff gate outright.
+	rc := RunCrashMatrix(cfg, w)
+	ct := rc.Totals()
+	art.Add("crash.cells", float64(len(rc.Cells)), "count", 0.001)
+	art.Add("crash.divergent", float64(ct.Divergent), "count", 0.001)
+	art.Add("crash.clean_loads", float64(ct.CleanLoads), "count", 0.001)
+	art.Add("crash.reconstructed", float64(ct.Reconstructed), "count", 0.001)
+	art.Add("crash.fallbacks", float64(ct.Fallbacks), "count", 0.001)
+	art.Add("crash.stale_fallbacks", float64(ct.Stale), "count", 0.001)
+	art.Add("crash.torn_fallbacks", float64(ct.Torn), "count", 0.001)
+	art.Add("crash.damage_fallbacks", float64(ct.Damaged), "count", 0.001)
+
 	microMetrics(cfg, &art, w)
 
 	// Fragscan allocation-quality summaries, one set per space stream.
 	// fig10's sweeps mount dozens of tiny systems; their streams stay in
 	// the recorder but are skipped here to bound artifact size.
 	for _, s := range cfg.Obs.Frag.Summaries() {
-		if strings.HasPrefix(s.Space, "fig10.") {
+		if strings.HasPrefix(s.Space, "fig10.") || strings.HasPrefix(s.Space, "crash.") {
 			continue
 		}
 		p := "frag." + s.Space
@@ -114,7 +128,9 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// registry's stable (worker-invariant) snapshot.
 	clockSuffixes := []string{".wafl.cpu_ns", ".wafl.device_busy_ns", ".wafl.cps", ".wafl.blocks_written"}
 	for _, m := range cfg.Obs.Export.StableSnapshot().Metrics {
-		if strings.HasPrefix(m.Name, "fig10.") || m.Kind != obs.KindCounter {
+		// fig10's sweeps and the crash matrix mount dozens of tiny systems;
+		// their arm clocks are excluded to bound artifact size.
+		if strings.HasPrefix(m.Name, "fig10.") || strings.HasPrefix(m.Name, "crash.") || m.Kind != obs.KindCounter {
 			continue
 		}
 		for _, suf := range clockSuffixes {

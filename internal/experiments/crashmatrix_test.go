@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"waflfs/internal/faultinject"
+)
+
+func crashConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	return cfg
+}
+
+func TestCrashMatrixNoSilentDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunCrashMatrix(crashConfig(), io.Discard)
+	if want := len(faultinject.CPPhases()) * len(faultinject.Kinds()); len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	if div := res.Divergent(); len(div) > 0 {
+		t.Fatalf("silent divergence in %d cells; first: %s × %s: %s",
+			len(div), div[0].Phase, div[0].Fault, div[0].FirstDivergence)
+	}
+	t.Run("structure", func(t *testing.T) {
+		for _, c := range res.Cells {
+			if !c.Crashed {
+				t.Errorf("%s × %s: crash point never fired", c.Phase, c.Fault)
+			}
+			if got := c.Stale + c.Torn + c.Damaged + c.Missing; got != c.Fallbacks {
+				t.Errorf("%s × %s: fallback classes sum %d != %d", c.Phase, c.Fault, got, c.Fallbacks)
+			}
+			if c.CleanLoads+c.Reconstructed+c.Fallbacks != c.Spaces {
+				t.Errorf("%s × %s: outcome classes don't cover %d spaces: %+v", c.Phase, c.Fault, c.Spaces, c)
+			}
+			switch c.Phase {
+			case faultinject.PhaseAlloc:
+				if c.CleanLoads != 0 {
+					t.Errorf("alloc-phase crash × %s: %d clean loads, want 0", c.Fault, c.CleanLoads)
+				}
+			case faultinject.PhaseCommit:
+				if c.Fault == faultinject.FaultNone.String() && c.Fallbacks+c.Reconstructed != 0 {
+					t.Errorf("commit × none: fallbacks %d reconstructed %d, want clean CP", c.Fallbacks, c.Reconstructed)
+				}
+			}
+		}
+	})
+}
+
+func TestCrashMatrixDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := crashConfig()
+	cfg.Workers = 1
+	serial := RunCrashMatrix(cfg, io.Discard)
+	cfg.Workers = 8
+	wide := RunCrashMatrix(cfg, io.Discard)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("crash matrix differs between 1 and 8 workers")
+	}
+}
+
+func TestRunFaultScenarioSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	plan, err := faultinject.ParsePlan("phase=flush,fault=torn,cp=2,seed=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := RunFaultScenario(crashConfig(), plan, "scenario.flush.torn")
+	if !cell.Crashed {
+		t.Fatal("crash never fired")
+	}
+	if cell.Divergent > 0 {
+		t.Fatalf("silent divergence: %s", cell.FirstDivergence)
+	}
+	if cell.Fallbacks == 0 {
+		t.Fatal("flush-phase crash produced no fallbacks")
+	}
+}

@@ -47,6 +47,11 @@ func All() []Experiment {
 			Run:         func(cfg Config, w io.Writer) { RunFig10(cfg, w) },
 		},
 		{
+			Name:        "crashmatrix",
+			Description: "crash recovery: crash at every CP phase × media fault, scrub for silent divergence (§3.4)",
+			Run:         func(cfg Config, w io.Writer) { RunCrashMatrix(cfg, w) },
+		},
+		{
 			Name:        "ablations",
 			Description: "design-choice ablations: HBPS bin width, AA size, write-bias threshold",
 			Run:         func(cfg Config, w io.Writer) { RunAblations(cfg, w) },

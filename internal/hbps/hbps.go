@@ -180,6 +180,22 @@ func (h *HBPS) BinSnapshot() []uint32 {
 	return append([]uint32(nil), h.counts...)
 }
 
+// EachListed visits every listed item with the bin it is filed under, in
+// list order (best bins first). The bin comes from the segment structure,
+// not the item's score, so a scrub can cross-check the metafile's own
+// claim against bitmap ground truth.
+func (h *HBPS) EachListed(yield func(id aa.ID, bin int)) {
+	for b := 0; b < h.numBins; b++ {
+		if h.listed[b] == 0 {
+			continue
+		}
+		first := h.index[b]
+		for i := int32(0); i < int32(h.listed[b]); i++ {
+			yield(h.list[first+i], b)
+		}
+	}
+}
+
 // Listed reports whether item id is currently in the list.
 func (h *HBPS) Listed(id aa.ID) bool {
 	_, ok := h.pos[id]

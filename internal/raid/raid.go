@@ -246,6 +246,35 @@ func BuildTetrises(g Geometry, vbns []block.VBN) []TetrisIO {
 	return out
 }
 
+// XORParity computes the byte-wise XOR parity of equal-length chunks — the
+// RAID 4 parity rule at sub-block granularity. Metafile blocks persist one
+// parity chunk per 4KiB block so that a single damaged or unreadable chunk
+// can be rebuilt without falling back to recomputing the caches from the
+// bitmaps. It panics on no chunks or mismatched lengths (a programming
+// error, like Geometry misuse).
+func XORParity(chunks ...[]byte) []byte {
+	if len(chunks) == 0 {
+		panic("raid: XOR parity of zero chunks")
+	}
+	out := append([]byte(nil), chunks[0]...)
+	for _, c := range chunks[1:] {
+		if len(c) != len(out) {
+			panic(fmt.Sprintf("raid: XOR parity chunk length %d != %d", len(c), len(out)))
+		}
+		for i, b := range c {
+			out[i] ^= b
+		}
+	}
+	return out
+}
+
+// XORReconstruct rebuilds one missing chunk from the parity chunk and the
+// surviving chunks: parity XOR survivors. It is XORParity with the parity
+// standing in for the lost member.
+func XORReconstruct(parity []byte, survivors ...[]byte) []byte {
+	return XORParity(append([][]byte{parity}, survivors...)...)
+}
+
 // Stats accumulates tetris accounting across consistency points; the Fig. 7
 // experiment reports blocks/s and tetrises/s per RAID group from it.
 type Stats struct {

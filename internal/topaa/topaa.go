@@ -15,22 +15,41 @@
 //     mount.
 //
 // The Store type simulates the metafile itself: a set of named block runs
-// with read/write accounting (for the Fig. 10 experiment) and fault
-// injection (for the repair path: if a TopAA metafile is damaged and RAID
-// cannot reconstruct it, WAFL falls back to recomputing the caches from
-// the bitmaps, the job WAFL Iron performs online).
+// with read/write accounting (for the Fig. 10 experiment) and a full
+// failure model. Every 4KiB block is protected at 512-byte chunk
+// granularity — a checksum and generation stamp per chunk plus one XOR
+// parity chunk — so loads distinguish four failure classes:
+//
+//   - missing: the metafile was never written (or a failed save degraded
+//     to "no metafile");
+//   - stale: all chunks carry an older generation than the store — the CP
+//     that should have rewritten them crashed before the save landed;
+//   - torn: chunks within one metafile carry mixed generations — the
+//     crash interrupted the save itself;
+//   - damaged: a chunk fails its checksum or reports a media error. One
+//     bad chunk per block is RAID-reconstructed from the parity chunk and
+//     repaired in place; anything beyond that is unrecoverable.
+//
+// Missing, stale, torn, and unrecoverable damage all make the caller fall
+// back to recomputing the caches from the bitmaps — the job WAFL Iron
+// performs online. Reconstruction and every failure class are counted so
+// recovery behaviour can be asserted and exported.
 package topaa
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sort"
 	"sync"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/block"
+	"waflfs/internal/faultinject"
 	"waflfs/internal/hbps"
 	"waflfs/internal/heapcache"
+	"waflfs/internal/raid"
 )
 
 // RAIDAwareEntries is the number of (AA, score) pairs one 4KiB TopAA block
@@ -40,10 +59,55 @@ const RAIDAwareEntries = block.BlockSize / 8
 // invalidID marks unused entry slots.
 const invalidID = ^uint32(0)
 
+// Failure classes reported by Store loads. Callers test with errors.Is and
+// fall back to a bitmap walk on any of them; the classes only differ in
+// how the fallback is counted.
+var (
+	// ErrMissing: no metafile exists under the name.
+	ErrMissing = errors.New("topaa: metafile missing")
+	// ErrStale: the metafile is intact but was written by an earlier CP
+	// generation — its scores predate mutations the bitmap already holds.
+	ErrStale = errors.New("topaa: metafile stale")
+	// ErrTorn: chunks carry mixed generations — the save was interrupted.
+	ErrTorn = errors.New("topaa: metafile torn")
+	// ErrDamaged: media damage beyond what RAID can reconstruct, or a
+	// structurally invalid decode.
+	ErrDamaged = errors.New("topaa: metafile damaged")
+)
+
+// LoadOutcome classifies a successful or failed metafile load.
+type LoadOutcome int
+
+const (
+	// LoadFailed: the load returned an error; the caller must fall back.
+	LoadFailed LoadOutcome = iota
+	// LoadClean: every chunk verified on the first read.
+	LoadClean
+	// LoadReconstructed: at least one chunk was rebuilt from parity and
+	// repaired in place before the decode succeeded.
+	LoadReconstructed
+)
+
+// String implements fmt.Stringer.
+func (o LoadOutcome) String() string {
+	switch o {
+	case LoadFailed:
+		return "failed"
+	case LoadClean:
+		return "clean"
+	case LoadReconstructed:
+		return "reconstructed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
 // MarshalRAIDAware encodes up to RAIDAwareEntries of the best AAs (as
 // produced by heapcache.Cache.TopK, descending score order) into one 4KiB
-// block.
-func MarshalRAIDAware(entries []heapcache.Entry) []byte {
+// block. It returns an error if any entry does not fit the 32-bit on-disk
+// fields — e.g. an AA configured larger than 2^32-1 blocks — so the CP
+// persist path can degrade to "no metafile" instead of crashing.
+func MarshalRAIDAware(entries []heapcache.Entry) ([]byte, error) {
 	if len(entries) > RAIDAwareEntries {
 		entries = entries[:RAIDAwareEntries]
 	}
@@ -54,12 +118,12 @@ func MarshalRAIDAware(entries []heapcache.Entry) []byte {
 	}
 	for i, e := range entries {
 		if uint64(e.ID) >= uint64(invalidID) || e.Score > uint64(^uint32(0)) {
-			panic(fmt.Sprintf("topaa: entry (%d,%d) unencodable", e.ID, e.Score))
+			return nil, fmt.Errorf("topaa: entry (%d,%d) does not fit 32-bit encoding", e.ID, e.Score)
 		}
 		le.PutUint32(buf[8*i:], uint32(e.ID))
 		le.PutUint32(buf[8*i+4:], uint32(e.Score))
 	}
-	return buf
+	return buf, nil
 }
 
 // LoadRAIDAware decodes a RAID-aware TopAA block. It validates that entries
@@ -97,71 +161,288 @@ func LoadRAIDAware(buf []byte) ([]heapcache.Entry, error) {
 	return out, nil
 }
 
+// protBlock is the chunk-granularity protection for one 4KiB metafile
+// block: a CRC and generation stamp per 512-byte chunk, plus an XOR parity
+// chunk that can rebuild any single lost chunk.
+type protBlock struct {
+	crcs             [block.ChunksPerBlock]uint32
+	gens             [block.ChunksPerBlock]uint64
+	unreadable       [block.ChunksPerBlock]bool
+	parity           []byte
+	parityCRC        uint32
+	parityUnreadable bool
+}
+
+// metafile is one named block run plus its protection.
+type metafile struct {
+	data []byte
+	prot []protBlock
+}
+
+func (m *metafile) nblocks() int { return len(m.data) / block.BlockSize }
+
+// protectBlock computes fresh protection for one 4KiB block at gen.
+func protectBlock(blk []byte, gen uint64) protBlock {
+	var pb protBlock
+	chunks := make([][]byte, block.ChunksPerBlock)
+	for c := 0; c < block.ChunksPerBlock; c++ {
+		ch := blk[c*block.ChunkSize : (c+1)*block.ChunkSize]
+		chunks[c] = ch
+		pb.crcs[c] = crc32.ChecksumIEEE(ch)
+		pb.gens[c] = gen
+	}
+	pb.parity = raid.XORParity(chunks...)
+	pb.parityCRC = crc32.ChecksumIEEE(pb.parity)
+	return pb
+}
+
+// newMetafile builds a fully protected metafile for data at gen.
+func newMetafile(data []byte, gen uint64) *metafile {
+	m := &metafile{data: append([]byte(nil), data...)}
+	m.prot = make([]protBlock, m.nblocks())
+	for b := range m.prot {
+		m.prot[b] = protectBlock(m.data[b*block.BlockSize:(b+1)*block.BlockSize], gen)
+	}
+	return m
+}
+
+// RecoveryStats counts the failure and recovery events the store has seen.
+type RecoveryStats struct {
+	Reconstructions uint64 // chunks rebuilt from parity and repaired in place
+	SaveErrors      uint64 // saves that degraded to "no metafile"
+	StaleLoads      uint64 // loads rejected as ErrStale
+	TornLoads       uint64 // loads rejected as ErrTorn
+	DamagedLoads    uint64 // loads rejected as ErrDamaged
+}
+
 // Store simulates the TopAA metafile's blocks, keyed by file-system
 // instance name (one aggregate or FlexVol per key). It counts block reads
-// and writes so experiments can charge mount-time I/O. All methods are
-// safe for concurrent use: parallel mount rebuilds load every space's
-// metafile from worker shards, and each key is owned by exactly one space.
+// and writes so experiments can charge mount-time I/O, stamps every save
+// with the store's CP generation, and routes saves through an optional
+// fault injector. All methods are safe for concurrent use: parallel mount
+// rebuilds load every space's metafile from worker shards, and each key is
+// owned by exactly one space.
 type Store struct {
 	mu     sync.Mutex
-	blocks map[string][]byte
+	blocks map[string]*metafile
+	gen    uint64
 
-	reads  uint64 // blocks read
+	reads  uint64 // blocks read (failed probes charge one)
 	writes uint64 // blocks written
+
+	rec RecoveryStats
+
+	inj *faultinject.Injector // nil = no faults
 }
 
 // NewStore creates an empty metafile store.
 func NewStore() *Store {
-	return &Store{blocks: make(map[string][]byte)}
+	return &Store{blocks: make(map[string]*metafile)}
+}
+
+// SetInjector routes subsequent saves and damage through inj. A nil
+// injector disables fault injection.
+func (s *Store) SetInjector(inj *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = inj
+}
+
+// BeginGeneration advances the store's CP generation; CommitCP calls it
+// once per CP before any TopAA save, so a crash that drops this CP's saves
+// leaves the previous generation detectably stale.
+func (s *Store) BeginGeneration() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+}
+
+// Generation returns the current CP generation.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// save persists data (a multiple of the block size) under name, applying
+// the injector's verdict: dropped saves never reach the map, torn saves
+// land only their first k chunks over the previous image.
+func (s *Store) save(name string, data []byte) {
+	nblocks := len(data) / block.BlockSize
+	s.mu.Lock()
+	inj := s.inj
+	s.mu.Unlock()
+	// The injector has its own lock and ApplyDamage calls back into the
+	// store, so consult it without holding s.mu.
+	dec := inj.OnSave(name, nblocks*block.ChunksPerBlock)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dec.Drop {
+		return
+	}
+	if dec.TornChunks > 0 {
+		s.tornWriteLocked(name, data, dec.TornChunks)
+		s.writes += uint64(nblocks)
+		return
+	}
+	s.blocks[name] = newMetafile(data, s.gen)
+	s.writes += uint64(nblocks)
+}
+
+// tornWriteLocked lands only the first k chunks of data over the previous
+// image (zeros at generation 0 if the metafile is new or resized), leaving
+// the parity chunks untouched — exactly the mixed-generation state a crash
+// mid-write produces.
+func (s *Store) tornWriteLocked(name string, data []byte, k int) {
+	old := s.blocks[name]
+	if old == nil || len(old.data) != len(data) {
+		old = newMetafile(make([]byte, len(data)), 0)
+	}
+	for c := 0; c < k; c++ {
+		b, ch := c/block.ChunksPerBlock, c%block.ChunksPerBlock
+		off := b*block.BlockSize + ch*block.ChunkSize
+		chunk := data[off : off+block.ChunkSize]
+		copy(old.data[off:], chunk)
+		old.prot[b].crcs[ch] = crc32.ChecksumIEEE(chunk)
+		old.prot[b].gens[ch] = s.gen
+	}
+	s.blocks[name] = old
+}
+
+// load reads the named metafile, verifying every chunk. A single bad chunk
+// per block is rebuilt from parity and repaired in place; anything worse —
+// or mixed/stale generations — fails with the matching sentinel error. The
+// failed probe of a missing metafile charges one block read; a present
+// metafile charges one read per block.
+func (s *Store) load(name string) ([]byte, LoadOutcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.blocks[name]
+	if !ok {
+		s.reads++ // the probe that discovers the miss is a real I/O
+		return nil, LoadFailed, fmt.Errorf("%w: no metafile for %q", ErrMissing, name)
+	}
+	nblocks := m.nblocks()
+	s.reads += uint64(nblocks)
+
+	reconstructed := false
+	for b := 0; b < nblocks; b++ {
+		pb := &m.prot[b]
+		blk := m.data[b*block.BlockSize : (b+1)*block.BlockSize]
+		var bad []int
+		for c := 0; c < block.ChunksPerBlock; c++ {
+			ch := blk[c*block.ChunkSize : (c+1)*block.ChunkSize]
+			if pb.unreadable[c] || crc32.ChecksumIEEE(ch) != pb.crcs[c] {
+				bad = append(bad, c)
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		if len(bad) > 1 || pb.parityUnreadable || crc32.ChecksumIEEE(pb.parity) != pb.parityCRC {
+			s.rec.DamagedLoads++
+			return nil, LoadFailed, fmt.Errorf("%w: %q block %d: %d bad chunks, parity lost=%v",
+				ErrDamaged, name, b, len(bad), pb.parityUnreadable)
+		}
+		c := bad[0]
+		survivors := make([][]byte, 0, block.ChunksPerBlock-1)
+		for o := 0; o < block.ChunksPerBlock; o++ {
+			if o != c {
+				survivors = append(survivors, blk[o*block.ChunkSize:(o+1)*block.ChunkSize])
+			}
+		}
+		rebuilt := raid.XORReconstruct(pb.parity, survivors...)
+		if crc32.ChecksumIEEE(rebuilt) != pb.crcs[c] {
+			s.rec.DamagedLoads++
+			return nil, LoadFailed, fmt.Errorf("%w: %q block %d chunk %d failed checksum after reconstruction",
+				ErrDamaged, name, b, c)
+		}
+		copy(blk[c*block.ChunkSize:], rebuilt)
+		pb.unreadable[c] = false
+		s.rec.Reconstructions++
+		reconstructed = true
+	}
+
+	// Generation check: every chunk must carry one generation, and it must
+	// be the store's current one. Mixed = the save tore; old = the save
+	// was dropped by a crash.
+	g0 := m.prot[0].gens[0]
+	for b := range m.prot {
+		for _, g := range m.prot[b].gens {
+			if g != g0 {
+				s.rec.TornLoads++
+				return nil, LoadFailed, fmt.Errorf("%w: %q has chunks at generations %d and %d", ErrTorn, name, g0, g)
+			}
+		}
+	}
+	if g0 != s.gen {
+		s.rec.StaleLoads++
+		return nil, LoadFailed, fmt.Errorf("%w: %q at generation %d, store at %d", ErrStale, name, g0, s.gen)
+	}
+
+	out := LoadClean
+	if reconstructed {
+		out = LoadReconstructed
+	}
+	return append([]byte(nil), m.data...), out, nil
 }
 
 // SaveRAIDAware persists the cache's 512 best AAs under name. This runs at
-// each CP boundary in WAFL; it costs one block write.
-func (s *Store) SaveRAIDAware(name string, c *heapcache.Cache) {
-	buf := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.blocks[name] = buf
-	s.writes++
+// each CP boundary in WAFL; it costs one block write. If the cache cannot
+// be encoded, the save degrades to "no metafile" — the stale previous
+// image is removed so the next mount detectably falls back to a bitmap
+// walk — and the error is returned for accounting.
+func (s *Store) SaveRAIDAware(name string, c *heapcache.Cache) error {
+	buf, err := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	if err != nil {
+		s.mu.Lock()
+		s.rec.SaveErrors++
+		delete(s.blocks, name)
+		s.mu.Unlock()
+		return err
+	}
+	s.save(name, buf)
+	return nil
 }
 
 // LoadRAIDAware reads the named block and decodes the seed entries,
-// charging one block read.
-func (s *Store) LoadRAIDAware(name string) ([]heapcache.Entry, error) {
-	s.mu.Lock()
-	buf, ok := s.blocks[name]
-	if ok {
-		s.reads++
+// charging one block read (or one for the failed probe).
+func (s *Store) LoadRAIDAware(name string) ([]heapcache.Entry, LoadOutcome, error) {
+	buf, outcome, err := s.load(name)
+	if err != nil {
+		return nil, LoadFailed, err
 	}
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("topaa: no metafile block for %q", name)
+	entries, err := LoadRAIDAware(buf)
+	if err != nil {
+		s.mu.Lock()
+		s.rec.DamagedLoads++
+		s.mu.Unlock()
+		return nil, LoadFailed, fmt.Errorf("%w: %v", ErrDamaged, err)
 	}
-	return LoadRAIDAware(buf)
+	return entries, outcome, nil
 }
 
 // SaveAgnostic persists an HBPS verbatim (two or more blocks) under name.
 func (s *Store) SaveAgnostic(name string, h *hbps.HBPS) {
-	data := h.Marshal()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.blocks[name] = data
-	s.writes += uint64(len(data) / block.BlockSize)
+	s.save(name, h.Marshal())
 }
 
 // LoadAgnostic reads and reconstructs the named HBPS, charging one read per
-// block.
-func (s *Store) LoadAgnostic(name string) (*hbps.HBPS, error) {
-	s.mu.Lock()
-	buf, ok := s.blocks[name]
-	if ok {
-		s.reads += uint64(len(buf) / block.BlockSize)
+// block (or one for the failed probe).
+func (s *Store) LoadAgnostic(name string) (*hbps.HBPS, LoadOutcome, error) {
+	buf, outcome, err := s.load(name)
+	if err != nil {
+		return nil, LoadFailed, err
 	}
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("topaa: no metafile blocks for %q", name)
+	h, err := hbps.Load(buf)
+	if err != nil {
+		s.mu.Lock()
+		s.rec.DamagedLoads++
+		s.mu.Unlock()
+		return nil, LoadFailed, fmt.Errorf("%w: %v", ErrDamaged, err)
 	}
-	return hbps.Load(buf)
+	return h, outcome, nil
 }
 
 // Has reports whether a metafile exists for name.
@@ -172,16 +453,35 @@ func (s *Store) Has(name string) bool {
 	return ok
 }
 
-// Corrupt flips a byte in the named metafile, simulating media damage that
-// RAID could not reconstruct; used to exercise the repair/fallback path.
+// Keys returns the names of all persisted metafiles, sorted — the
+// deterministic candidate list fault plans pick damage targets from.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.blocks))
+	for k := range s.blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Corrupt flips a byte in the named metafile and a byte of the containing
+// block's parity chunk, simulating media damage that RAID cannot
+// reconstruct; used to exercise the repair/fallback path. The offset must
+// lie within the metafile.
 func (s *Store) Corrupt(name string, offset int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	buf, ok := s.blocks[name]
+	m, ok := s.blocks[name]
 	if !ok {
 		return fmt.Errorf("topaa: no metafile for %q", name)
 	}
-	buf[offset%len(buf)] ^= 0xa5
+	if offset < 0 || offset >= len(m.data) {
+		return fmt.Errorf("topaa: corrupt offset %d out of range [0,%d) for %q", offset, len(m.data), name)
+	}
+	m.data[offset] ^= 0xa5
+	m.prot[offset/block.BlockSize].parity[offset%block.ChunkSize] ^= 0xa5
 	return nil
 }
 
@@ -198,4 +498,77 @@ func (s *Store) Stats() (reads, writes uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.reads, s.writes
+}
+
+// Recovery reports lifetime failure and recovery events.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// The Store is the faultinject.DamageSurface fault plans damage.
+var _ faultinject.DamageSurface = (*Store)(nil)
+
+func (s *Store) chunkTarget(name string, blk, chunk int) (*metafile, error) {
+	m, ok := s.blocks[name]
+	if !ok {
+		return nil, fmt.Errorf("topaa: no metafile for %q", name)
+	}
+	if blk < 0 || blk >= m.nblocks() {
+		return nil, fmt.Errorf("topaa: block %d out of range [0,%d) for %q", blk, m.nblocks(), name)
+	}
+	if chunk < 0 || chunk >= block.ChunksPerBlock {
+		return nil, fmt.Errorf("topaa: chunk %d out of range [0,%d)", chunk, block.ChunksPerBlock)
+	}
+	return m, nil
+}
+
+// BlockCount implements faultinject.DamageSurface.
+func (s *Store) BlockCount(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.blocks[name]
+	if !ok {
+		return 0
+	}
+	return m.nblocks()
+}
+
+// CorruptChunk implements faultinject.DamageSurface: it flips one byte in
+// a single data chunk, leaving parity intact so the load path can
+// reconstruct it.
+func (s *Store) CorruptChunk(name string, blk, chunk int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.chunkTarget(name, blk, chunk)
+	if err != nil {
+		return err
+	}
+	m.data[blk*block.BlockSize+chunk*block.ChunkSize] ^= 0xa5
+	return nil
+}
+
+// MarkChunkUnreadable implements faultinject.DamageSurface.
+func (s *Store) MarkChunkUnreadable(name string, blk, chunk int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.chunkTarget(name, blk, chunk)
+	if err != nil {
+		return err
+	}
+	m.prot[blk].unreadable[chunk] = true
+	return nil
+}
+
+// MarkParityUnreadable implements faultinject.DamageSurface.
+func (s *Store) MarkParityUnreadable(name string, blk int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.chunkTarget(name, blk, 0)
+	if err != nil {
+		return err
+	}
+	m.prot[blk].parityUnreadable = true
+	return nil
 }

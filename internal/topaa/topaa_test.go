@@ -1,11 +1,13 @@
 package topaa
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/block"
+	"waflfs/internal/faultinject"
 	"waflfs/internal/hbps"
 	"waflfs/internal/heapcache"
 )
@@ -19,10 +21,19 @@ func fullCache(n int, seed int64) *heapcache.Cache {
 	return heapcache.NewFromScores(scores)
 }
 
+func mustMarshal(t *testing.T, entries []heapcache.Entry) []byte {
+	t.Helper()
+	buf, err := MarshalRAIDAware(entries)
+	if err != nil {
+		t.Fatalf("MarshalRAIDAware: %v", err)
+	}
+	return buf
+}
+
 func TestRAIDAwareRoundTrip(t *testing.T) {
 	c := fullCache(10000, 1)
 	top := c.TopK(RAIDAwareEntries)
-	buf := MarshalRAIDAware(top)
+	buf := mustMarshal(t, top)
 	if len(buf) != block.BlockSize {
 		t.Fatalf("block size = %d", len(buf))
 	}
@@ -43,7 +54,7 @@ func TestRAIDAwareRoundTrip(t *testing.T) {
 func TestRAIDAwarePartialBlock(t *testing.T) {
 	// Fewer AAs than 512: block is partially filled.
 	c := fullCache(17, 2)
-	buf := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	buf := mustMarshal(t, c.TopK(RAIDAwareEntries))
 	got, err := LoadRAIDAware(buf)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +63,7 @@ func TestRAIDAwarePartialBlock(t *testing.T) {
 		t.Fatalf("entries = %d", len(got))
 	}
 	// Empty marshal loads as empty.
-	got, err = LoadRAIDAware(MarshalRAIDAware(nil))
+	got, err = LoadRAIDAware(mustMarshal(t, nil))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty: %v %v", got, err)
 	}
@@ -63,7 +74,7 @@ func TestRAIDAwareOverlongTruncates(t *testing.T) {
 	for i := range entries {
 		entries[i] = heapcache.Entry{ID: aa.ID(i), Score: uint64(1000 - i)}
 	}
-	got, err := LoadRAIDAware(MarshalRAIDAware(entries))
+	got, err := LoadRAIDAware(mustMarshal(t, entries))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,9 +83,21 @@ func TestRAIDAwareOverlongTruncates(t *testing.T) {
 	}
 }
 
+// MarshalRAIDAware must reject entries that do not fit the 32-bit on-disk
+// fields instead of panicking — a large-AA config must degrade, not crash
+// the CP.
+func TestRAIDAwareMarshalUnencodable(t *testing.T) {
+	if _, err := MarshalRAIDAware([]heapcache.Entry{{ID: 0, Score: 1 << 33}}); err == nil {
+		t.Error("oversized score accepted")
+	}
+	if _, err := MarshalRAIDAware([]heapcache.Entry{{ID: aa.ID(^uint32(0)), Score: 1}}); err == nil {
+		t.Error("invalid-sentinel ID accepted")
+	}
+}
+
 func TestRAIDAwareLoadRejectsCorruption(t *testing.T) {
 	c := fullCache(10000, 3)
-	good := MarshalRAIDAware(c.TopK(RAIDAwareEntries))
+	good := mustMarshal(t, c.TopK(RAIDAwareEntries))
 
 	// Wrong size.
 	if _, err := LoadRAIDAware(good[:100]); err == nil {
@@ -93,7 +116,7 @@ func TestRAIDAwareLoadRejectsCorruption(t *testing.T) {
 		t.Error("duplicate id accepted")
 	}
 	// Entry after terminator.
-	short := MarshalRAIDAware(c.TopK(5))
+	short := mustMarshal(t, c.TopK(5))
 	bad = append([]byte(nil), short...)
 	copy(bad[8*7:8*7+8], good[:8]) // resurrect slot 7 after slot 5 ended
 	if _, err := LoadRAIDAware(bad); err == nil {
@@ -107,13 +130,18 @@ func TestStoreRAIDAware(t *testing.T) {
 	if s.Has("rg0") {
 		t.Fatal("fresh store has rg0")
 	}
-	s.SaveRAIDAware("rg0", c)
+	if err := s.SaveRAIDAware("rg0", c); err != nil {
+		t.Fatal(err)
+	}
 	if !s.Has("rg0") {
 		t.Fatal("save did not persist")
 	}
-	seed, err := s.LoadRAIDAware("rg0")
+	seed, outcome, err := s.LoadRAIDAware("rg0")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if outcome != LoadClean {
+		t.Fatalf("outcome = %v", outcome)
 	}
 	if len(seed) != RAIDAwareEntries {
 		t.Fatalf("seed = %d", len(seed))
@@ -126,8 +154,26 @@ func TestStoreRAIDAware(t *testing.T) {
 	if r != 1 || w != 1 {
 		t.Fatalf("stats = %d,%d", r, w)
 	}
-	if _, err := s.LoadRAIDAware("missing"); err == nil {
-		t.Fatal("missing metafile loaded")
+	if _, _, err := s.LoadRAIDAware("missing"); !errors.Is(err, ErrMissing) {
+		t.Fatalf("missing metafile: %v", err)
+	}
+}
+
+// The probe that discovers a missing metafile is a real I/O; the Fig. 10
+// mount accounting must charge it.
+func TestStoreChargesFailedProbes(t *testing.T) {
+	s := NewStore()
+	if _, _, err := s.LoadRAIDAware("nope"); !errors.Is(err, ErrMissing) {
+		t.Fatalf("want ErrMissing, got %v", err)
+	}
+	if r, _ := s.Stats(); r != 1 {
+		t.Fatalf("failed RAID-aware probe charged %d reads, want 1", r)
+	}
+	if _, _, err := s.LoadAgnostic("nope"); !errors.Is(err, ErrMissing) {
+		t.Fatalf("want ErrMissing, got %v", err)
+	}
+	if r, _ := s.Stats(); r != 2 {
+		t.Fatalf("failed agnostic probe charged %d total reads, want 2", r)
 	}
 }
 
@@ -139,9 +185,12 @@ func TestStoreAgnostic(t *testing.T) {
 		h.Track(aa.ID(i), uint32(rng.Intn(32769)))
 	}
 	s.SaveAgnostic("vol1", h)
-	got, err := s.LoadAgnostic("vol1")
+	got, outcome, err := s.LoadAgnostic("vol1")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if outcome != LoadClean {
+		t.Fatalf("outcome = %v", outcome)
 	}
 	if got.Total() != h.Total() || got.ListLen() != h.ListLen() {
 		t.Fatal("agnostic round trip mismatch")
@@ -163,27 +212,208 @@ func TestStoreCorruptionFallback(t *testing.T) {
 	if err := s.Corrupt("vol1", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.LoadAgnostic("vol1"); err == nil {
-		t.Fatal("corrupt HBPS pages loaded without error")
+	if _, _, err := s.LoadAgnostic("vol1"); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("corrupt HBPS pages: %v", err)
 	}
 	// RAID-aware corruption likewise surfaces as an error, not a panic.
 	c := fullCache(1000, 6)
-	s.SaveRAIDAware("rg0", c)
+	if err := s.SaveRAIDAware("rg0", c); err != nil {
+		t.Fatal(err)
+	}
 	// Flip a score byte high in the list to break descending order.
 	if err := s.Corrupt("rg0", 8*100+4+3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.LoadRAIDAware("rg0"); err == nil {
-		t.Fatal("corrupt RAID-aware block loaded without error")
+	if _, _, err := s.LoadRAIDAware("rg0"); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("corrupt RAID-aware block: %v", err)
 	}
 	if err := s.Corrupt("missing", 0); err == nil {
 		t.Fatal("corrupting missing metafile succeeded")
+	}
+	rec := s.Recovery()
+	if rec.DamagedLoads != 2 {
+		t.Fatalf("DamagedLoads = %d, want 2", rec.DamagedLoads)
+	}
+}
+
+// Corrupt must reject out-of-range offsets with an error, not an
+// index-out-of-range panic.
+func TestStoreCorruptValidatesOffset(t *testing.T) {
+	s := NewStore()
+	if err := s.SaveRAIDAware("rg0", fullCache(100, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Corrupt("rg0", -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := s.Corrupt("rg0", block.BlockSize); err == nil {
+		t.Error("offset one past the end accepted")
+	}
+	if err := s.Corrupt("rg0", block.BlockSize-1); err != nil {
+		t.Errorf("last valid offset rejected: %v", err)
+	}
+}
+
+// A single rotted chunk is rebuilt from the XOR parity chunk and repaired
+// in place; two rotted chunks in one block exceed what parity can rebuild.
+func TestStoreReconstructsSingleChunk(t *testing.T) {
+	s := NewStore()
+	c := fullCache(5000, 10)
+	if err := s.SaveRAIDAware("rg0", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CorruptChunk("rg0", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	seed, outcome, err := s.LoadRAIDAware("rg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != LoadReconstructed {
+		t.Fatalf("outcome = %v, want reconstructed", outcome)
+	}
+	best, _ := c.Best()
+	if seed[0].ID != best.ID {
+		t.Fatal("reconstructed seed does not match cache")
+	}
+	if rec := s.Recovery(); rec.Reconstructions != 1 {
+		t.Fatalf("Reconstructions = %d", rec.Reconstructions)
+	}
+	// The repair was written back: the next load is clean.
+	if _, outcome, err = s.LoadRAIDAware("rg0"); err != nil || outcome != LoadClean {
+		t.Fatalf("post-repair load: %v, %v", outcome, err)
+	}
+
+	// Two bad chunks in the same block cannot be rebuilt.
+	if err := s.CorruptChunk("rg0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CorruptChunk("rg0", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadRAIDAware("rg0"); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("double rot: %v", err)
+	}
+}
+
+// An unreadable chunk reconstructs like rot; losing the parity chunk too
+// defeats reconstruction.
+func TestStoreUnreadableChunks(t *testing.T) {
+	s := NewStore()
+	if err := s.SaveRAIDAware("rg0", fullCache(5000, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkChunkUnreadable("rg0", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := s.LoadRAIDAware("rg0"); err != nil || outcome != LoadReconstructed {
+		t.Fatalf("unreadable chunk: %v, %v", outcome, err)
+	}
+
+	if err := s.MarkChunkUnreadable("rg0", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkParityUnreadable("rg0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadRAIDAware("rg0"); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("chunk+parity loss: %v", err)
+	}
+
+	// Damage-surface calls validate their coordinates.
+	if err := s.CorruptChunk("rg0", 5, 0); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if err := s.CorruptChunk("rg0", 0, 99); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+	if err := s.MarkParityUnreadable("ghost", 0); err == nil {
+		t.Error("missing metafile accepted")
+	}
+}
+
+// A save issued by an older CP generation is detected as stale; a torn
+// save (mixed generations) is detected as torn.
+func TestStoreGenerations(t *testing.T) {
+	s := NewStore()
+	if err := s.SaveRAIDAware("rg0", fullCache(1000, 12)); err != nil {
+		t.Fatal(err)
+	}
+	s.BeginGeneration()
+	if _, _, err := s.LoadRAIDAware("rg0"); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale metafile: %v", err)
+	}
+	// Re-saving at the current generation clears the staleness.
+	if err := s.SaveRAIDAware("rg0", fullCache(1000, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := s.LoadRAIDAware("rg0"); err != nil || outcome != LoadClean {
+		t.Fatalf("re-saved: %v, %v", outcome, err)
+	}
+	rec := s.Recovery()
+	if rec.StaleLoads != 1 {
+		t.Fatalf("StaleLoads = %d", rec.StaleLoads)
+	}
+}
+
+// A torn save lands only its first chunks; the load detects the mixed
+// generations and rejects the metafile.
+func TestStoreTornWrite(t *testing.T) {
+	s := NewStore()
+	inj := faultinject.New(faultinject.Plan{
+		Seed: 1, CrashPhase: faultinject.PhaseTopAAGroups, CrashCP: 1, Fault: faultinject.FaultTorn,
+	})
+	s.SetInjector(inj)
+	inj.BeginCP()
+
+	// Pre-crash: saves land whole.
+	s.BeginGeneration()
+	if err := s.SaveRAIDAware("rg0", fullCache(1000, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := s.LoadRAIDAware("rg0"); err != nil || outcome != LoadClean {
+		t.Fatalf("pre-crash: %v, %v", outcome, err)
+	}
+
+	// Crash, then the next CP's save tears.
+	inj.EnterPhase(faultinject.PhaseTopAAGroups)
+	s.BeginGeneration()
+	if err := s.SaveRAIDAware("rg0", fullCache(1000, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadRAIDAware("rg0"); !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn save: %v", err)
+	}
+	// Subsequent saves are dropped entirely: the old image stays, stale.
+	if err := s.SaveRAIDAware("rg1", fullCache(1000, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("rg1") {
+		t.Fatal("dropped save persisted")
+	}
+	if rec := s.Recovery(); rec.TornLoads != 1 {
+		t.Fatalf("TornLoads = %d", rec.TornLoads)
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"vb", "rg1", "rg0"} {
+		if err := s.SaveRAIDAware(k, fullCache(10, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "rg0" || keys[1] != "rg1" || keys[2] != "vb" {
+		t.Fatalf("Keys = %v", keys)
 	}
 }
 
 func TestStoreDrop(t *testing.T) {
 	s := NewStore()
-	s.SaveRAIDAware("rg0", fullCache(10, 7))
+	if err := s.SaveRAIDAware("rg0", fullCache(10, 7)); err != nil {
+		t.Fatal(err)
+	}
 	s.Drop("rg0")
 	if s.Has("rg0") {
 		t.Fatal("drop did not remove")
@@ -195,9 +425,11 @@ func TestStoreDrop(t *testing.T) {
 func TestSeedThenBackgroundFill(t *testing.T) {
 	full := fullCache(100000, 8)
 	s := NewStore()
-	s.SaveRAIDAware("rg0", full)
+	if err := s.SaveRAIDAware("rg0", full); err != nil {
+		t.Fatal(err)
+	}
 
-	seedEntries, err := s.LoadRAIDAware("rg0")
+	seedEntries, _, err := s.LoadRAIDAware("rg0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package wafl
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
+	"waflfs/internal/faultinject"
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
 	"waflfs/internal/parallel"
@@ -25,6 +27,7 @@ type Aggregate struct {
 	store  *topaa.Store
 	tun    Tunables
 	rng    *rand.Rand
+	faults *faultinject.Injector // nil-safe; set when Tunables.Faults is armed
 
 	nextRR int // round-robin start position over groups
 
@@ -37,6 +40,7 @@ type Aggregate struct {
 	scoredAAs *obs.Counter
 	cpTot     cpTotals
 	mountTot  mountTotals
+	scrubTot  scrubTotals
 	// fragMarks tracks per-space picked-quality baselines between
 	// allocation-quality scans (see fragscan.go).
 	fragMarks map[string]fragMark
@@ -51,6 +55,10 @@ func NewAggregate(specs []GroupSpec, tun Tunables, seed int64) *Aggregate {
 	tun = tun.Defaults()
 	rng := rand.New(rand.NewSource(seed))
 	ag := &Aggregate{store: topaa.NewStore(), tun: tun, rng: rng}
+	if tun.Faults != nil {
+		ag.faults = faultinject.New(*tun.Faults)
+		ag.store.SetInjector(ag.faults)
+	}
 	var next block.VBN
 	for i, spec := range specs {
 		g := buildGroup(i, spec, next, tun, rng)
@@ -79,6 +87,21 @@ func (ag *Aggregate) Bitmap() *bitmap.Bitmap { return ag.bm }
 
 // Store exposes the TopAA metafile store.
 func (ag *Aggregate) Store() *topaa.Store { return ag.store }
+
+// Injector exposes the fault injector (nil when no plan is armed). Nil is
+// safe to call: every Injector method is a no-op on a nil receiver.
+func (ag *Aggregate) Injector() *faultinject.Injector { return ag.faults }
+
+// ApplyPlannedDamage places the armed plan's media fault on the TopAA
+// metafile store — the damage a dirty failover leaves behind — and returns
+// what was damaged. A plan without a media-fault kind (or no plan at all)
+// does nothing.
+func (ag *Aggregate) ApplyPlannedDamage() (faultinject.DamageReport, error) {
+	if ag.faults == nil {
+		return faultinject.DamageReport{}, nil
+	}
+	return ag.faults.ApplyDamage(ag.store, ag.store.Keys(), block.ChunksPerBlock)
+}
 
 // Blocks returns the physical VBN space size.
 func (ag *Aggregate) Blocks() uint64 { return ag.bm.Size() }
@@ -219,6 +242,11 @@ func (ag *Aggregate) CommitCP() CPStats {
 	var st CPStats
 	workers := ag.workers()
 
+	// Every TopAA save below stamps this CP's generation, so a crash that
+	// drops the saves leaves the previous images detectably stale.
+	ag.store.BeginGeneration()
+
+	ag.faults.EnterPhase(faultinject.PhaseFlush)
 	busy := make([]time.Duration, len(ag.groups))
 	parallel.ForEachObs(workers, len(ag.groups), ag.pobs, func(i int) {
 		g := ag.groups[i]
@@ -226,13 +254,20 @@ func (ag *Aggregate) CommitCP() CPStats {
 		ag.st.Emit("cp.flush", i, "group", busy[i], 0)
 		g.applyCPDeltas()
 	})
+	ag.faults.EnterPhase(faultinject.PhaseTopAAGroups)
 	for i, g := range ag.groups {
 		st.DeviceBusy += busy[i]
-		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
+		if err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache); err != nil {
+			// Unencodable cache: the save degraded to "no metafile"; the
+			// next mount walks the bitmap instead of crashing the CP here.
+			ag.st.Emit("cp.topaa", g.Index, "save_error", 0, 0)
+			continue
+		}
 		st.TopAABlocks++
 		ag.st.Emit("cp.topaa", g.Index, "group", 0, 1)
 	}
 	if ag.pool != nil {
+		ag.faults.EnterPhase(faultinject.PhasePool)
 		poolBusy := ag.pool.flushCP()
 		st.DeviceBusy += poolBusy
 		busy = append(busy, poolBusy) // the object store flushes alongside the groups
@@ -243,15 +278,18 @@ func (ag *Aggregate) CommitCP() CPStats {
 		ag.st.Emit("cp.topaa", poolShard, "pool", 0, 2)
 	}
 	st.FlushWall = parallel.Makespan(busy, workers)
+	ag.faults.EnterPhase(faultinject.PhaseBitmapAgg)
 	st.MetafilePagesAggregate = ag.bm.Flush()
 	ag.st.Emit("cp.metafile", -1, "aggregate", 0, int64(st.MetafilePagesAggregate))
 
+	ag.faults.EnterPhase(faultinject.PhaseVolFold)
 	volPages := make([]int, len(ag.vols))
 	parallel.ForEachObs(workers, len(ag.vols), ag.pobs, func(i int) {
 		v := ag.vols[i]
 		v.space.applyCPDeltas()
 		volPages[i] = v.bm.Flush()
 	})
+	ag.faults.EnterPhase(faultinject.PhaseTopAAVols)
 	for i, v := range ag.vols {
 		ag.store.SaveAgnostic(v.Name, v.space.cache)
 		st.TopAABlocks += 2
@@ -259,17 +297,90 @@ func (ag *Aggregate) CommitCP() CPStats {
 		ag.st.Emit("cp.metafile", i, "volume", 0, int64(volPages[i]))
 		ag.st.Emit("cp.topaa", i, "volume", 0, 2)
 	}
+	ag.faults.EnterPhase(faultinject.PhaseCommit)
 	ag.cpTot.add(st)
 	return st
 }
 
 func topaaGroupKey(index int) string { return fmt.Sprintf("rg%d", index) }
 
+// MountOutcome classifies how one space's AA cache came back at mount.
+type MountOutcome int
+
+const (
+	// MountCleanLoad: the TopAA metafile verified and decoded cleanly.
+	MountCleanLoad MountOutcome = iota
+	// MountReconstructed: RAID rebuilt at least one damaged chunk from
+	// parity before the decode succeeded.
+	MountReconstructed
+	// MountMissingFallback: no metafile existed; bitmap walk.
+	MountMissingFallback
+	// MountStaleFallback: the metafile predates the last CP generation (its
+	// saves were dropped by a crash); bitmap walk.
+	MountStaleFallback
+	// MountTornFallback: the metafile carries mixed generations (the crash
+	// interrupted the save itself); bitmap walk.
+	MountTornFallback
+	// MountDamageFallback: damage beyond RAID reconstruction, or a decode
+	// that failed validation; bitmap walk.
+	MountDamageFallback
+	// MountBitmapWalk: the caller asked for a walk (Remount(false)).
+	MountBitmapWalk
+)
+
+// String implements fmt.Stringer; the values name trace events and scrub
+// rows.
+func (o MountOutcome) String() string {
+	switch o {
+	case MountCleanLoad:
+		return "clean_load"
+	case MountReconstructed:
+		return "reconstructed"
+	case MountMissingFallback:
+		return "missing_fallback"
+	case MountStaleFallback:
+		return "stale_fallback"
+	case MountTornFallback:
+		return "torn_fallback"
+	case MountDamageFallback:
+		return "damage_fallback"
+	case MountBitmapWalk:
+		return "bitmap_walk"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// IsFallback reports whether the outcome forced a bitmap walk the caller
+// did not ask for.
+func (o MountOutcome) IsFallback() bool {
+	switch o {
+	case MountMissingFallback, MountStaleFallback, MountTornFallback, MountDamageFallback:
+		return true
+	}
+	return false
+}
+
+// classifyLoadError maps a TopAA store load error to its mount outcome.
+func classifyLoadError(err error) MountOutcome {
+	switch {
+	case errors.Is(err, topaa.ErrMissing):
+		return MountMissingFallback
+	case errors.Is(err, topaa.ErrStale):
+		return MountStaleFallback
+	case errors.Is(err, topaa.ErrTorn):
+		return MountTornFallback
+	default:
+		return MountDamageFallback
+	}
+}
+
 // MountStats records the work needed to make the AA caches operational
 // after a remount — the quantity Fig. 10 plots, since the first CP cannot
 // complete before write allocation can begin (§3.4).
 type MountStats struct {
-	// TopAABlockReads counts TopAA metafile blocks read.
+	// TopAABlockReads counts TopAA metafile blocks read (failed probes of
+	// missing metafiles charge one).
 	TopAABlockReads uint64
 	// BitmapPagesRead counts bitmap-metafile pages read by cache-rebuild
 	// walks (zero when every TopAA metafile is intact).
@@ -277,9 +388,39 @@ type MountStats struct {
 	// CacheInserts counts AA-cache insert operations performed before the
 	// caches were declared operational.
 	CacheInserts uint64
-	// Fallbacks counts spaces whose TopAA metafile was missing or damaged,
-	// forcing a bitmap walk (the WAFL-Iron-recomputation path).
+	// Fallbacks counts spaces whose TopAA metafile was missing, stale,
+	// torn, or damaged, forcing a bitmap walk (the WAFL-Iron-recomputation
+	// path). It equals MissingFallbacks + StaleFallbacks + TornFallbacks +
+	// DamageFallbacks.
 	Fallbacks int
+	// Reconstructed counts spaces whose metafile needed a RAID chunk
+	// rebuild but then loaded successfully.
+	Reconstructed int
+	// MissingFallbacks/StaleFallbacks/TornFallbacks/DamageFallbacks break
+	// Fallbacks down by failure class (see MountOutcome).
+	MissingFallbacks int
+	StaleFallbacks   int
+	TornFallbacks    int
+	DamageFallbacks  int
+}
+
+// note records one space's outcome into the stats.
+func (ms *MountStats) note(o MountOutcome) {
+	switch o {
+	case MountReconstructed:
+		ms.Reconstructed++
+	case MountMissingFallback:
+		ms.MissingFallbacks++
+	case MountStaleFallback:
+		ms.StaleFallbacks++
+	case MountTornFallback:
+		ms.TornFallbacks++
+	case MountDamageFallback:
+		ms.DamageFallbacks++
+	}
+	if o.IsFallback() {
+		ms.Fallbacks++
+	}
 }
 
 // Remount simulates a failover/reboot: all in-memory allocator state is
@@ -297,6 +438,9 @@ type MountStats struct {
 // count.
 func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	var ms MountStats
+	// A remount is the reboot after the crash (if any): the controller is
+	// back up, so the injector stops dropping saves.
+	ag.faults.Recover()
 	preReads, _ := ag.store.Stats()
 	preBM := ag.bm.Stats().PageReads
 	preVolBM := make([]uint64, len(ag.vols))
@@ -306,8 +450,8 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 
 	workers := ag.workers()
 	type rebuildStats struct {
-		inserts   uint64
-		fallbacks int
+		inserts uint64
+		outcome MountOutcome
 	}
 
 	groupStats := make([]rebuildStats, len(ag.groups))
@@ -316,9 +460,11 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		g.curValid = false
 		g.cpWrites = g.cpWrites[:0]
 		g.deltas = make(map[aa.ID]int64)
+		outcome := MountBitmapWalk
 		rebuilt := false
 		if useTopAA {
-			if entries, err := ag.store.LoadRAIDAware(topaaGroupKey(g.Index)); err == nil {
+			entries, loadOutcome, err := ag.store.LoadRAIDAware(topaaGroupKey(g.Index))
+			if err == nil {
 				// The block's structural checks cannot know this group's AA
 				// count; validate against the topology here and treat
 				// out-of-range ids or impossible scores as damage.
@@ -338,10 +484,15 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 					g.cache = cache
 					g.seedOnly = true
 					rebuilt = true
+					outcome = MountCleanLoad
+					if loadOutcome == topaa.LoadReconstructed {
+						outcome = MountReconstructed
+					}
+				} else {
+					outcome = MountDamageFallback
 				}
-			}
-			if !rebuilt {
-				groupStats[i].fallbacks++
+			} else {
+				outcome = classifyLoadError(err)
 			}
 		}
 		if !rebuilt {
@@ -350,11 +501,12 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 			g.seedOnly = false
 			groupStats[i].inserts += uint64(len(scores))
 		}
-		ag.st.Emit("mount.group", i, rebuildKind(rebuilt), 0, int64(groupStats[i].inserts))
+		groupStats[i].outcome = outcome
+		ag.st.Emit("mount.group", i, outcome.String(), 0, int64(groupStats[i].inserts))
 	})
 	for _, st := range groupStats {
 		ms.CacheInserts += st.inserts
-		ms.Fallbacks += st.fallbacks
+		ms.note(st.outcome)
 	}
 
 	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)
@@ -372,24 +524,31 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		sp := spaces[i]
 		sp.curValid = false
 		sp.deltas = make(map[aa.ID]int64)
+		outcome := MountBitmapWalk
 		rebuilt := false
 		if useTopAA {
-			if h, err := ag.store.LoadAgnostic(names[i]); err == nil {
+			h, loadOutcome, err := ag.store.LoadAgnostic(names[i])
+			if err == nil {
 				sp.cache = h
 				rebuilt = true
+				outcome = MountCleanLoad
+				if loadOutcome == topaa.LoadReconstructed {
+					outcome = MountReconstructed
+				}
 			} else {
-				spaceStats[i].fallbacks++
+				outcome = classifyLoadError(err)
 			}
 		}
 		if !rebuilt {
 			sp.replenish()
 			spaceStats[i].inserts += uint64(sp.topo.NumAAs())
 		}
-		ag.st.Emit("mount.space", sp.shard, rebuildKind(rebuilt), 0, int64(spaceStats[i].inserts))
+		spaceStats[i].outcome = outcome
+		ag.st.Emit("mount.space", sp.shard, outcome.String(), 0, int64(spaceStats[i].inserts))
 	})
 	for _, st := range spaceStats {
 		ms.CacheInserts += st.inserts
-		ms.Fallbacks += st.fallbacks
+		ms.note(st.outcome)
 	}
 
 	postReads, _ := ag.store.Stats()
@@ -400,14 +559,6 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 	}
 	ag.mountTot.add(ms)
 	return ms
-}
-
-// rebuildKind names a mount rebuild path for trace events.
-func rebuildKind(fromTopAA bool) string {
-	if fromTopAA {
-		return "topaa_seed"
-	}
-	return "bitmap_walk"
 }
 
 // workers resolves the aggregate's parallelism knob (Tunables.Workers).
@@ -454,7 +605,12 @@ func (ag *Aggregate) RepairTopAA() int {
 		g.cache = heapcache.NewFromScores(scores)
 		g.seedOnly = false
 		g.deltas = make(map[aa.ID]int64)
-		ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
+		if err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache); err != nil {
+			// Bitmap-derived scores always fit the encoding; an error here
+			// would mean the topology itself is unencodable, which the
+			// builders reject. Keep going: the space stays on bitmap walks.
+			continue
+		}
 		repaired++
 	}
 	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)

@@ -116,6 +116,27 @@ func buildGroup(index int, spec GroupSpec, startVBN block.VBN, tun Tunables, rng
 		rng:          rng,
 	}
 	g.buildDevices()
+	if f := tun.Faults; f != nil && f.DeviceReadErrEvery > 0 {
+		// Wrap every device model so each injects a recoverable media error
+		// (plus its RAID-reconstruction penalty) on a per-device read
+		// schedule — worker-count invariant because the counters are owned
+		// by the device, not the caller.
+		wrap := func(d Device) Device {
+			inner, ok := d.(interface {
+				WriteChain(start, n uint64) time.Duration
+				Read(n uint64) time.Duration
+				Stats() device.DiskStats
+			})
+			if !ok {
+				return d
+			}
+			return &device.FaultyDisk{Inner: inner, Every: f.DeviceReadErrEvery, Penalty: f.DeviceReadPenalty}
+		}
+		for d := range g.devices {
+			g.devices[d] = wrap(g.devices[d])
+		}
+		g.parity = wrap(g.parity)
+	}
 
 	// A fresh file system builds its cache from the (all-free) bitmap.
 	scores := make([]uint64, topo.NumAAs())

@@ -94,11 +94,16 @@ func (t *cpTotals) add(st CPStats) {
 
 // mountTotals likewise accumulates MountStats across Remounts.
 type mountTotals struct {
-	mounts          uint64
-	topAABlockReads uint64
-	bitmapPagesRead uint64
-	cacheInserts    uint64
-	fallbacks       uint64
+	mounts           uint64
+	topAABlockReads  uint64
+	bitmapPagesRead  uint64
+	cacheInserts     uint64
+	fallbacks        uint64
+	reconstructed    uint64
+	missingFallbacks uint64
+	staleFallbacks   uint64
+	tornFallbacks    uint64
+	damageFallbacks  uint64
 }
 
 func (t *mountTotals) add(ms MountStats) {
@@ -107,6 +112,24 @@ func (t *mountTotals) add(ms MountStats) {
 	t.bitmapPagesRead += ms.BitmapPagesRead
 	t.cacheInserts += ms.CacheInserts
 	t.fallbacks += uint64(ms.Fallbacks)
+	t.reconstructed += uint64(ms.Reconstructed)
+	t.missingFallbacks += uint64(ms.MissingFallbacks)
+	t.staleFallbacks += uint64(ms.StaleFallbacks)
+	t.tornFallbacks += uint64(ms.TornFallbacks)
+	t.damageFallbacks += uint64(ms.DamageFallbacks)
+}
+
+// scrubTotals accumulates ScrubReport outcomes across Scrub calls.
+type scrubTotals struct {
+	scrubs    uint64
+	checked   uint64
+	divergent uint64
+}
+
+func (t *scrubTotals) add(r ScrubReport) {
+	t.scrubs++
+	t.checked += uint64(len(r.Spaces))
+	t.divergent += uint64(len(r.Divergent()))
 }
 
 // initObs builds the aggregate's private registry, tracer handle, and pool
@@ -141,9 +164,24 @@ func (ag *Aggregate) initObs() {
 	ag.reg.CounterFunc("mount.bitmap_pages_read", func() uint64 { return ag.mountTot.bitmapPagesRead })
 	ag.reg.CounterFunc("mount.cache_inserts", func() uint64 { return ag.mountTot.cacheInserts })
 	ag.reg.CounterFunc("mount.fallbacks", func() uint64 { return ag.mountTot.fallbacks })
+	ag.reg.CounterFunc("mount.reconstructed", func() uint64 { return ag.mountTot.reconstructed })
+	ag.reg.CounterFunc("mount.missing_fallbacks", func() uint64 { return ag.mountTot.missingFallbacks })
+	ag.reg.CounterFunc("mount.stale_fallbacks", func() uint64 { return ag.mountTot.staleFallbacks })
+	ag.reg.CounterFunc("mount.torn_fallbacks", func() uint64 { return ag.mountTot.tornFallbacks })
+	ag.reg.CounterFunc("mount.damage_fallbacks", func() uint64 { return ag.mountTot.damageFallbacks })
+
+	ag.reg.CounterFunc("scrub.count", func() uint64 { return ag.scrubTot.scrubs })
+	ag.reg.CounterFunc("scrub.spaces_checked", func() uint64 { return ag.scrubTot.checked })
+	ag.reg.CounterFunc("scrub.divergent", func() uint64 { return ag.scrubTot.divergent })
 
 	ag.reg.CounterFunc("topaa.block_reads", func() uint64 { r, _ := ag.store.Stats(); return r })
 	ag.reg.CounterFunc("topaa.block_writes", func() uint64 { _, w := ag.store.Stats(); return w })
+	ag.reg.CounterFunc("topaa.reconstructions", func() uint64 { return ag.store.Recovery().Reconstructions })
+	ag.reg.CounterFunc("topaa.save_errors", func() uint64 { return ag.store.Recovery().SaveErrors })
+	ag.reg.CounterFunc("topaa.stale_loads", func() uint64 { return ag.store.Recovery().StaleLoads })
+	ag.reg.CounterFunc("topaa.torn_loads", func() uint64 { return ag.store.Recovery().TornLoads })
+	ag.reg.CounterFunc("topaa.damaged_loads", func() uint64 { return ag.store.Recovery().DamagedLoads })
+	ag.reg.CounterFunc("faults.crashes", func() uint64 { return ag.faults.Crashes() })
 
 	ag.reg.CounterFunc("agg.bitmap.pages_dirtied", func() uint64 { return ag.bm.Stats().PagesDirtied })
 	ag.reg.CounterFunc("agg.bitmap.pages_flushed", func() uint64 { return ag.bm.Stats().PagesFlushed })

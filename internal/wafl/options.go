@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/faultinject"
 )
 
 // GroupSpec describes one RAID group of an aggregate.
@@ -112,6 +113,12 @@ type Tunables struct {
 	// tracing, per-CP CSV). Nil keeps every sink off; the hot paths then pay
 	// only nil-checks. See obs.go.
 	Obs *ObsOptions
+
+	// Faults arms a deterministic fault-injection plan: CP crash-points,
+	// torn/stale/damaged TopAA metafiles, and device read errors (see
+	// internal/faultinject). Nil disables injection entirely — the CP
+	// pipeline then pays only nil-receiver calls.
+	Faults *faultinject.Plan
 }
 
 // Defaults fills zero fields with production-flavoured values.

@@ -8,6 +8,7 @@ import (
 	"waflfs/internal/aa"
 	"waflfs/internal/block"
 	"waflfs/internal/device"
+	"waflfs/internal/faultinject"
 )
 
 // System is the client-facing facade: it accepts LUN reads and writes,
@@ -205,6 +206,8 @@ func (s *System) CP() CPStats {
 	cacheOpsBefore := s.cacheOps()
 	scanBefore := s.virtScanBlocks()
 	s.Agg.st.BeginCP()
+	s.Agg.faults.BeginCP()
+	s.Agg.faults.EnterPhase(faultinject.PhaseAlloc)
 
 	// Phase 1: write allocation + COW frees, volume by volume. The pending
 	// map is iterated in sorted (volume, LUN) order: map order would assign
@@ -263,6 +266,7 @@ func (s *System) CP() CPStats {
 	s.opsSinceCP = 0
 
 	// Phase 1.5: apply queued delayed frees, most-pending-AA-first.
+	s.Agg.faults.EnterPhase(faultinject.PhaseDelayedFree)
 	for _, v := range s.Agg.vols {
 		freed, aas := v.space.reclaimDelayedFrees(s.tun.DelayedFreeBudgetPerCP)
 		if freed > 0 {

@@ -17,6 +17,11 @@ go vet ./...
 go test ./...
 go test -race -short ./...
 
+# Fuzz smoke: a few seconds per TopAA decoder, enough to execute the seed
+# corpus plus fresh mutations under the fuzzer's instrumentation.
+go test -run '^$' -fuzz '^FuzzLoadRAIDAware$' -fuzztime 5s ./internal/topaa
+go test -run '^$' -fuzz '^FuzzLoadAgnostic$' -fuzztime 5s ./internal/topaa
+
 # Observability smoke test: a small bench run must serve /metrics (the bench
 # self-checks the endpoint and exits nonzero if it cannot fetch it) and
 # produce non-empty CSV and trace files.
@@ -37,3 +42,8 @@ go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
 "$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -scale 0.05 >/dev/null
 test -s "$tmpdir/BENCH_smoke.json"
 "$tmpdir/benchdiff" "$tmpdir/BENCH_smoke.json" "$tmpdir/BENCH_smoke.json"
+
+# Crash-recovery gate: crash at every CP phase × media fault at tiny scale;
+# the bench exits nonzero if any recovered AA cache silently disagrees with
+# the bitmap metafiles (see internal/faultinject and the mount-time scrub).
+"$tmpdir/waflbench" -faults matrix -scale 0.05 >/dev/null
