@@ -2,9 +2,11 @@
 # tools; there are no external dependencies.
 
 SCALE ?= 1.0
-BENCH ?= BENCH_4.json
+# BENCH defaults to the next unused artifact number (BENCH_<max+1>.json) so
+# `make bench-artifact` never clobbers a committed baseline by accident.
+BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench bench-artifact bench-diff
+.PHONY: all build test verify bench bench-artifact bench-diff live
 
 all: build
 
@@ -15,7 +17,7 @@ test:
 	go test ./...
 
 # Tier-1 gate: formatting, build, vet, tests, race detector, obs smoke,
-# bench-artifact smoke + benchdiff self-comparison.
+# bench-artifact smoke + benchdiff against the committed baseline.
 verify:
 	./verify.sh
 
@@ -23,14 +25,20 @@ verify:
 bench:
 	WAFL_BENCH_SCALE=$(SCALE) go test -bench . -benchtime 1x -run '^$$'
 
-# Regenerate the committed benchmark artifact at full scale and gate it
-# against the newest previously committed BENCH_<n>.json.
+# Regenerate the benchmark artifact at full scale into the next unused
+# BENCH_<n>.json and gate it against the newest previously committed one.
 bench-artifact:
 	go run ./cmd/waflbench -bench-json $(BENCH) -scale $(SCALE)
-	go run ./cmd/benchdiff $(BENCH) $(BENCH)
+	go run ./cmd/benchdiff -dir . $(BENCH)
 
 # Compare a fresh full-scale artifact against the committed baseline without
 # overwriting it.
 bench-diff:
 	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -scale $(SCALE)
 	go run ./cmd/benchdiff -dir . /tmp/BENCH_new.json
+
+# Run a quarter-scale fig9 with the live introspection endpoints up and hold
+# them for half an hour — point cmd/wafltop (or a browser) at the address.
+live:
+	go run ./cmd/waflbench -exp fig9 -scale 0.25 \
+	    -metrics-addr 127.0.0.1:9190 -hold 30m

@@ -7,6 +7,12 @@
 //	benchdiff OLD.json NEW.json    compare NEW against the OLD baseline
 //	benchdiff NEW.json             compare against the newest committed
 //	                               BENCH_<n>.json in -dir (excluding NEW)
+//	benchdiff -print-latest        print the newest BENCH_<n>.json in -dir
+//	benchdiff -print-next          print the first unused BENCH_<n>.json name
+//
+// The -print-* modes let scripts (verify.sh, make bench) discover the
+// baseline and the next artifact number without duplicating the numbering
+// convention.
 //
 // Tolerances are relative bands carried per metric by the OLD artifact
 // (default 0.25). Exit status: 0 = within bands, 1 = drift or missing
@@ -26,7 +32,24 @@ import (
 func main() {
 	dir := flag.String("dir", ".", "directory searched for the newest BENCH_<n>.json baseline")
 	verbose := flag.Bool("v", false, "print every metric, not just violations")
+	printLatest := flag.Bool("print-latest", false, "print the newest BENCH_<n>.json path in -dir and exit")
+	printNext := flag.Bool("print-next", false, "print the first unused BENCH_<n>.json path in -dir and exit")
 	flag.Parse()
+	if *printLatest || *printNext {
+		var path string
+		var err error
+		if *printLatest {
+			path, err = benchfmt.FindLatest(*dir, "")
+		} else {
+			path, err = benchfmt.NextPath(*dir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(path)
+		return
+	}
 	os.Exit(run(os.Stdout, os.Stderr, *dir, *verbose, flag.Args()))
 }
 

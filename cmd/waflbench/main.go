@@ -27,11 +27,17 @@
 // bit-identical results at any N (0 selects min(GOMAXPROCS, 8)).
 //
 // The observability flags wire every experiment arm into shared sinks:
-// -metrics-addr serves a Prometheus text endpoint at /metrics for the
-// duration of the run (":0" picks a free port; the bench self-checks the
-// endpoint before exiting), -csv-out appends one row per metric per
-// consistency point per arm, and -trace-out writes the canonical CP-phase /
-// allocator event sequence as JSON Lines.
+// -metrics-addr serves live introspection endpoints for the duration of the
+// run (":0" picks a free port; the bench self-checks /metrics before
+// exiting): /metrics is the Prometheus text view of every arm's last
+// published CP snapshot, /debug/timeseries dumps the embedded per-CP
+// time-series store as JSON, /debug/picks dumps the allocation-decision
+// provenance rings, and /debug/pprof/* is the standard Go profiler. The
+// online invariant watchdogs are armed whenever the endpoints are up.
+// -hold keeps the endpoints serving after the run finishes (for cmd/wafltop
+// or a browser), -csv-out appends one row per metric per consistency point
+// per arm, and -trace-out writes the canonical CP-phase / allocator event
+// sequence as JSON Lines.
 //
 // Absolute numbers are simulation-scale; the comparisons (who wins, by what
 // factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
@@ -45,6 +51,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	hpprof "net/http/pprof"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -57,6 +64,8 @@ import (
 	"waflfs/internal/experiments"
 	"waflfs/internal/faultinject"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/stats"
 )
 
@@ -81,7 +90,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := flag.String("metrics-addr", "",
-		"serve Prometheus metrics at /metrics on this address during the run (\":0\" picks a free port)")
+		"serve live endpoints (/metrics, /debug/timeseries, /debug/picks, /debug/pprof) on this address during the run (\":0\" picks a free port)")
+	hold := flag.Duration("hold", 0,
+		"keep the live endpoints serving for this long after the run finishes (requires -metrics-addr)")
 	csvOut := flag.String("csv-out", "", "write per-CP metric rows to this CSV file")
 	traceOut := flag.String("trace-out", "", "write the CP-phase/allocator trace to this JSON Lines file")
 	benchJSON := flag.String("bench-json", "",
@@ -142,10 +153,26 @@ func main() {
 		tracer  *obs.Tracer
 		csvFile *os.File
 		csvRec  *obs.CSVRecorder
+		live    *obs.Latest
+		tsStore *tsdb.Store
+		pickRec *picks.Recorder
 	)
 	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" {
 		export = obs.NewRegistry()
 		sink := &experiments.ObsSink{Export: export}
+		if *metricsAddr != "" {
+			// Live serving: arms publish their registry snapshots at CP
+			// boundaries (tear-free under concurrent scrapes), the tsdb and
+			// pick rings are mutex-guarded, and the invariant watchdogs run
+			// whenever someone is watching.
+			live = obs.NewLatest()
+			tsStore = tsdb.NewStore(tsdb.DefaultConfig())
+			pickRec = picks.NewRecorder(picks.DefaultConfig())
+			sink.Live = live
+			sink.TSDB = tsStore
+			sink.Picks = pickRec
+			sink.Watchdogs = true
+		}
 		if *traceOut != "" {
 			tracer = obs.NewTracer()
 			sink.Tracer = tracer
@@ -172,11 +199,34 @@ func main() {
 			os.Exit(1)
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", obs.Handler(export))
+		// Before the first CP publishes, serve a placeholder rather than
+		// reading the export registry's closures while arms mutate them.
+		liveHandler := obs.LatestHandler(live)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if live.NumSystems() == 0 {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprintln(w, "# no consistency points published yet")
+				return
+			}
+			liveHandler.ServeHTTP(w, r)
+		})
+		mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = tsStore.WriteJSON(w)
+		})
+		mux.HandleFunc("/debug/picks", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = pickRec.WriteJSON(w)
+		})
+		mux.HandleFunc("/debug/pprof/", hpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", hpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", hpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", hpprof.Trace)
 		srv = &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
-		fmt.Printf("serving metrics at %s\n\n", metricsURL)
+		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/pprof)\n\n", ln.Addr())
 	}
 
 	if *faults != "" {
@@ -213,6 +263,11 @@ func main() {
 		start := time.Now()
 		e.Run(cfg, os.Stdout)
 		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if srv != nil && *hold > 0 {
+		fmt.Printf("holding live endpoints for %v (interrupt to stop early)\n", *hold)
+		time.Sleep(*hold)
 	}
 
 	if err := finishObs(metricsURL, srv, tracer, *traceOut, csvRec, csvFile); err != nil {

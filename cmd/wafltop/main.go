@@ -1,0 +1,245 @@
+// Command wafltop is a terminal viewer for a running waflbench's live
+// introspection endpoints (-metrics-addr). It polls /debug/timeseries and
+// /debug/picks and renders, per experiment arm: the per-CP allocation-quality
+// deciles from the embedded time-series store, the pick-provenance reason mix
+// (cache hit / refill / fallback rates), the CP-phase modeled-clock
+// breakdown, and the watchdog counters.
+//
+// Usage:
+//
+//	wafltop [-addr host:port] [-interval 2s] [-count N] [-snapshot]
+//
+// -snapshot fetches once, prints one report, and exits — nonzero when the
+// store holds no nonzero per-CP series yet (the CI smoke-test mode). Without
+// it, wafltop clears the screen and refreshes every -interval until
+// interrupted (or N refreshes with -count).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type point struct {
+	CPFirst uint64  `json:"cp_first"`
+	CPLast  uint64  `json:"cp_last"`
+	AtNS    int64   `json:"at_ns"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Sum     float64 `json:"sum"`
+	Count   uint64  `json:"count"`
+}
+
+func (p point) avg() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Sum / float64(p.Count)
+}
+
+type tsDoc struct {
+	Capacity int `json:"capacity"`
+	Series   []struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	} `json:"series"`
+}
+
+type picksDoc struct {
+	Spaces []struct {
+		Space    string            `json:"space"`
+		Recorded uint64            `json:"recorded"`
+		Dropped  uint64            `json:"dropped"`
+		Reasons  map[string]uint64 `json:"reasons"`
+	} `json:"spaces"`
+}
+
+func fetchJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// last returns the newest point of a series, if any.
+func last(pts []point) (point, bool) {
+	if len(pts) == 0 {
+		return point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// report renders one refresh. It returns the number of series that carry at
+// least one nonzero sample — the -snapshot liveness criterion.
+func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
+	bySeries := make(map[string][]point, len(ts.Series))
+	nonzero := 0
+	maxCP := uint64(0)
+	for _, se := range ts.Series {
+		bySeries[se.Name] = se.Points
+		for _, p := range se.Points {
+			if p.Sum != 0 {
+				nonzero++
+				break
+			}
+		}
+		if p, ok := last(se.Points); ok && p.CPLast > maxCP {
+			maxCP = p.CPLast
+		}
+	}
+
+	// Arms are the prefixes of the canonical per-system clock series.
+	var arms []string
+	for name := range bySeries {
+		if strings.HasSuffix(name, ".wafl.cps") {
+			arms = append(arms, strings.TrimSuffix(name, ".wafl.cps"))
+		}
+	}
+	sort.Strings(arms)
+
+	fmt.Fprintf(w, "wafltop — %d series (cap %d/series), %d arms, newest CP %d\n\n",
+		len(ts.Series), ts.Capacity, len(arms), maxCP)
+
+	// CP-phase modeled-clock breakdown per arm.
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %10s %9s %9s\n",
+		"arm", "cps", "cpu_ms", "dev_ms", "cp_pages", "wd_checks", "wd_viol")
+	for _, arm := range arms {
+		val := func(suffix string) float64 {
+			p, ok := last(bySeries[arm+suffix])
+			if !ok {
+				return 0
+			}
+			return p.avg()
+		}
+		wdv := val(".watchdog.violations")
+		mark := ""
+		if wdv > 0 {
+			mark = "  <-- VIOLATIONS"
+		}
+		fmt.Fprintf(w, "%-28s %8.0f %12.2f %12.2f %10.0f %9.0f %9.0f%s\n",
+			arm,
+			val(".wafl.cps"),
+			val(".wafl.cpu_ns")/1e6,
+			val(".cp.device_busy_ns")/1e6,
+			val(".cp.metafile_pages_agg")+val(".cp.metafile_pages_vols"),
+			val(".watchdog.checks"), wdv, mark)
+	}
+
+	// Allocation-quality deciles from the fragscan series.
+	var fragSpaces []string
+	for name := range bySeries {
+		if strings.HasSuffix(name, ".frag.p50") {
+			fragSpaces = append(fragSpaces, strings.TrimSuffix(name, ".frag.p50"))
+		}
+	}
+	sort.Strings(fragSpaces)
+	if len(fragSpaces) > 0 {
+		fmt.Fprintf(w, "\n%-28s %8s %8s %8s %10s %12s\n",
+			"space (AA free-frac)", "p10", "p50", "p90", "free_frac", "picked_free")
+		for _, sp := range fragSpaces {
+			val := func(suffix string) float64 {
+				p, ok := last(bySeries[sp+suffix])
+				if !ok {
+					return 0
+				}
+				return p.avg()
+			}
+			fmt.Fprintf(w, "%-28s %8.3f %8.3f %8.3f %10.3f %12.3f\n",
+				sp, val(".frag.p10"), val(".frag.p50"), val(".frag.p90"),
+				val(".frag.free_frac"), val(".frag.picked_free_frac"))
+		}
+	}
+
+	// Pick provenance: reason mix per space, busiest first.
+	sort.Slice(pk.Spaces, func(i, j int) bool {
+		if pk.Spaces[i].Recorded != pk.Spaces[j].Recorded {
+			return pk.Spaces[i].Recorded > pk.Spaces[j].Recorded
+		}
+		return pk.Spaces[i].Space < pk.Spaces[j].Space
+	})
+	if len(pk.Spaces) > 0 {
+		fmt.Fprintf(w, "\n%-28s %10s %9s %9s %9s %9s %9s\n",
+			"picks by space", "recorded", "hit%", "refill%", "fallback%", "dropped", "")
+		shown := pk.Spaces
+		if len(shown) > 12 {
+			shown = shown[:12]
+		}
+		for _, sp := range shown {
+			tot := float64(sp.Recorded)
+			if tot == 0 {
+				continue
+			}
+			pct := func(keys ...string) float64 {
+				var n uint64
+				for _, k := range keys {
+					n += sp.Reasons[k]
+				}
+				return 100 * float64(n) / tot
+			}
+			fmt.Fprintf(w, "%-28s %10d %8.1f%% %8.1f%% %8.1f%% %9d\n",
+				sp.Space, sp.Recorded,
+				pct("heap_top", "hbps_bin"), pct("refill"), pct("bitmap_fallback"),
+				sp.Dropped)
+		}
+		if len(pk.Spaces) > len(shown) {
+			fmt.Fprintf(w, "  … and %d more spaces\n", len(pk.Spaces)-len(shown))
+		}
+	}
+	return nonzero
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9190", "waflbench -metrics-addr to poll")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	count := flag.Int("count", 0, "number of refreshes before exiting (0 = until interrupted)")
+	snapshot := flag.Bool("snapshot", false,
+		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for i := 0; ; i++ {
+		var ts tsDoc
+		var pk picksDoc
+		if err := fetchJSON(client, base+"/debug/timeseries", &ts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := fetchJSON(client, base+"/debug/picks", &pk); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		nonzero := report(&b, ts, pk)
+		if *snapshot {
+			fmt.Print(b.String())
+			if nonzero == 0 {
+				fmt.Fprintln(os.Stderr, "wafltop: no nonzero per-CP series yet")
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		fmt.Print(b.String())
+		fmt.Printf("\n[%s  refresh %v  ctrl-c to quit]\n", time.Now().Format("15:04:05"), *interval)
+		if *count > 0 && i+1 >= *count {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

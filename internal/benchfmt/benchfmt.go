@@ -258,3 +258,18 @@ func FindLatest(dir, exclude string) (string, error) {
 	}
 	return best, nil
 }
+
+// NextPath returns the path of the next unused artifact number in dir:
+// BENCH_<max+1>.json, or BENCH_1.json when dir holds no artifacts yet.
+func NextPath(dir string) (string, error) {
+	latest, err := FindLatest(dir, "")
+	if err != nil {
+		return filepath.Join(dir, "BENCH_1.json"), nil
+	}
+	numStr := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(latest), "BENCH_"), ".json")
+	n, err := strconv.Atoi(numStr)
+	if err != nil {
+		return "", fmt.Errorf("unparsable artifact name %q", latest)
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}

@@ -201,3 +201,26 @@ func TestFindLatest(t *testing.T) {
 		t.Error("empty dir should error")
 	}
 }
+
+func TestNextPath(t *testing.T) {
+	dir := t.TempDir()
+	got, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_1.json" {
+		t.Fatalf("empty dir next = %s, want BENCH_1.json", got)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_7.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_8.json" {
+		t.Fatalf("next = %s, want BENCH_8.json", got)
+	}
+}

@@ -38,6 +38,9 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	if cfg.Obs.Frag == nil {
 		cfg.Obs.Frag = fragscan.NewRecorder()
 	}
+	// The invariant watchdogs ride every arm, so a full artifact collection
+	// doubles as a zero-violation audit of the allocator caches.
+	cfg.Obs.Watchdogs = true
 
 	art := benchfmt.Artifact{
 		Schema:  benchfmt.SchemaVersion,
@@ -139,6 +142,27 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 				break
 			}
 		}
+	}
+
+	// Watchdog audit across every arm (fig10 sweeps and the crash matrix
+	// included): checks must have run, and violations are a hard failure —
+	// an artifact collected over corrupted caches is worthless as a baseline.
+	var wdChecks, wdViolations uint64
+	for _, m := range cfg.Obs.Export.StableSnapshot().Metrics {
+		switch {
+		case strings.HasSuffix(m.Name, ".watchdog.checks"):
+			wdChecks += m.Value
+		case strings.HasSuffix(m.Name, ".watchdog.violations"):
+			wdViolations += m.Value
+		}
+	}
+	art.Add("watchdog.checks", float64(wdChecks), "count", 0.25)
+	art.Add("watchdog.violations", float64(wdViolations), "count", 0.001)
+	if wdChecks == 0 {
+		return art, fmt.Errorf("experiments: watchdogs armed but performed no checks")
+	}
+	if wdViolations != 0 {
+		return art, fmt.Errorf("experiments: %d watchdog violations during artifact collection", wdViolations)
 	}
 
 	art.Sort()

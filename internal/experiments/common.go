@@ -18,6 +18,8 @@ import (
 
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/sim"
 	"waflfs/internal/stats"
 	"waflfs/internal/wafl"
@@ -71,6 +73,16 @@ type ObsSink struct {
 	FragEvery int
 	// DeviceHistograms enables per-device service-time histograms.
 	DeviceHistograms bool
+	// TSDB receives one downsampled point per metric per CP per arm.
+	TSDB *tsdb.Store
+	// Picks receives allocation-decision provenance from every arm's
+	// allocators (rings are keyed by arm-prefixed space names).
+	Picks *picks.Recorder
+	// Watchdogs arms the per-CP invariant monitors on every arm.
+	Watchdogs bool
+	// Live, when non-nil, receives each arm's registry snapshot at every CP
+	// boundary for tear-free serving while arms are running.
+	Live *obs.Latest
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -102,6 +114,10 @@ func (c Config) tunablesNamed(name string) wafl.Tunables {
 			Frag:             c.Obs.Frag,
 			FragEvery:        c.Obs.FragEvery,
 			DeviceHistograms: c.Obs.DeviceHistograms,
+			TSDB:             c.Obs.TSDB,
+			Picks:            c.Obs.Picks,
+			Watchdogs:        c.Obs.Watchdogs,
+			Live:             c.Obs.Live,
 		}
 	}
 	return tun

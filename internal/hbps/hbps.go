@@ -264,6 +264,35 @@ func (h *HBPS) PeekBest() (aa.ID, bool) {
 	return h.list[0], true
 }
 
+// PeekBestBin returns the first listed AA together with its histogram bin,
+// without removing it — the provenance layer's runner-up probe after a pop
+// (BinFloor of the bin is a lower bound on the runner-up's score).
+func (h *HBPS) PeekBestBin() (aa.ID, int, bool) {
+	if len(h.list) == 0 {
+		return 0, 0, false
+	}
+	return h.list[0], h.binOfListPos(0), true
+}
+
+// BestTrackedBin returns the lowest-index (best-score) bin with any tracked
+// items, listed or not, or -1 when nothing is tracked. The pick-quality
+// watchdog checks popped scores against this near-best bound.
+func (h *HBPS) BestTrackedBin() int {
+	for b := 0; b < h.numBins; b++ {
+		if h.counts[b] > 0 {
+			return b
+		}
+	}
+	return -1
+}
+
+// ListedAt returns the AA at list offset p (0 ≤ p < ListLen) and its
+// histogram bin — the rotating-sample accessor the online watchdogs use to
+// spot-check listed placement against bitmap-derived scores.
+func (h *HBPS) ListedAt(p int) (aa.ID, int) {
+	return h.list[p], h.binOfListPos(int32(p))
+}
+
 // PopBest removes and returns the first AA in the list. The item remains
 // tracked in the histogram; the caller reports its consumption through
 // Update (or Untrack) later, as WAFL does at the CP boundary.

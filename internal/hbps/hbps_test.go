@@ -445,3 +445,56 @@ func BenchmarkPopTrackCycle(b *testing.B) {
 		h.Update(id, 100, 32768)
 	}
 }
+
+// The introspection accessors: ListedAt must agree with EachListed,
+// PeekBestBin with the list front, and BestTrackedBin with the histogram —
+// the contracts the online watchdogs and pick provenance build on.
+func TestIntrospectionAccessors(t *testing.T) {
+	h := New(Config{MaxScore: 64, BinWidth: 8, ListCap: 16})
+	if h.BestTrackedBin() != -1 {
+		t.Fatal("empty HBPS reported a best tracked bin")
+	}
+	if _, _, ok := h.PeekBestBin(); ok {
+		t.Fatal("empty HBPS reported a best listed item")
+	}
+	scores := map[aa.ID]uint32{1: 60, 2: 44, 3: 44, 4: 9, 5: 1}
+	for id, sc := range scores {
+		h.Track(id, sc)
+	}
+	// Cross-check ListedAt against EachListed, position by position.
+	type slot struct {
+		id  aa.ID
+		bin int
+	}
+	var want []slot
+	h.EachListed(func(id aa.ID, bin int) { want = append(want, slot{id, bin}) })
+	if len(want) != h.ListLen() {
+		t.Fatalf("EachListed visited %d, ListLen %d", len(want), h.ListLen())
+	}
+	for p, w := range want {
+		id, bin := h.ListedAt(p)
+		if id != w.id || bin != w.bin {
+			t.Errorf("ListedAt(%d) = (%d,%d), EachListed saw (%d,%d)", p, id, bin, w.id, w.bin)
+		}
+	}
+	// Best tracked bin: score 60 lands in the best-score bin for this
+	// geometry; it must match Bin(60). Front of the list agrees.
+	if got, want := h.BestTrackedBin(), h.Bin(60); got != want {
+		t.Fatalf("BestTrackedBin = %d, want %d", got, want)
+	}
+	id, bin, ok := h.PeekBestBin()
+	if !ok || bin != h.Bin(60) {
+		t.Fatalf("PeekBestBin = (%d,%d,%v), want bin %d", id, bin, ok, h.Bin(60))
+	}
+	if front, _ := h.PeekBest(); front != id {
+		t.Fatalf("PeekBestBin id %d disagrees with PeekBest %d", id, front)
+	}
+	// Untracking the best item moves the best tracked bin down.
+	if _, ok := h.PopBest(); !ok {
+		t.Fatal("PopBest failed")
+	}
+	h.Untrack(1, 60)
+	if got, want := h.BestTrackedBin(), h.Bin(44); got != want {
+		t.Fatalf("after untrack, BestTrackedBin = %d, want %d", got, want)
+	}
+}

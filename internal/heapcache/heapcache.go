@@ -150,6 +150,23 @@ func (c *Cache) Best() (Entry, bool) {
 	return c.heap[0], true
 }
 
+// Second returns the runner-up: the best AA the allocator would have
+// picked had Best been absent. In a binary max-heap that is the higher of
+// the root's two children. The provenance layer records it alongside each
+// pick; it equals Best() observed immediately after a PopBest.
+func (c *Cache) Second() (Entry, bool) {
+	switch len(c.heap) {
+	case 0, 1:
+		return Entry{}, false
+	case 2:
+		return c.heap[1], true
+	}
+	if higher(c.heap[2], c.heap[1]) {
+		return c.heap[2], true
+	}
+	return c.heap[1], true
+}
+
 // PopBest removes and returns the maximum-score AA. The write allocator
 // pops the AA it is about to fill and re-inserts it (with its reduced
 // score) at the CP boundary.

@@ -294,3 +294,27 @@ func BenchmarkPopReinsert(b *testing.B) {
 		c.Insert(e.ID, e.Score+1)
 	}
 }
+
+// Second must always equal Best observed after popping the best — the
+// runner-up contract the pick-provenance layer relies on.
+func TestSecondMatchesBestAfterPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(64)
+	for id := 0; id < 64; id++ {
+		c.Insert(aa.ID(id), uint64(rng.Intn(1000)))
+	}
+	for c.Len() > 0 {
+		second, okSecond := c.Second()
+		if _, ok := c.PopBest(); !ok {
+			t.Fatal("PopBest failed on non-empty heap")
+		}
+		next, okNext := c.Best()
+		if okSecond != okNext || second != next {
+			t.Fatalf("Second() = %+v,%v but Best() after pop = %+v,%v",
+				second, okSecond, next, okNext)
+		}
+	}
+	if _, ok := c.Second(); ok {
+		t.Fatal("Second() on empty heap reported an entry")
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Latest is a published-snapshot holder for serving metrics while the
+// simulation is mutating them. Registry read-through instruments evaluate
+// their closures at snapshot time, so scraping a live registry from an
+// HTTP handler races with the CP thread that owns the underlying fields.
+// Latest inverts the flow: each system publishes its own registry snapshot
+// from its own goroutine at every CP boundary — where the reads are
+// single-threaded by construction — and scrapers only ever see whole,
+// CP-boundary-consistent snapshots. The served view lags the live state by
+// at most one CP.
+//
+// Like the other sinks, a nil *Latest is a valid no-op receiver.
+type Latest struct {
+	mu    sync.Mutex
+	snaps map[string]Snapshot
+}
+
+// NewLatest creates an empty holder.
+func NewLatest() *Latest { return &Latest{snaps: make(map[string]Snapshot)} }
+
+// Publish replaces the named system's snapshot. No-op on a nil holder.
+func (l *Latest) Publish(sys string, snap Snapshot) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.snaps[sys] = snap
+	l.mu.Unlock()
+}
+
+// NumSystems returns how many systems have published (0 for nil).
+func (l *Latest) NumSystems() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.snaps)
+}
+
+// Snapshot merges every published snapshot into one view with each metric
+// under "<sys>.<name>", sorted by name — the same naming an export-mirror
+// registry produces for the same systems.
+func (l *Latest) Snapshot() Snapshot {
+	if l == nil {
+		return Snapshot{}
+	}
+	l.mu.Lock()
+	var ms []Metric
+	for sys, snap := range l.snaps {
+		for _, m := range snap.Metrics {
+			m.Name = sys + "." + m.Name
+			ms = append(ms, m)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return Snapshot{Metrics: ms}
+}
+
+// LatestHandler serves the merged published snapshot in the Prometheus text
+// format — the tear-free counterpart of Handler for scraping while CPs are
+// in flight.
+func LatestHandler(l *Latest) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, l.Snapshot())
+	})
+}

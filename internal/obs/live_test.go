@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLatestMergesPublishedSnapshots(t *testing.T) {
+	l := NewLatest()
+	if l.NumSystems() != 0 {
+		t.Fatalf("fresh holder reports %d systems", l.NumSystems())
+	}
+	l.Publish("b", Snapshot{Metrics: []Metric{
+		{Name: "ops", Kind: KindCounter, Value: 2},
+	}})
+	l.Publish("a", Snapshot{Metrics: []Metric{
+		{Name: "ops", Kind: KindCounter, Value: 1},
+	}})
+	// Re-publish replaces, never appends.
+	l.Publish("b", Snapshot{Metrics: []Metric{
+		{Name: "ops", Kind: KindCounter, Value: 7},
+	}})
+	if l.NumSystems() != 2 {
+		t.Fatalf("NumSystems = %d, want 2", l.NumSystems())
+	}
+	snap := l.Snapshot()
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("merged %d metrics, want 2", len(snap.Metrics))
+	}
+	if snap.Metrics[0].Name != "a.ops" || snap.Metrics[0].Value != 1 {
+		t.Errorf("metric[0] = %+v, want a.ops=1", snap.Metrics[0])
+	}
+	if snap.Metrics[1].Name != "b.ops" || snap.Metrics[1].Value != 7 {
+		t.Errorf("metric[1] = %+v, want latest b.ops=7", snap.Metrics[1])
+	}
+}
+
+func TestLatestNilSafe(t *testing.T) {
+	var l *Latest
+	l.Publish("x", Snapshot{Metrics: []Metric{{Name: "n"}}})
+	if l.NumSystems() != 0 {
+		t.Error("nil holder claims published systems")
+	}
+	if got := l.Snapshot(); len(got.Metrics) != 0 {
+		t.Errorf("nil holder snapshot has %d metrics", len(got.Metrics))
+	}
+}
+
+func TestLatestHandlerServesPrometheus(t *testing.T) {
+	l := NewLatest()
+	l.Publish("sys", Snapshot{Metrics: []Metric{
+		{Name: "wafl.cps", Kind: KindCounter, Value: 3},
+	}})
+	rr := httptest.NewRecorder()
+	LatestHandler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "sys_wafl_cps 3") {
+		t.Errorf("body missing published metric:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,101 @@
+package picks
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRingBoundAndCanonicalOrder(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	g := r.Space("arm.rg0")
+	for i := 0; i < 10; i++ {
+		g.Record(uint64(i/3+1), uint32(i), int64(100-i), int64(99-i), 4, HeapTop)
+	}
+	recs := g.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, capacity 4", len(recs))
+	}
+	// The surviving tail is the newest 4 picks, ascending Seq with no gaps.
+	for i, rec := range recs {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Errorf("record %d Seq = %d, want %d", i, rec.Seq, want)
+		}
+		if rec.Space != "arm.rg0" {
+			t.Errorf("record %d space = %q", i, rec.Space)
+		}
+	}
+	if g.Recorded() != 10 || g.Dropped() != 6 {
+		t.Fatalf("recorded/dropped = %d/%d, want 10/6", g.Recorded(), g.Dropped())
+	}
+	if g.ReasonCount(HeapTop) != 10 || g.ReasonCount(Refill) != 0 {
+		t.Fatalf("reason counts wrong: heap_top %d, refill %d",
+			g.ReasonCount(HeapTop), g.ReasonCount(Refill))
+	}
+}
+
+func TestRecorderAllSortsBySpaceThenSeq(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8})
+	r.Space("b").Record(1, 1, 10, -1, 0, BitmapFallback)
+	r.Space("a").Record(1, 2, 20, 15, 3, HBPSBin)
+	r.Space("a").Record(2, 3, 30, 25, 2, Refill)
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d records", len(all))
+	}
+	if all[0].Space != "a" || all[0].Seq != 1 ||
+		all[1].Space != "a" || all[1].Seq != 2 ||
+		all[2].Space != "b" || all[2].Seq != 1 {
+		t.Fatalf("canonical order violated: %+v", all)
+	}
+	if r.TotalRecorded() != 3 || r.TotalDropped() != 0 {
+		t.Fatalf("totals = %d/%d", r.TotalRecorded(), r.TotalDropped())
+	}
+}
+
+func TestSpaceReturnsSameRing(t *testing.T) {
+	r := NewRecorder(DefaultConfig())
+	if r.Space("x") != r.Space("x") {
+		t.Fatal("Space handed out two rings for one name")
+	}
+}
+
+func TestNilRecorderAndRingAreSafe(t *testing.T) {
+	var r *Recorder
+	g := r.Space("x")
+	if g != nil {
+		t.Fatal("nil recorder returned a live ring")
+	}
+	g.Record(1, 1, 1, 1, 1, HeapTop) // must not panic
+	if g.Records() != nil || g.Recorded() != 0 || g.Dropped() != 0 || g.ReasonCount(HeapTop) != 0 {
+		t.Fatal("nil ring leaked state")
+	}
+	if r.Spaces() != nil || r.Records("x") != nil || r.All() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 2})
+	r.Space("arm.vol.va").Record(3, 7, 1000, 900, 5, HBPSBin)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Spaces []struct {
+			Space    string            `json:"space"`
+			Recorded uint64            `json:"recorded"`
+			Reasons  map[string]uint64 `json:"reasons"`
+			Records  []PickRecord      `json:"records"`
+		} `json:"spaces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.Spaces) != 1 || doc.Spaces[0].Space != "arm.vol.va" ||
+		doc.Spaces[0].Recorded != 1 || doc.Spaces[0].Reasons["hbps_bin"] != 1 ||
+		len(doc.Spaces[0].Records) != 1 || doc.Spaces[0].Records[0].Score != 1000 {
+		t.Fatalf("unexpected document: %s", buf.String())
+	}
+}

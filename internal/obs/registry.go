@@ -21,6 +21,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -357,16 +358,35 @@ func (r *Registry) attach(name string, src *entry) {
 	r.entries[final] = &alias
 }
 
+// ErrKindMismatch reports a metric name re-registered as a different
+// instrument kind. tryRegister (and the Try* registration methods) return
+// it wrapped with the name and both kinds; the panicking convenience
+// methods panic with the same error at the registration site, never later.
+var ErrKindMismatch = errors.New("metric kind mismatch")
+
 // register adds e under its name, or returns the existing entry of the same
-// kind. A kind mismatch panics: it is a programming error.
+// kind. A kind mismatch panics: the no-argument convenience methods treat
+// it as a programming error. Callers that need to propagate the condition
+// use the Try* variants instead.
 func (r *Registry) register(e *entry) *entry {
+	got, err := r.tryRegister(e)
+	if err != nil {
+		panic(err)
+	}
+	return got
+}
+
+// tryRegister is register's guard path: a kind mismatch is a returned
+// error, not a panic.
+func (r *Registry) tryRegister(e *entry) (*entry, error) {
 	r.mu.Lock()
 	if old, ok := r.entries[e.name]; ok {
 		r.mu.Unlock()
 		if old.kind != e.kind {
-			panic(fmt.Sprintf("obs: %q re-registered as %s (was %s)", e.name, e.kind, old.kind))
+			return nil, fmt.Errorf("obs: %q re-registered as %s (was %s): %w",
+				e.name, e.kind, old.kind, ErrKindMismatch)
 		}
-		return old
+		return old, nil
 	}
 	r.entries[e.name] = e
 	mirror, prefix := r.mirror, r.mirrorPrefix
@@ -374,7 +394,37 @@ func (r *Registry) register(e *entry) *entry {
 	if mirror != nil {
 		mirror.attach(prefix+e.name, e)
 	}
-	return e
+	return e, nil
+}
+
+// TryCounter registers (or fetches) a counter, reporting a kind mismatch
+// as an error (wrapping ErrKindMismatch) instead of panicking.
+func (r *Registry) TryCounter(name string) (*Counter, error) {
+	e, err := r.tryRegister(&entry{name: name, kind: KindCounter, c: &Counter{}})
+	if err != nil {
+		return nil, err
+	}
+	return e.c, nil
+}
+
+// TryGauge registers (or fetches) a gauge, reporting a kind mismatch as an
+// error instead of panicking.
+func (r *Registry) TryGauge(name string) (*Gauge, error) {
+	e, err := r.tryRegister(&entry{name: name, kind: KindGauge, g: &Gauge{}})
+	if err != nil {
+		return nil, err
+	}
+	return e.g, nil
+}
+
+// TryHistogram registers (or fetches) a histogram, reporting a kind
+// mismatch as an error instead of panicking.
+func (r *Registry) TryHistogram(name string, bounds []uint64) (*Histogram, error) {
+	e, err := r.tryRegister(&entry{name: name, kind: KindHistogram, h: NewHistogram(bounds)})
+	if err != nil {
+		return nil, err
+	}
+	return e.h, nil
 }
 
 // Counter registers (or fetches) a counter.

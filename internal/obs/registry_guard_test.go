@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// Registering a name under a different instrument kind must surface as a
+// returned error from the Try* guard path — and as an immediate panic (with
+// the same error) from the convenience methods, never a deferred failure.
+func TestKindMismatchIsReturnedError(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.TryCounter("x")
+	if err != nil || c == nil {
+		t.Fatalf("TryCounter on fresh name: %v", err)
+	}
+	c.Add(2)
+
+	if _, err := r.TryGauge("x"); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("TryGauge on counter name: err = %v, want ErrKindMismatch", err)
+	}
+	if _, err := r.TryHistogram("x", DurationBuckets); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("TryHistogram on counter name: err = %v, want ErrKindMismatch", err)
+	}
+
+	// Same name, same kind: fetches the existing instrument, no error.
+	again, err := r.TryCounter("x")
+	if err != nil || again != c {
+		t.Fatalf("TryCounter re-registration: got %p,%v want the original %p", again, err, c)
+	}
+	if again.Value() != 2 {
+		t.Fatalf("re-fetched counter value = %d, want 2", again.Value())
+	}
+
+	// The read-through variants share the same guard.
+	r.CounterFunc("fn", func() uint64 { return 1 })
+	if _, err := r.TryGauge("fn"); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("TryGauge on CounterFunc name: err = %v", err)
+	}
+}
+
+func TestKindMismatchPanicCarriesError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("Gauge on a counter name did not panic")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrKindMismatch) {
+			t.Fatalf("panic value = %v, want an error wrapping ErrKindMismatch", rec)
+		}
+	}()
+	r.Gauge("x")
+}

@@ -1,0 +1,252 @@
+// Package tsdb is a fixed-memory, deterministic per-CP time-series store
+// for the observability layer: one bounded ring of points per metric,
+// sampled from the registry's stable snapshot at every consistency-point
+// boundary. When a ring fills, adjacent points are pairwise merged
+// (min/max/sum/count fold, CP-range union), halving the occupancy — so the
+// store's footprint is a fixed bound independent of run length, and older
+// history degrades gracefully into coarser aggregates instead of being
+// dropped.
+//
+// Timestamps are the simulation's modeled clock (worker-invariant
+// DeviceBusy+CPUTime), never the host clock, and samples are taken from
+// stable (volatile-excluded) snapshots only — so two runs of the same
+// workload at different worker widths produce byte-identical stores, the
+// same determinism contract the CSV recorder keeps.
+//
+// Like the rest of obs, a nil *Store is a valid no-op receiver: the CP
+// boundary pays one nil check when the store is disabled.
+package tsdb
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"waflfs/internal/obs"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Capacity is the maximum number of points retained per series (≥1).
+	// Once full, adjacent points merge pairwise and recording continues.
+	Capacity int
+}
+
+// DefaultConfig holds 512 points per series — at one sample per CP that is
+// 512 CPs of full resolution, then progressively coarser aggregates.
+func DefaultConfig() Config { return Config{Capacity: 512} }
+
+// Point is one ring entry: a single CP sample, or the fold of a contiguous
+// CP range after downsampling.
+type Point struct {
+	// CPFirst..CPLast is the (inclusive) CP-ordinal range folded into this
+	// point; equal for a full-resolution sample.
+	CPFirst uint64 `json:"cp_first"`
+	CPLast  uint64 `json:"cp_last"`
+	// At is the modeled-clock timestamp of the newest folded sample.
+	At time.Duration `json:"at_ns"`
+
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+}
+
+// Avg returns the mean of the folded samples.
+func (p Point) Avg() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Sum / float64(p.Count)
+}
+
+func merge(a, b Point) Point {
+	out := Point{
+		CPFirst: a.CPFirst,
+		CPLast:  b.CPLast,
+		At:      b.At,
+		Min:     a.Min,
+		Max:     a.Max,
+		Sum:     a.Sum + b.Sum,
+		Count:   a.Count + b.Count,
+	}
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+type series struct {
+	pts []Point // len ≤ cap(pts) == Config.Capacity, allocated once
+}
+
+// add appends a full-resolution point, downsampling first if the ring is
+// at capacity. The backing array never grows past the configured capacity.
+func (se *series) add(capacity int, p Point) {
+	if len(se.pts) == capacity {
+		if capacity == 1 {
+			se.pts[0] = merge(se.pts[0], p)
+			return
+		}
+		half := len(se.pts) / 2
+		for i := 0; i < half; i++ {
+			se.pts[i] = merge(se.pts[2*i], se.pts[2*i+1])
+		}
+		if len(se.pts)%2 == 1 {
+			se.pts[half] = se.pts[len(se.pts)-1]
+			half++
+		}
+		se.pts = se.pts[:half]
+	}
+	se.pts = append(se.pts, p)
+}
+
+// Store holds one bounded ring per series. Safe for concurrent use: the CP
+// boundary records while live HTTP endpoints read.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*series
+}
+
+// NewStore creates an empty store. Capacity ≤ 0 selects the default.
+func NewStore(cfg Config) *Store {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultConfig().Capacity
+	}
+	return &Store{capacity: cfg.Capacity, series: make(map[string]*series)}
+}
+
+// Capacity returns the per-series point bound.
+func (s *Store) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Observe records one sample of the named series at the given CP ordinal
+// and modeled timestamp. No-op on a nil store.
+func (s *Store) Observe(name string, cp uint64, at time.Duration, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observeLocked(name, cp, at, v)
+	s.mu.Unlock()
+}
+
+func (s *Store) observeLocked(name string, cp uint64, at time.Duration, v float64) {
+	se := s.series[name]
+	if se == nil {
+		se = &series{pts: make([]Point, 0, s.capacity)}
+		s.series[name] = se
+	}
+	se.add(s.capacity, Point{CPFirst: cp, CPLast: cp, At: at, Min: v, Max: v, Sum: v, Count: 1})
+}
+
+// Sample records every non-volatile metric of a registry snapshot under
+// "<sys>.<metric>" (histograms split into ".sum" and ".count"). Callers
+// pass StableSnapshot so the stored values are worker-invariant. No-op on
+// a nil store.
+func (s *Store) Sample(sys string, cp uint64, at time.Duration, snap obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range snap.Metrics {
+		if m.Volatile {
+			continue
+		}
+		name := sys + "." + m.Name
+		switch {
+		case m.Hist != nil:
+			s.observeLocked(name+".sum", cp, at, float64(m.Hist.Sum))
+			s.observeLocked(name+".count", cp, at, float64(m.Hist.Count))
+		case m.Kind == obs.KindGauge:
+			s.observeLocked(name, cp, at, float64(m.Gauge))
+		default:
+			s.observeLocked(name, cp, at, float64(m.Value))
+		}
+	}
+}
+
+// NumSeries returns the number of distinct series recorded.
+func (s *Store) NumSeries() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.series)
+}
+
+// SeriesNames returns every series name, sorted.
+func (s *Store) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Points returns a copy of the named series' ring, oldest first.
+func (s *Store) Points(name string) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.series[name]
+	if se == nil {
+		return nil
+	}
+	return append([]Point(nil), se.pts...)
+}
+
+// SeriesDump is one series in a Dump, ordered by name across the dump.
+type SeriesDump struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Dump returns every series with its points, sorted by name — the
+// deterministic whole-store view the equivalence tests and the JSON
+// endpoint share.
+func (s *Store) Dump() []SeriesDump {
+	if s == nil {
+		return nil
+	}
+	names := s.SeriesNames()
+	out := make([]SeriesDump, 0, len(names))
+	for _, n := range names {
+		out = append(out, SeriesDump{Name: n, Points: s.Points(n)})
+	}
+	return out
+}
+
+// WriteJSON writes the whole store as a single deterministic JSON document:
+// {"capacity":C,"series":[{"name":...,"points":[...]}]}.
+func (s *Store) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Capacity int          `json:"capacity"`
+		Series   []SeriesDump `json:"series"`
+	}{Capacity: s.Capacity(), Series: s.Dump()}
+	if doc.Series == nil {
+		doc.Series = []SeriesDump{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -12,6 +12,7 @@ import (
 	"waflfs/internal/faultinject"
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/picks"
 	"waflfs/internal/parallel"
 	"waflfs/internal/topaa"
 )
@@ -44,6 +45,15 @@ type Aggregate struct {
 	// fragMarks tracks per-space picked-quality baselines between
 	// allocation-quality scans (see fragscan.go).
 	fragMarks map[string]fragMark
+	// cpOrd is the ordinal of the CP currently being built (CPs committed
+	// + 1 while System.CP runs); pick-provenance records carry it.
+	cpOrd uint64
+	// pickRings collects every provenance ring this aggregate's spaces
+	// record into, in registration order, for the picks.* metric views.
+	pickRings []*picks.Ring
+	// wd is the online-watchdog state (watchdog.go). The counters always
+	// exist; the monitors run only when ObsOptions.Watchdogs is set.
+	wd watchdogState
 }
 
 // NewAggregate builds an aggregate from RAID-group specs. The seed makes

@@ -10,6 +10,7 @@ import (
 	"waflfs/internal/block"
 	"waflfs/internal/hbps"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/picks"
 	"waflfs/internal/parallel"
 )
 
@@ -55,6 +56,15 @@ type agnosticSpace struct {
 	shard  int // trace shard: volume index, or poolShard for the pool
 	pobs   *parallel.Obs
 	scored *obs.Counter
+
+	// Allocation-decision provenance and watchdog hooks (nil when off;
+	// set by Aggregate.registerSpaceObs). cpNow points at the aggregate's
+	// current CP ordinal; wdCursor rotates the watchdog's listed-AA sample
+	// window across the HBPS list.
+	pr       *picks.Ring
+	cpNow    *uint64
+	wd       *watchdogState
+	wdCursor int
 }
 
 func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand, workers int) *agnosticSpace {
@@ -84,10 +94,25 @@ func (s *agnosticSpace) aaScore(id aa.ID) uint32 {
 func (s *agnosticSpace) pick() bool {
 	var id aa.ID
 	if s.cacheEnabled {
+		reason := picks.HBPSBin
+		wdOn := s.wd != nil && s.wd.enabled
+		frontBin := -1
+		if wdOn { // capture the claimed bin before the pop unlists the item
+			if _, b, ok := s.cache.PeekBestBin(); ok {
+				frontBin = b
+			}
+		}
 		got, ok := s.cache.PopBest()
 		if !ok {
 			s.st.Emit("alloc.virt", s.shard, "list_dry", 0, 0)
 			s.replenish()
+			reason = picks.Refill
+			if wdOn {
+				frontBin = -1
+				if _, b, peeked := s.cache.PeekBestBin(); peeked {
+					frontBin = b
+				}
+			}
 			if got, ok = s.cache.PopBest(); !ok {
 				return false
 			}
@@ -96,6 +121,18 @@ func (s *agnosticSpace) pick() bool {
 		id = got
 		if s.st != nil { // score recomputation is pure popcount; skip when off
 			s.st.Emit("alloc.virt", s.shard, "hbps_pop", 0, int64(s.aaScore(id)))
+		}
+		if wdOn {
+			s.wd.pickCheckSpace(s, id, frontBin)
+		}
+		if s.pr != nil {
+			runner := int64(-1)
+			if _, bin, ok := s.cache.PeekBestBin(); ok {
+				// HBPS has no runner-up score; record the next listed AA's
+				// bin floor as the guaranteed lower bound.
+				runner = int64(s.cache.BinFloor(bin))
+			}
+			s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), runner, s.cache.ListLen(), reason)
 		}
 	} else {
 		n := s.topo.NumAAs()
@@ -119,6 +156,9 @@ func (s *agnosticSpace) pick() bool {
 		}
 		if s.st != nil {
 			s.st.Emit("alloc.virt", s.shard, "random_pick", 0, int64(s.aaScore(id)))
+		}
+		if s.pr != nil {
+			s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), -1, 0, picks.BitmapFallback)
 		}
 	}
 	s.curAA = id

@@ -133,15 +133,28 @@ func (s *System) FragScan() []fragscan.Report {
 	return s.Agg.FragScan(s.c.CPs)
 }
 
-// maybeFragScan is the CP-boundary hook: scan when a recorder is attached
-// and this CP ordinal matches the FragEvery cadence.
+// maybeFragScan is the CP-boundary hook: scan when a frag recorder or a
+// time-series store is attached and this CP ordinal matches the FragEvery
+// cadence. With a store attached, each report's headline numbers — the
+// per-AA free-fraction deciles, overall free fraction, and pick-weighted
+// free fraction — feed per-space series the live viewer renders.
 func (s *System) maybeFragScan() {
 	o := &s.Agg.obsOpts
-	if o.Frag == nil {
+	if o.Frag == nil && o.TSDB == nil {
 		return
 	}
 	if o.FragEvery > 1 && s.c.CPs%uint64(o.FragEvery) != 0 {
 		return
 	}
-	s.Agg.FragScan(s.c.CPs)
+	reports := s.Agg.FragScan(s.c.CPs)
+	if ts := o.TSDB; ts != nil {
+		at := s.obsMark
+		for _, rep := range reports {
+			ts.Observe(rep.Space+".frag.p10", s.c.CPs, at, rep.Deciles[1])
+			ts.Observe(rep.Space+".frag.p50", s.c.CPs, at, rep.Deciles[5])
+			ts.Observe(rep.Space+".frag.p90", s.c.CPs, at, rep.Deciles[9])
+			ts.Observe(rep.Space+".frag.free_frac", s.c.CPs, at, rep.FreeFrac())
+			ts.Observe(rep.Space+".frag.picked_free_frac", s.c.CPs, at, rep.PickedFreeFrac)
+		}
+	}
 }

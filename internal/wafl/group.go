@@ -11,6 +11,7 @@ import (
 	"waflfs/internal/device"
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/picks"
 	"waflfs/internal/raid"
 )
 
@@ -77,6 +78,15 @@ type Group struct {
 	// Observability handles (nil-safe; set by Aggregate.registerGroupObs).
 	st     *obs.SysTracer
 	scored *obs.Counter
+
+	// Allocation-decision provenance and watchdog hooks (nil when off;
+	// set by Aggregate.registerGroupObs). cpNow points at the aggregate's
+	// current CP ordinal so pick records carry it; wdCursor rotates the
+	// watchdog's score-sample window across the group's AAs.
+	pr       *picks.Ring
+	cpNow    *uint64
+	wd       *watchdogState
+	wdCursor int
 }
 
 // buildGroup constructs the runtime for one spec at the given VBN offset.
@@ -266,6 +276,16 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 		}
 		id, score = e.ID, e.Score
 		g.st.Emit("alloc.phys", g.Index, "cache_hit", 0, int64(score))
+		if g.wd != nil && g.wd.enabled {
+			g.wd.pickCheckGroup(g, bm, id, score)
+		}
+		if g.pr != nil {
+			runner := int64(-1)
+			if e2, ok := g.cache.Best(); ok { // best remaining after the pop
+				runner = int64(e2.Score)
+			}
+			g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.cache.Len(), picks.HeapTop)
+		}
 	} else {
 		// Random selection; retry a bounded number of times to find an AA
 		// with any free space, then fall back to a linear sweep.
@@ -293,6 +313,9 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 			return false
 		}
 		g.st.Emit("alloc.phys", g.Index, "random_pick", 0, int64(score))
+		if g.pr != nil {
+			g.pr.Record(*g.cpNow, uint32(id), int64(score), -1, 0, picks.BitmapFallback)
+		}
 	}
 	g.curAA = id
 	g.curValid = true

@@ -2,10 +2,13 @@ package wafl
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/parallel"
 )
 
@@ -55,6 +58,32 @@ type ObsOptions struct {
 	// FragEvery scans every Nth CP (≤1 = every CP). On-demand scans via
 	// System.FragScan are unaffected.
 	FragEvery int
+	// TSDB, when non-nil, receives a fixed-memory time series: every
+	// non-volatile metric sampled at each CP boundary under
+	// "<Name>.<metric>", plus per-space fragmentation deciles when the CP
+	// fragscan hook runs. Timestamps are the modeled clock, so the stored
+	// series are byte-identical at any worker width.
+	TSDB *tsdb.Store
+	// Picks, when non-nil, receives one PickRecord per AA pick into
+	// bounded per-space rings named like fragscan's streams
+	// ("<Name>.rg<N>", "<Name>.vol.<v>", "<Name>.pool").
+	Picks *picks.Recorder
+	// Live, when non-nil, receives the registry's full snapshot under Name
+	// at every CP boundary. The snapshot is taken on the CP thread, where
+	// the read-through closures are race-free, so HTTP handlers can serve
+	// it while the next CP is in flight (see obs.LatestHandler).
+	Live *obs.Latest
+	// Watchdogs enables the per-CP online invariant monitors (free-block
+	// conservation, rotating cached-score spot checks, pick-quality
+	// floors; see watchdog.go). Violations bump watchdog.* counters.
+	Watchdogs bool
+	// WatchdogSample is the rotating per-space sample size of the
+	// cached-score spot check (≤0 selects 8). Larger values trade CP-time
+	// popcounts for faster full coverage.
+	WatchdogSample int
+	// StrictWatchdogs promotes any watchdog violation to a panic — tests
+	// use it to turn the monitors into hard failures.
+	StrictWatchdogs bool
 }
 
 func (o *ObsOptions) normalized() ObsOptions {
@@ -170,6 +199,36 @@ func (ag *Aggregate) initObs() {
 	ag.reg.CounterFunc("mount.torn_fallbacks", func() uint64 { return ag.mountTot.tornFallbacks })
 	ag.reg.CounterFunc("mount.damage_fallbacks", func() uint64 { return ag.mountTot.damageFallbacks })
 
+	ag.initWatchdogs(o)
+
+	// Pick-provenance views: read through the rings registered by
+	// registerGroupObs/registerSpaceObs (the slice is filled after initObs
+	// returns; the closures evaluate at snapshot time).
+	ag.reg.CounterFunc("picks.recorded", func() uint64 {
+		var n uint64
+		for _, r := range ag.pickRings {
+			n += r.Recorded()
+		}
+		return n
+	})
+	ag.reg.CounterFunc("picks.dropped", func() uint64 {
+		var n uint64
+		for _, r := range ag.pickRings {
+			n += r.Dropped()
+		}
+		return n
+	})
+	for _, reason := range picks.Reasons() {
+		reason := reason
+		ag.reg.CounterFunc("picks."+string(reason), func() uint64 {
+			var n uint64
+			for _, r := range ag.pickRings {
+				n += r.ReasonCount(reason)
+			}
+			return n
+		})
+	}
+
 	ag.reg.CounterFunc("scrub.count", func() uint64 { return ag.scrubTot.scrubs })
 	ag.reg.CounterFunc("scrub.spaces_checked", func() uint64 { return ag.scrubTot.checked })
 	ag.reg.CounterFunc("scrub.divergent", func() uint64 { return ag.scrubTot.divergent })
@@ -203,6 +262,14 @@ func (s *System) Registry() *obs.Registry { return s.Agg.reg }
 func (ag *Aggregate) registerGroupObs(g *Group) {
 	g.st = ag.st
 	g.scored = ag.scoredAAs
+	if rec := ag.obsOpts.Picks; rec != nil {
+		g.pr = rec.Space(ag.obsOpts.Name + "." + topaaGroupKey(g.Index))
+		ag.pickRings = append(ag.pickRings, g.pr)
+		g.cpNow = &ag.cpOrd
+	}
+	if ag.wd.enabled {
+		g.wd = &ag.wd
+	}
 	p := fmt.Sprintf("rg%d.", g.Index)
 	ag.reg.CounterFunc(p+"picks", func() uint64 { return g.pickedCount })
 	ag.reg.CounterFunc(p+"cache_ops", func() uint64 { return g.cacheOps })
@@ -235,6 +302,14 @@ func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard in
 	sp.shard = shard
 	sp.pobs = ag.pobs
 	sp.scored = ag.scoredAAs
+	if rec := ag.obsOpts.Picks; rec != nil {
+		sp.pr = rec.Space(ag.obsOpts.Name + "." + strings.TrimSuffix(prefix, "."))
+		ag.pickRings = append(ag.pickRings, sp.pr)
+		sp.cpNow = &ag.cpOrd
+	}
+	if ag.wd.enabled {
+		sp.wd = &ag.wd
+	}
 	ag.reg.CounterFunc(prefix+"picks", func() uint64 { return sp.pickedCount })
 	ag.reg.CounterFunc(prefix+"cache_ops", func() uint64 { return sp.cacheOps })
 	ag.reg.CounterFunc(prefix+"replenishes", func() uint64 { return sp.replenishes })

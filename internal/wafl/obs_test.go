@@ -9,6 +9,8 @@ import (
 	"waflfs/internal/aa"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/tsdb"
 )
 
 // obsRun drives a moderate workload — fill, churn, CPs, delayed frees, a
@@ -26,11 +28,14 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 	tun.CPEveryOps = 1 << 30 // CP only when the test says so, so all CPStats are captured
 	tun.DelayedVirtFrees = true
 	tun.Obs = &ObsOptions{
-		Name:   "arm",
-		Export: export,
-		Tracer: tracer,
-		CSV:    rec,
-		Frag:   frag,
+		Name:      "arm",
+		Export:    export,
+		Tracer:    tracer,
+		CSV:       rec,
+		Frag:      frag,
+		TSDB:      tsdb.NewStore(tsdb.DefaultConfig()),
+		Picks:     picks.NewRecorder(picks.DefaultConfig()),
+		Watchdogs: true,
 	}
 	s := NewSystem(testSpecs(),
 		[]VolSpec{
@@ -192,6 +197,65 @@ func TestObsSerialEquivalence(t *testing.T) {
 	for _, want := range []string{"arm.rg0", "arm.rg1", "arm.vol.va", "arm.vol.vb"} {
 		if !spaces[want] {
 			t.Errorf("no fragscan reports for space %q (have %v)", want, spaces)
+		}
+	}
+
+	// The time-series store obeys the contract too: modeled-clock timestamps
+	// and non-volatile samples only, so serialized stores are byte-identical.
+	ts1, ts8 := s1.Agg.obsOpts.TSDB, s8.Agg.obsOpts.TSDB
+	if ts1.NumSeries() == 0 {
+		t.Fatal("tsdb recorded no series")
+	}
+	var tj1, tj8 strings.Builder
+	if err := ts1.WriteJSON(&tj1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts8.WriteJSON(&tj8); err != nil {
+		t.Fatal(err)
+	}
+	if tj1.String() != tj8.String() {
+		names1, names8 := ts1.SeriesNames(), ts8.SeriesNames()
+		if !reflect.DeepEqual(names1, names8) {
+			t.Fatalf("tsdb series names diverged: %d vs %d", len(names1), len(names8))
+		}
+		for _, n := range names1 {
+			if !reflect.DeepEqual(ts1.Points(n), ts8.Points(n)) {
+				t.Errorf("tsdb series %q diverged across worker counts", n)
+			}
+		}
+		t.Fatal("tsdb JSON diverged across worker counts")
+	}
+
+	// Pick-provenance streams replay in canonical order at any worker width.
+	p1, p8 := s1.Agg.obsOpts.Picks, s8.Agg.obsOpts.Picks
+	if p1.TotalRecorded() == 0 {
+		t.Fatal("no pick records")
+	}
+	if !reflect.DeepEqual(p1.All(), p8.All()) {
+		t.Fatal("pick streams diverged across worker counts")
+	}
+	var pj1, pj8 strings.Builder
+	if err := p1.WriteJSON(&pj1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p8.WriteJSON(&pj8); err != nil {
+		t.Fatal(err)
+	}
+	if pj1.String() != pj8.String() {
+		t.Fatal("pick JSON diverged across worker counts")
+	}
+
+	// The watchdogs checked real invariants on every CP and found nothing.
+	for i, s := range []*System{s1, s8} {
+		reg := s.Registry()
+		if n, _ := reg.Value("watchdog.checks"); n == 0 {
+			t.Errorf("system %d: watchdog.checks = 0 with watchdogs enabled", i)
+		}
+		if n, _ := reg.Value("watchdog.pick_checks"); n == 0 {
+			t.Errorf("system %d: watchdog.pick_checks = 0", i)
+		}
+		if n, _ := reg.Value("watchdog.violations"); n != 0 {
+			t.Errorf("system %d: watchdog.violations = %d: %v", i, n, s.Agg.WatchdogViolations())
 		}
 	}
 }

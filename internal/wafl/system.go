@@ -205,6 +205,7 @@ func sortVBNs(xs []block.VBN) {
 func (s *System) CP() CPStats {
 	cacheOpsBefore := s.cacheOps()
 	scanBefore := s.virtScanBlocks()
+	s.Agg.cpOrd = s.c.CPs + 1 // provenance records carry the CP being built
 	s.Agg.st.BeginCP()
 	s.Agg.faults.BeginCP()
 	s.Agg.faults.EnterPhase(faultinject.PhaseAlloc)
@@ -295,10 +296,21 @@ func (s *System) CP() CPStats {
 	tot := s.c.DeviceBusy + s.c.CPUTime
 	s.Agg.st.Advance(tot - s.obsMark)
 	s.obsMark = tot
+	s.runWatchdogs()
 	if rec := s.Agg.obsOpts.CSV; rec != nil {
 		rec.Record(s.Agg.obsOpts.Name, s.c.CPs, s.Agg.reg.Snapshot())
 	}
+	if l := s.Agg.obsOpts.Live; l != nil { // guard: don't snapshot when unused
+		l.Publish(s.Agg.obsOpts.Name, s.Agg.reg.Snapshot())
+	}
 	s.maybeFragScan()
+	if ts := s.Agg.obsOpts.TSDB; ts != nil {
+		// Sample every registered metric into the per-CP time-series ring,
+		// stamped with the worker-invariant modeled clock. StableSnapshot
+		// excludes volatile metrics, so the stored series are byte-identical
+		// across worker widths.
+		ts.Sample(s.Agg.obsOpts.Name, s.c.CPs, tot, s.Agg.reg.StableSnapshot())
+	}
 	return st
 }
 

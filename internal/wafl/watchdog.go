@@ -1,0 +1,240 @@
+package wafl
+
+import (
+	"fmt"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/bitmap"
+	"waflfs/internal/obs"
+)
+
+// Online invariant watchdogs: cheap per-CP monitors that keep the
+// mount-time scrub's guarantees live between explicit Scrub() calls.
+// Three invariant classes are watched:
+//
+//   - Free-block conservation across delayed frees: per volume, the
+//     virtual bitmap's used count must equal the refcounted written blocks
+//     plus the delayed-free queue (delayed frees keep the bit set while
+//     the refcount entry is already gone).
+//
+//   - Cached-score-vs-bitmap spot checks on a rotating AA sample: the
+//     scrub invariant (bitmapScore == cachedScore + pendingDelta for heap
+//     caches; listed bin == Bin(bitmapScore - delta) for HBPS) verified
+//     over a small window that rotates each CP, so full coverage accrues
+//     over time at O(sample) popcounts per CP instead of O(space).
+//
+//   - Pick-quality floor at pick time: a heap pick's cached score must
+//     equal the bitmap-derived score minus the pending delta exactly; an
+//     HBPS pick must fall within one bin of the best tracked bin — the
+//     paper's §3.3.2 near-best bound.
+//
+// Violations bump watchdog.* counters (always registered, so metric
+// streams keep their shape whether or not the monitors run) and append to
+// a bounded description log; StrictWatchdogs promotes them to panics so
+// tests fail hard. All checks are purely observational — no modeled cost —
+// and are serial and deterministic, so enabling them preserves the
+// Workers=1 vs N equivalence contract.
+
+// watchdogLogBound caps the retained violation descriptions.
+const watchdogLogBound = 16
+
+type watchdogState struct {
+	enabled bool
+	strict  bool
+	sample  int
+
+	checks     *obs.Counter
+	violations *obs.Counter
+	consChecks *obs.Counter
+	consViol   *obs.Counter
+	scoreCheck *obs.Counter
+	scoreViol  *obs.Counter
+	pickChecks *obs.Counter
+	pickViol   *obs.Counter
+
+	log []string
+}
+
+// initWatchdogs registers the watchdog.* counters (unconditionally — the
+// metric shape must not depend on whether the monitors run) and arms the
+// monitors when requested. Called from initObs.
+func (ag *Aggregate) initWatchdogs(o ObsOptions) {
+	ag.wd = watchdogState{
+		enabled:    o.Watchdogs,
+		strict:     o.StrictWatchdogs,
+		sample:     o.WatchdogSample,
+		checks:     ag.reg.Counter("watchdog.checks"),
+		violations: ag.reg.Counter("watchdog.violations"),
+		consChecks: ag.reg.Counter("watchdog.conservation_checks"),
+		consViol:   ag.reg.Counter("watchdog.conservation_violations"),
+		scoreCheck: ag.reg.Counter("watchdog.score_checks"),
+		scoreViol:  ag.reg.Counter("watchdog.score_violations"),
+		pickChecks: ag.reg.Counter("watchdog.pick_checks"),
+		pickViol:   ag.reg.Counter("watchdog.pick_violations"),
+	}
+	if ag.wd.sample <= 0 {
+		ag.wd.sample = 8
+	}
+}
+
+// WatchdogViolations returns the retained violation descriptions (at most
+// watchdogLogBound; the watchdog.violations counter has the full count).
+func (ag *Aggregate) WatchdogViolations() []string {
+	return append([]string(nil), ag.wd.log...)
+}
+
+func (w *watchdogState) violate(class *obs.Counter, format string, args ...interface{}) {
+	w.violations.Inc()
+	class.Inc()
+	msg := fmt.Sprintf(format, args...)
+	if len(w.log) < watchdogLogBound {
+		w.log = append(w.log, msg)
+	}
+	if w.strict {
+		panic("wafl: watchdog: " + msg)
+	}
+}
+
+// pickCheckGroup is the RAID-aware pick-quality floor: the popped entry's
+// cached score must equal the bitmap truth minus the pending delta.
+func (w *watchdogState) pickCheckGroup(g *Group, bm *bitmap.Bitmap, id aa.ID, score uint64) {
+	w.checks.Inc()
+	w.pickChecks.Inc()
+	want := int64(aa.Score(g.topo, bm, id)) - g.deltas[id]
+	if int64(score) != want {
+		w.violate(w.pickViol, "rg%d pick: AA %d cached score %d, bitmap-derived %d",
+			g.Index, id, score, want)
+	}
+}
+
+// pickCheckSpace is the HBPS pick-quality floor (§3.3.2). The list pops
+// from its best listed bin, so the near-best guarantee reduces to the
+// popped AA actually belonging in the bin it was listed under: its
+// bitmap-derived score (net of pending deltas) must bin exactly to
+// claimed, the bin PeekBestBin reported just before the pop. A comparison
+// against BestTrackedBin would be unsound mid-CP — AAs popped earlier in
+// the same CP stay histogram-tracked at their stale pop-time scores until
+// the boundary fold.
+func (w *watchdogState) pickCheckSpace(sp *agnosticSpace, id aa.ID, claimed int) {
+	w.checks.Inc()
+	w.pickChecks.Inc()
+	want := int64(sp.aaScore(id)) - sp.deltas[id]
+	if want < 0 {
+		w.violate(w.pickViol, "%s pick: AA %d bitmap-derived score %d is negative",
+			sp.name, id, want)
+		return
+	}
+	if claimed < 0 {
+		return
+	}
+	if got := sp.cache.Bin(uint32(want)); got != claimed {
+		w.violate(w.pickViol, "%s pick: AA %d listed in bin %d, bitmap-derived bin %d — pick floor broken",
+			sp.name, id, claimed, got)
+	}
+}
+
+// sampleGroup spot-checks a rotating window of the heap cache against the
+// bitmap, using the scrub formula. Seed-only caches hold a subset, so only
+// tracked membership is checked; the cursor-held AA is skipped (its score
+// folds back at finishAA).
+func (w *watchdogState) sampleGroup(ag *Aggregate, g *Group) {
+	if !g.cacheEnabled {
+		return
+	}
+	n := g.topo.NumAAs()
+	if n == 0 {
+		return
+	}
+	k := w.sample
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		id := aa.ID((g.wdCursor + i) % n)
+		if !g.cache.Tracked(id) || (g.curValid && id == g.curAA) {
+			continue
+		}
+		w.checks.Inc()
+		w.scoreCheck.Inc()
+		want := int64(aa.Score(g.topo, ag.bm, id)) - g.deltas[id]
+		if got := g.cache.Score(id); int64(got) != want {
+			w.violate(w.scoreViol, "rg%d: AA %d cached score %d, bitmap-derived %d",
+				g.Index, id, got, want)
+		}
+	}
+	g.wdCursor = (g.wdCursor + k) % n
+}
+
+// sampleSpace spot-checks an HBPS: the histogram must track every AA, and
+// a rotating window of listed AAs must each sit in the bin of its
+// bitmap-derived score (the scrub's listed-placement invariant).
+func (w *watchdogState) sampleSpace(sp *agnosticSpace) {
+	if !sp.cacheEnabled {
+		return
+	}
+	w.checks.Inc()
+	w.scoreCheck.Inc()
+	if got, n := sp.cache.Total(), sp.topo.NumAAs(); got != uint64(n) {
+		w.violate(w.scoreViol, "%s: HBPS tracks %d AAs, want %d", sp.name, got, n)
+		return
+	}
+	l := sp.cache.ListLen()
+	if l == 0 {
+		return
+	}
+	k := w.sample
+	if k > l {
+		k = l
+	}
+	for i := 0; i < k; i++ {
+		id, bin := sp.cache.ListedAt((sp.wdCursor + i) % l)
+		w.checks.Inc()
+		w.scoreCheck.Inc()
+		want := int64(sp.aaScore(id)) - sp.deltas[id]
+		if want < 0 {
+			w.violate(w.scoreViol, "%s: listed AA %d bitmap-derived score %d is negative",
+				sp.name, id, want)
+			continue
+		}
+		if wb := sp.cache.Bin(uint32(want)); wb != bin {
+			w.violate(w.scoreViol, "%s: listed AA %d in bin %d, bitmap-derived bin %d",
+				sp.name, id, bin, wb)
+		}
+	}
+	sp.wdCursor = (sp.wdCursor + k) % l
+}
+
+// runWatchdogs executes the per-CP monitors. Called at the end of
+// System.CP, after CommitCP has folded the pending deltas, so cached
+// scores are fresh except for the cursor-held AAs the checks skip.
+func (s *System) runWatchdogs() {
+	w := &s.Agg.wd
+	if !w.enabled {
+		return
+	}
+	ag := s.Agg
+	for _, v := range ag.vols {
+		w.checks.Inc()
+		w.consChecks.Inc()
+		want := uint64(len(v.rc))
+		delayed := uint64(0)
+		if v.space.delayed != nil {
+			delayed = uint64(v.space.delayed.count)
+			want += delayed
+		}
+		if got := v.bm.Used(); got != want {
+			w.violate(w.consViol,
+				"volume %q: bitmap used %d, refcounted %d + delayed %d — free blocks not conserved",
+				v.Name, got, len(v.rc), delayed)
+		}
+	}
+	for _, g := range ag.groups {
+		w.sampleGroup(ag, g)
+	}
+	for _, v := range ag.vols {
+		w.sampleSpace(v.space)
+	}
+	if ag.pool != nil {
+		w.sampleSpace(ag.pool.space)
+	}
+}

@@ -37,13 +37,38 @@ test -s "$tmpdir/bench.jsonl"
 
 # Benchmark-artifact smoke test: a tiny-scale artifact must collect, and
 # benchdiff comparing it against itself must report zero drift (exit 0) —
-# the regression gate's own sanity check.
+# the regression gate's own sanity check. The committed baseline is
+# auto-selected (highest-numbered BENCH_<n>.json) and must self-compare
+# clean too, proving the gate can read what the repo ships.
 go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
 "$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -scale 0.05 >/dev/null
 test -s "$tmpdir/BENCH_smoke.json"
 "$tmpdir/benchdiff" "$tmpdir/BENCH_smoke.json" "$tmpdir/BENCH_smoke.json"
+latest=$("$tmpdir/benchdiff" -print-latest)
+test -s "$latest"
+"$tmpdir/benchdiff" "$latest" "$latest"
 
 # Crash-recovery gate: crash at every CP phase × media fault at tiny scale;
 # the bench exits nonzero if any recovered AA cache silently disagrees with
 # the bitmap metafiles (see internal/faultinject and the mount-time scrub).
 "$tmpdir/waflbench" -faults matrix -scale 0.05 >/dev/null
+
+# Live-introspection smoke test: hold the live endpoints after a small run
+# and point wafltop -snapshot at them; it exits nonzero unless the embedded
+# time-series store serves nonzero per-CP series.
+go build -o "$tmpdir/wafltop" ./cmd/wafltop
+"$tmpdir/waflbench" -exp fig9 -scale 0.05 \
+    -metrics-addr 127.0.0.1:0 -hold 60s >"$tmpdir/live.out" 2>&1 &
+live_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^serving live endpoints at http://\([^ ]*\).*#\1#p' "$tmpdir/live.out")
+    if [ -n "$addr" ] && grep -q "completed in" "$tmpdir/live.out"; then
+        break
+    fi
+    sleep 0.2
+done
+test -n "$addr"
+"$tmpdir/wafltop" -addr "$addr" -snapshot
+kill "$live_pid" 2>/dev/null || true
+wait "$live_pid" 2>/dev/null || true
