@@ -6,7 +6,7 @@ SCALE ?= 1.0
 # `make bench-artifact` never clobbers a committed baseline by accident.
 BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench bench-artifact bench-diff live
+.PHONY: all build test verify bench benchpick bench-artifact bench-diff live
 
 all: build
 
@@ -24,6 +24,11 @@ verify:
 # Full go-bench figure suite (see bench_test.go).
 bench:
 	WAFL_BENCH_SCALE=$(SCALE) go test -bench . -benchtime 1x -run '^$$'
+
+# Allocator pick-path microbenchmark: striped vs shared, modeled contention.
+# Exits nonzero if the striped arm is not faster at 8 workers.
+benchpick:
+	go run ./cmd/waflbench -pickbench -scale $(SCALE)
 
 # Regenerate the benchmark artifact at full scale into the next unused
 # BENCH_<n>.json and gate it against the newest previously committed one.

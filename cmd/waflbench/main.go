@@ -9,7 +9,8 @@
 //	waflbench [-exp fig6|fig7|fig8|fig9|fig10|all] [-scale 1.0] [-seed 42]
 //	          [-parallel N] [-cpuprofile f] [-memprofile f]
 //	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
-//	          [-bench-json BENCH_n.json] [-faults matrix|<plan-spec>]
+//	          [-trace-collapse f.folded] [-bench-json BENCH_n.json]
+//	          [-faults matrix|<plan-spec>] [-pickbench]
 //
 // -faults runs the crash-recovery harness instead of a figure: "matrix"
 // sweeps a crash at every CP phase × media fault kind and exits nonzero if
@@ -36,8 +37,16 @@
 // online invariant watchdogs are armed whenever the endpoints are up.
 // -hold keeps the endpoints serving after the run finishes (for cmd/wafltop
 // or a browser), -csv-out appends one row per metric per consistency point
-// per arm, and -trace-out writes the canonical CP-phase / allocator event
-// sequence as JSON Lines.
+// per arm, -trace-out writes the canonical CP-phase / allocator event
+// sequence as JSON Lines, and -trace-collapse folds the same timed spans
+// into collapsed-stack format (one "sys;phase;name <count>" line per unique
+// stack, flamegraph.pl-compatible).
+//
+// -pickbench runs the striped-vs-shared allocator pick-path microbenchmark
+// (see internal/experiments.RunAllocBench) and exits nonzero if the striped
+// arm's modeled pick wall-clock at 8 workers is not strictly faster than the
+// shared arm's — a cheap CI guard that the sharded hot path keeps paying for
+// itself.
 //
 // Absolute numbers are simulation-scale; the comparisons (who wins, by what
 // factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
@@ -95,6 +104,10 @@ func main() {
 		"keep the live endpoints serving for this long after the run finishes (requires -metrics-addr)")
 	csvOut := flag.String("csv-out", "", "write per-CP metric rows to this CSV file")
 	traceOut := flag.String("trace-out", "", "write the CP-phase/allocator trace to this JSON Lines file")
+	traceCollapse := flag.String("trace-collapse", "",
+		"fold the CP-phase trace spans into collapsed-stack format (sys;phase;name count) and write them to this file (flamegraph.pl-compatible)")
+	pickbench := flag.Bool("pickbench", false,
+		"run the striped-vs-shared allocator pick-path microbenchmark and exit 1 if the striped arm is not faster at 8 workers (modeled); overrides -exp")
 	benchJSON := flag.String("bench-json", "",
 		"run the canonical fig6-fig10 + microbench suite and write a schema-versioned benchmark artifact (BENCH_<n>.json) to this file; overrides -exp")
 	faults := flag.String("faults", "",
@@ -157,7 +170,7 @@ func main() {
 		tsStore *tsdb.Store
 		pickRec *picks.Recorder
 	)
-	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" {
+	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" {
 		export = obs.NewRegistry()
 		sink := &experiments.ObsSink{Export: export}
 		if *metricsAddr != "" {
@@ -173,7 +186,7 @@ func main() {
 			sink.Picks = pickRec
 			sink.Watchdogs = true
 		}
-		if *traceOut != "" {
+		if *traceOut != "" || *traceCollapse != "" {
 			tracer = obs.NewTracer()
 			sink.Tracer = tracer
 		}
@@ -229,7 +242,15 @@ func main() {
 		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/pprof)\n\n", ln.Addr())
 	}
 
-	if *faults != "" {
+	if *pickbench {
+		ab := experiments.RunAllocBench(cfg, os.Stdout)
+		if ab.Striped.Wall[8] >= ab.Shared.Wall[8] {
+			fmt.Fprintf(os.Stderr,
+				"pickbench: striped pick path not faster at 8 workers (striped %v >= shared %v)\n",
+				ab.Striped.Wall[8], ab.Shared.Wall[8])
+			os.Exit(1)
+		}
+	} else if *faults != "" {
 		if err := runFaults(cfg, *faults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -270,7 +291,7 @@ func main() {
 		time.Sleep(*hold)
 	}
 
-	if err := finishObs(metricsURL, srv, tracer, *traceOut, csvRec, csvFile); err != nil {
+	if err := finishObs(metricsURL, srv, tracer, *traceOut, *traceCollapse, csvRec, csvFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -313,7 +334,7 @@ func runFaults(cfg experiments.Config, mode string) error {
 // HTTP client), flushes the trace file with a phase-duration digest, and
 // closes the CSV stream. Any failure is reported as a run failure.
 func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
-	traceOut string, csvRec *obs.CSVRecorder, csvFile *os.File) error {
+	traceOut, traceCollapse string, csvRec *obs.CSVRecorder, csvFile *os.File) error {
 	if srv != nil {
 		resp, err := http.Get(metricsURL)
 		if err != nil {
@@ -330,7 +351,7 @@ func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
 		fmt.Printf("metrics self-check ok: %d bytes from %s\n", len(body), metricsURL)
 		srv.Close()
 	}
-	if tracer != nil {
+	if tracer != nil && traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
 			return err
@@ -354,6 +375,21 @@ func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
 			len(evs), traceOut, sum.N(),
 			time.Duration(sum.Percentile(50)).Round(time.Microsecond),
 			time.Duration(sum.Percentile(95)).Round(time.Microsecond))
+	}
+	if tracer != nil && traceCollapse != "" {
+		f, err := os.Create(traceCollapse)
+		if err != nil {
+			return err
+		}
+		stacks, err := obs.WriteCollapsed(f, tracer.Events())
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace-collapse: %d stacks to %s\n", stacks, traceCollapse)
 	}
 	if csvRec != nil {
 		if err := csvRec.Flush(); err != nil {

@@ -170,7 +170,7 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 	})
 	if len(pk.Spaces) > 0 {
 		fmt.Fprintf(w, "\n%-28s %10s %9s %9s %9s %9s %9s\n",
-			"picks by space", "recorded", "hit%", "refill%", "fallback%", "dropped", "")
+			"picks by space", "recorded", "hit%", "shard%", "refill%", "fallback%", "dropped")
 		shown := pk.Spaces
 		if len(shown) > 12 {
 			shown = shown[:12]
@@ -187,10 +187,10 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 				}
 				return 100 * float64(n) / tot
 			}
-			fmt.Fprintf(w, "%-28s %10d %8.1f%% %8.1f%% %8.1f%% %9d\n",
+			fmt.Fprintf(w, "%-28s %10d %8.1f%% %8.1f%% %8.1f%% %8.1f%% %9d\n",
 				sp.Space, sp.Recorded,
-				pct("heap_top", "hbps_bin"), pct("refill"), pct("bitmap_fallback"),
-				sp.Dropped)
+				pct("heap_top", "hbps_bin"), pct("shard_local"),
+				pct("refill"), pct("bitmap_fallback"), sp.Dropped)
 		}
 		if len(pk.Spaces) > len(shown) {
 			fmt.Fprintf(w, "  … and %d more spaces\n", len(pk.Spaces)-len(shown))

@@ -110,6 +110,22 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 
 	microMetrics(cfg, &art, w)
 
+	// Striped-allocator pick throughput (modeled): the shared arm gains
+	// nothing from workers, the striped arm's shard-local picks spread.
+	ab := RunAllocBench(cfg, w)
+	for _, width := range allocBenchWidths {
+		art.Add(fmt.Sprintf("alloc.picks_per_sec.w%d", width), ab.Striped.PicksPerSec(width), "picks/s", 0.15)
+	}
+	art.Add("alloc.shared_picks_per_sec.w8", ab.Shared.PicksPerSec(8), "picks/s", 0.15)
+	if w8 := ab.Striped.Wall[8]; w8 > 0 {
+		art.Add("alloc.speedup_w8", float64(ab.Shared.Wall[8])/float64(w8), "x", 0.20)
+	}
+	art.Add("alloc.stalls", float64(ab.Striped.Stalls), "count", 0.25)
+	art.Add("alloc.staged_entries", float64(ab.Striped.Staged), "count", 0.25)
+	if ab.Striped.Picks > 0 {
+		art.Add("alloc.shard_local_frac", float64(ab.Striped.LocalPicks)/float64(ab.Striped.Picks), "frac", 0.15)
+	}
+
 	// Fragscan allocation-quality summaries, one set per space stream.
 	// fig10's sweeps mount dozens of tiny systems; their streams stay in
 	// the recorder but are skipped here to bound artifact size.
@@ -147,16 +163,25 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// Watchdog audit across every arm (fig10 sweeps and the crash matrix
 	// included): checks must have run, and violations are a hard failure —
 	// an artifact collected over corrupted caches is worthless as a baseline.
-	var wdChecks, wdViolations uint64
+	// The allocbench arms' checks are counted under their own metric: the
+	// baseline's tolerance band wins during comparison, so folding newly
+	// added arms into the legacy sum would read as drift against every
+	// previously committed artifact. Violations stay global.
+	var wdChecks, allocChecks, wdViolations uint64
 	for _, m := range cfg.Obs.Export.StableSnapshot().Metrics {
 		switch {
 		case strings.HasSuffix(m.Name, ".watchdog.checks"):
-			wdChecks += m.Value
+			if strings.HasPrefix(m.Name, "alloc_") {
+				allocChecks += m.Value
+			} else {
+				wdChecks += m.Value
+			}
 		case strings.HasSuffix(m.Name, ".watchdog.violations"):
 			wdViolations += m.Value
 		}
 	}
 	art.Add("watchdog.checks", float64(wdChecks), "count", 0.25)
+	art.Add("watchdog.alloc_checks", float64(allocChecks), "count", 0.25)
 	art.Add("watchdog.violations", float64(wdViolations), "count", 0.001)
 	if wdChecks == 0 {
 		return art, fmt.Errorf("experiments: watchdogs armed but performed no checks")

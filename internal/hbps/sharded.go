@@ -1,0 +1,223 @@
+package hbps
+
+import "waflfs/internal/aa"
+
+// Sharded stripes an HBPS's partial-sorted list into per-shard pick queues
+// so steady-state virtual-space picks touch only shard-local state. Each
+// shard owns a bounded FIFO queue of AA IDs staged off the shared list in
+// near-best batches, plus one standby batch a refill pipeline fills ahead
+// of exhaustion: when the queue drains, the standby batch swaps in without
+// touching the shared list on the pick path.
+//
+// Held IDs are popped off the shared list (PopBest keeps them
+// histogram-tracked, exactly like a classic pick), so the HBPS histogram
+// invariants are untouched. The CP-boundary fold may re-list a held ID via
+// a bin migration; Stage skips already-held IDs so nothing is ever queued
+// twice — the skip itself unlists the duplicate, which is the same
+// consume-on-pop semantics a classic pick applies.
+//
+// The staged near-best window widens from one bin (the paper's §3.3.2
+// bound for a single popper) to roughly shards×batch list positions; the
+// queues are short and refilled from the best listed bins, so picks stay
+// near-best in the same sense while becoming contention-free.
+//
+// Sharded is deterministic and, like HBPS, not safe for concurrent use:
+// callers drive it from one goroutine with a fixed pick→shard assignment.
+type Sharded struct {
+	shared *HBPS
+	shards int
+	batch  int
+	low    int
+
+	queues [][]aa.ID
+	staged [][]aa.ID
+	held   map[aa.ID]bool
+
+	m ShardedMetrics
+}
+
+// ShardedMetrics counts shard-queue traffic since construction.
+type ShardedMetrics struct {
+	// LocalPops counts picks served from a shard queue.
+	LocalPops uint64
+	// Staged counts IDs moved shared→standby by Stage.
+	Staged uint64
+	// StageCalls counts Stage invocations.
+	StageCalls uint64
+	// Swaps counts standby batches swapped in when a queue drained.
+	Swaps uint64
+	// DupSkips counts already-held IDs Stage popped and discarded (the
+	// CP fold re-listed them while a shard still held them).
+	DupSkips uint64
+	// Flushes counts IDs dropped back to the tracked-but-unlisted state by
+	// FlushAll (a rebalance when one shard ran dry while others hoarded).
+	Flushes uint64
+}
+
+// NewSharded wraps shared with n per-shard queues of at most batch IDs each
+// and stages every shard's initial batch immediately. Construction-time
+// staging is setup cost; callers charge only the staging they invoke.
+func NewSharded(shared *HBPS, n, batch int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	s := &Sharded{
+		shared: shared,
+		shards: n,
+		batch:  batch,
+		low:    batch / 2,
+		queues: make([][]aa.ID, n),
+		staged: make([][]aa.ID, n),
+		held:   make(map[aa.ID]bool),
+	}
+	for i := 0; i < n; i++ {
+		for len(s.queues[i]) < batch {
+			id, ok := s.popFresh(nil)
+			if !ok {
+				break
+			}
+			s.queues[i] = append(s.queues[i], id)
+		}
+	}
+	return s
+}
+
+// popFresh pops the shared list until it yields an ID no shard holds,
+// discarding (and counting) duplicates the CP fold re-listed. skip lets the
+// caller exclude further IDs (e.g. the space's in-flight cursor AA).
+func (s *Sharded) popFresh(skip func(aa.ID) bool) (aa.ID, bool) {
+	for {
+		id, ok := s.shared.PopBest()
+		if !ok {
+			return 0, false
+		}
+		if s.held[id] || (skip != nil && skip(id)) {
+			s.m.DupSkips++
+			continue
+		}
+		s.held[id] = true
+		return id, true
+	}
+}
+
+// Shards returns the stripe width.
+func (s *Sharded) Shards() int { return s.shards }
+
+// Metrics returns a copy of the traffic counters.
+func (s *Sharded) Metrics() ShardedMetrics { return s.m }
+
+// Pop removes and returns the shard's next held ID, swapping the standby
+// batch in when the queue has drained. Reports false only when both are
+// empty, signalling the caller to refill synchronously (a stall).
+func (s *Sharded) Pop(shard int) (aa.ID, bool) {
+	if len(s.queues[shard]) == 0 && len(s.staged[shard]) > 0 {
+		s.queues[shard], s.staged[shard] = s.staged[shard], nil
+		s.m.Swaps++
+	}
+	q := s.queues[shard]
+	if len(q) == 0 {
+		return 0, false
+	}
+	id := q[0]
+	s.queues[shard] = q[1:]
+	delete(s.held, id)
+	s.m.LocalPops++
+	return id, true
+}
+
+// Low reports whether the shard should be refilled ahead of exhaustion: no
+// standby batch and the queue at or below half a batch.
+func (s *Sharded) Low(shard int) bool {
+	return len(s.staged[shard]) == 0 && len(s.queues[shard]) <= s.low
+}
+
+// Stage tops the shard's standby batch up to batch IDs off the shared
+// list, skipping held duplicates and any ID skip rejects. Returns the
+// number of IDs staged.
+func (s *Sharded) Stage(shard int, skip func(aa.ID) bool) int {
+	n := 0
+	for len(s.staged[shard]) < s.batch {
+		id, ok := s.popFresh(skip)
+		if !ok {
+			break
+		}
+		s.staged[shard] = append(s.staged[shard], id)
+		n++
+	}
+	s.m.StageCalls++
+	s.m.Staged += uint64(n)
+	return n
+}
+
+// FlushAll empties every queue and the held set, returning each held ID to
+// the tracked-but-unlisted state — the same state a consumed pop leaves, so
+// the histogram census is untouched and the next replenish re-lists them.
+// Used to rebalance when one shard runs dry while others hoard IDs (shards
+// × batch can exceed the space's AA count). Returns IDs dropped.
+func (s *Sharded) FlushAll() int {
+	n := 0
+	for i := range s.queues {
+		n += len(s.queues[i]) + len(s.staged[i])
+		s.queues[i], s.staged[i] = nil, nil
+	}
+	for id := range s.held {
+		delete(s.held, id)
+	}
+	s.m.Flushes += uint64(n)
+	return n
+}
+
+// Len returns the number of IDs the shard holds (queue + standby).
+func (s *Sharded) Len(shard int) int {
+	return len(s.queues[shard]) + len(s.staged[shard])
+}
+
+// HeldCount returns the total IDs held across all shards.
+func (s *Sharded) HeldCount() int { return len(s.held) }
+
+// Holds reports whether any shard holds id.
+func (s *Sharded) Holds(id aa.ID) bool { return s.held[id] }
+
+// Each visits every held ID in shard order, queue before standby.
+func (s *Sharded) Each(yield func(shard int, id aa.ID)) {
+	for i := 0; i < s.shards; i++ {
+		for _, id := range s.queues[i] {
+			yield(i, id)
+		}
+		for _, id := range s.staged[i] {
+			yield(i, id)
+		}
+	}
+}
+
+// CheckInvariants validates the shard structures against the shared HBPS:
+// the held map matches the queues exactly, no ID is held twice, batch
+// bounds hold, and the shared HBPS's own invariants pass. (A held ID MAY be
+// re-listed by a CP-fold bin migration — Stage dup-skips it later.) Panics
+// on violation (test use).
+func (s *Sharded) CheckInvariants() {
+	seen := make(map[aa.ID]bool)
+	s.Each(func(_ int, id aa.ID) {
+		if seen[id] {
+			panic("hbps: sharded: ID held twice")
+		}
+		seen[id] = true
+		if !s.held[id] {
+			panic("hbps: sharded: queued ID missing from held map")
+		}
+	})
+	if len(seen) != len(s.held) {
+		panic("hbps: sharded: held map out of sync with queues")
+	}
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > s.batch || len(s.staged[i]) > s.batch {
+			panic("hbps: sharded: batch bound exceeded")
+		}
+	}
+	if err := s.shared.CheckInvariants(); err != nil {
+		panic("hbps: sharded: shared invariants: " + err.Error())
+	}
+}

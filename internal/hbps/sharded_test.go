@@ -1,0 +1,133 @@
+package hbps
+
+import (
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+func newShardedHBPS(t *testing.T, n int, shards, batch int) (*HBPS, *Sharded) {
+	t.Helper()
+	h := New(Config{MaxScore: 1024, BinWidth: 64, ListCap: 256})
+	for i := 0; i < n; i++ {
+		h.Track(aa.ID(i), uint32(1000-i))
+	}
+	s := NewSharded(h, shards, batch)
+	s.CheckInvariants()
+	return h, s
+}
+
+func TestShardedHBPSInitialStaging(t *testing.T) {
+	h, s := newShardedHBPS(t, 64, 4, 8)
+	if got := s.HeldCount(); got != 32 {
+		t.Fatalf("held %d after construction, want 32", got)
+	}
+	if got := h.ListLen(); got != 32 {
+		t.Fatalf("shared list has %d, want 32", got)
+	}
+	// Held IDs stay histogram-tracked but unlisted.
+	s.Each(func(_ int, id aa.ID) {
+		if h.Listed(id) {
+			t.Fatalf("held AA %d still listed", id)
+		}
+	})
+	if h.Total() != 64 {
+		t.Fatalf("histogram total %d, want 64 (pops keep tracking)", h.Total())
+	}
+}
+
+func TestShardedHBPSPopSwapStall(t *testing.T) {
+	_, s := newShardedHBPS(t, 64, 2, 4)
+	if s.Low(0) {
+		t.Fatal("full queue reported low")
+	}
+	s.Pop(0)
+	s.Pop(0)
+	if !s.Low(0) {
+		t.Fatal("half-drained queue not reported low")
+	}
+	if n := s.Stage(0, nil); n != 4 {
+		t.Fatalf("staged %d, want 4", n)
+	}
+	s.Pop(0)
+	s.Pop(0)
+	before := s.Metrics().Swaps
+	if _, ok := s.Pop(0); !ok {
+		t.Fatal("pop after drain failed despite standby batch")
+	}
+	if s.Metrics().Swaps != before+1 {
+		t.Fatalf("swaps %d, want %d", s.Metrics().Swaps, before+1)
+	}
+	// Exhaust shard 1 completely: stall.
+	for {
+		if _, ok := s.Pop(1); !ok {
+			break
+		}
+	}
+	if _, ok := s.Pop(1); ok {
+		t.Fatal("pop succeeded on exhausted shard")
+	}
+	s.CheckInvariants()
+}
+
+// A CP-boundary fold can re-list an ID a shard still holds (bin migration
+// re-lists unlisted IDs). Stage must discard the duplicate rather than
+// queue it twice.
+func TestShardedHBPSStageSkipsHeldDuplicates(t *testing.T) {
+	// batch 16 swallows the whole space into the queue, so the shared list
+	// is empty and every ID is held.
+	h, s := newShardedHBPS(t, 16, 1, 16)
+	if h.ListLen() != 0 {
+		t.Fatalf("setup: list still has %d", h.ListLen())
+	}
+	s.Pop(0) // consume the front so the queue is mid-CP realistic
+	// Re-list a still-held ID via a bin-migrating Update, as the CP fold
+	// would do after frees raised its score into another bin.
+	heldID := aa.ID(5)
+	if !s.Holds(heldID) {
+		t.Fatal("setup: AA 5 not held")
+	}
+	old := uint32(1000 - int(heldID))
+	h.Update(heldID, old, old-200) // crosses bins → tryList re-lists it
+	if !h.Listed(heldID) {
+		t.Fatalf("setup: AA %d not re-listed by Update", heldID)
+	}
+	before := s.Metrics().DupSkips
+	if n := s.Stage(0, nil); n != 0 {
+		t.Fatalf("staged %d IDs, want 0 — only the duplicate was listed", n)
+	}
+	if s.Metrics().DupSkips != before+1 {
+		t.Fatalf("dup skips %d, want %d", s.Metrics().DupSkips, before+1)
+	}
+	if h.Listed(heldID) {
+		t.Fatal("duplicate still listed after skip")
+	}
+	s.CheckInvariants()
+}
+
+func TestShardedHBPSStageSkipPredicate(t *testing.T) {
+	h, s := newShardedHBPS(t, 8, 1, 8)
+	// Everything is held after construction; re-list two IDs, one of which
+	// the predicate (modelling the in-flight cursor AA) excludes.
+	for _, id := range []aa.ID{6, 7} {
+		old := uint32(1000 - int(id))
+		// Pop them out of held first so they are legitimate restage fodder.
+		for {
+			got, ok := s.Pop(0)
+			if !ok {
+				break
+			}
+			_ = got
+		}
+		h.Update(id, old, old-300)
+	}
+	if h.ListLen() == 0 {
+		t.Fatal("setup: nothing listed")
+	}
+	cursor := aa.ID(6)
+	s.Stage(0, func(id aa.ID) bool { return id == cursor })
+	if s.Holds(cursor) {
+		t.Fatal("skip predicate ignored: cursor AA staged")
+	}
+	s.CheckInvariants()
+}

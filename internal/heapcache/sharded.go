@@ -1,0 +1,269 @@
+package heapcache
+
+import "waflfs/internal/aa"
+
+// Sharded stripes a Cache into per-shard pick queues so steady-state picks
+// touch only shard-local state. Each shard owns a bounded FIFO queue of
+// entries staged out of the shared heap in best-first batches, plus one
+// standby batch ("staged") that a refill pipeline fills ahead of
+// exhaustion: when the queue drains, the standby batch swaps in without
+// touching the shared heap on the pick path.
+//
+// Held entries (queued or staged) are popped out of the shared heap, so
+// they are untracked there and their scores are frozen at stage time. The
+// wafl layer's CP fold skips untracked IDs without deleting their pending
+// deltas, which preserves the scrub invariant for every held entry:
+//
+//	frozenScore == bitmapScore - pendingDelta
+//
+// because bitmap mutations and delta mutations always move together.
+//
+// Sharded is deterministic and, like Cache, not safe for concurrent use:
+// the shard index models a per-worker context, but callers drive it from
+// one goroutine with a fixed pick→shard assignment.
+type Sharded struct {
+	shared *Cache
+	shards int
+	batch  int
+	low    int
+
+	queues [][]Entry
+	staged [][]Entry
+
+	m ShardedMetrics
+}
+
+// ShardedMetrics counts shard-queue traffic since construction.
+type ShardedMetrics struct {
+	// LocalPops counts picks served from a shard queue.
+	LocalPops uint64
+	// Staged counts entries moved shared→standby by Stage.
+	Staged uint64
+	// StageCalls counts Stage invocations.
+	StageCalls uint64
+	// Swaps counts standby batches swapped in when a queue drained —
+	// each one is a refill that cost the pick path nothing.
+	Swaps uint64
+	// Flushes counts entries returned shared-ward by FlushShard.
+	Flushes uint64
+}
+
+// NewSharded wraps shared with n per-shard queues of at most batch entries
+// each and stages every shard's initial batch immediately, so the first
+// picks are already shard-local. Construction-time staging is setup cost;
+// callers charge only the staging they invoke.
+func NewSharded(shared *Cache, n, batch int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	s := &Sharded{
+		shared: shared,
+		shards: n,
+		batch:  batch,
+		low:    batch / 2,
+		queues: make([][]Entry, n),
+		staged: make([][]Entry, n),
+	}
+	for i := 0; i < n; i++ {
+		s.queues[i] = s.popBatch()
+	}
+	return s
+}
+
+// popBatch pops up to batch best entries from the shared heap. The batch is
+// descending by heap order, so the queue front is always the shard's best.
+func (s *Sharded) popBatch() []Entry {
+	var out []Entry
+	for len(out) < s.batch {
+		e, ok := s.shared.PopBest()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Shards returns the stripe width.
+func (s *Sharded) Shards() int { return s.shards }
+
+// Metrics returns a copy of the traffic counters.
+func (s *Sharded) Metrics() ShardedMetrics { return s.m }
+
+// Pop removes and returns the shard's best held entry. When the queue has
+// drained it swaps the standby batch in first; only if both are empty does
+// it report false, signalling the caller to refill synchronously (a stall).
+func (s *Sharded) Pop(shard int) (Entry, bool) {
+	if len(s.queues[shard]) == 0 && len(s.staged[shard]) > 0 {
+		s.queues[shard], s.staged[shard] = s.staged[shard], nil
+		s.m.Swaps++
+	}
+	q := s.queues[shard]
+	if len(q) == 0 {
+		return Entry{}, false
+	}
+	e := q[0]
+	s.queues[shard] = q[1:]
+	s.m.LocalPops++
+	return e, true
+}
+
+// Peek returns the shard's next entry without consuming it.
+func (s *Sharded) Peek(shard int) (Entry, bool) {
+	if q := s.queues[shard]; len(q) > 0 {
+		return q[0], true
+	}
+	if st := s.staged[shard]; len(st) > 0 {
+		return st[0], true
+	}
+	return Entry{}, false
+}
+
+// Low reports whether the shard should be refilled ahead of exhaustion: no
+// standby batch, queue at or below half a batch, and the shared heap still
+// has entries to stage.
+func (s *Sharded) Low(shard int) bool {
+	return len(s.staged[shard]) == 0 && len(s.queues[shard]) <= s.low && s.shared.Len() > 0
+}
+
+// Stage tops the shard's standby batch up to batch entries from the shared
+// heap, best-first, and returns the number of entries moved.
+func (s *Sharded) Stage(shard int) int {
+	n := 0
+	for len(s.staged[shard]) < s.batch {
+		e, ok := s.shared.PopBest()
+		if !ok {
+			break
+		}
+		s.staged[shard] = append(s.staged[shard], e)
+		n++
+	}
+	s.m.StageCalls++
+	s.m.Staged += uint64(n)
+	return n
+}
+
+// FlushShard returns every entry the shard holds to the shared heap at its
+// frozen score and returns the count. Used when the shard-local view goes
+// stale (a zero-score front) or a pass needs the shared heap complete.
+func (s *Sharded) FlushShard(shard int) int {
+	n := 0
+	for _, e := range s.queues[shard] {
+		s.shared.Insert(e.ID, e.Score)
+		n++
+	}
+	for _, e := range s.staged[shard] {
+		s.shared.Insert(e.ID, e.Score)
+		n++
+	}
+	s.queues[shard] = nil
+	s.staged[shard] = nil
+	s.m.Flushes += uint64(n)
+	return n
+}
+
+// FlushAll flushes every shard. Returns the total entries returned.
+func (s *Sharded) FlushAll() int {
+	n := 0
+	for i := 0; i < s.shards; i++ {
+		n += s.FlushShard(i)
+	}
+	return n
+}
+
+// Len returns the number of entries the shard holds (queue + standby).
+func (s *Sharded) Len(shard int) int {
+	return len(s.queues[shard]) + len(s.staged[shard])
+}
+
+// HeldCount returns the total entries held across all shards.
+func (s *Sharded) HeldCount() int {
+	n := 0
+	for i := 0; i < s.shards; i++ {
+		n += s.Len(i)
+	}
+	return n
+}
+
+// Holds reports whether any shard holds id.
+func (s *Sharded) Holds(id aa.ID) bool {
+	for i := 0; i < s.shards; i++ {
+		for _, e := range s.queues[i] {
+			if e.ID == id {
+				return true
+			}
+		}
+		for _, e := range s.staged[i] {
+			if e.ID == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Each visits every held entry in shard order, queue before standby.
+func (s *Sharded) Each(yield func(shard int, e Entry)) {
+	for i := 0; i < s.shards; i++ {
+		for _, e := range s.queues[i] {
+			yield(i, e)
+		}
+		for _, e := range s.staged[i] {
+			yield(i, e)
+		}
+	}
+}
+
+// Best returns the best entry across every shard and the shared heap. The
+// held set is bounded by 2×batch×shards, so a full scan stays cheap.
+func (s *Sharded) Best() (Entry, bool) {
+	best, ok := s.shared.Best()
+	s.Each(func(_ int, e Entry) {
+		if !ok || higher(e, best) {
+			best, ok = e, true
+		}
+	})
+	return best, ok
+}
+
+// TamperHeldScore is a fault-injection hook for watchdog tests: it adds
+// delta to the frozen score of the first held entry and reports whether an
+// entry was found. Production code never calls it.
+func (s *Sharded) TamperHeldScore(delta int64) bool {
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > 0 {
+			s.queues[i][0].Score = uint64(int64(s.queues[i][0].Score) + delta)
+			return true
+		}
+		if len(s.staged[i]) > 0 {
+			s.staged[i][0].Score = uint64(int64(s.staged[i][0].Score) + delta)
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants validates the shard structures: no entry held twice, no
+// held entry still tracked in the shared heap, batch bounds respected, and
+// the shared heap's own invariants. Panics on violation (test use).
+func (s *Sharded) CheckInvariants() {
+	seen := make(map[aa.ID]bool)
+	s.Each(func(shard int, e Entry) {
+		if seen[e.ID] {
+			panic("heapcache: sharded: entry held twice")
+		}
+		seen[e.ID] = true
+		if s.shared.Tracked(e.ID) {
+			panic("heapcache: sharded: held entry still tracked in shared heap")
+		}
+	})
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > s.batch || len(s.staged[i]) > s.batch {
+			panic("heapcache: sharded: batch bound exceeded")
+		}
+	}
+	s.shared.CheckInvariants()
+}

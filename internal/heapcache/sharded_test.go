@@ -1,0 +1,156 @@
+package heapcache
+
+import (
+	"testing"
+
+	"waflfs/internal/aa"
+)
+
+func newShardedFixture(t *testing.T, n int, shards, batch int) (*Cache, *Sharded) {
+	t.Helper()
+	scores := make([]uint64, n)
+	for i := range scores {
+		scores[i] = uint64(1000 - i) // descending: best is ID 0
+	}
+	c := NewFromScores(scores)
+	s := NewSharded(c, shards, batch)
+	s.CheckInvariants()
+	return c, s
+}
+
+func TestShardedInitialStaging(t *testing.T) {
+	c, s := newShardedFixture(t, 64, 4, 8)
+	if got := s.HeldCount(); got != 32 {
+		t.Fatalf("held %d entries after construction, want 32", got)
+	}
+	if got := c.Len(); got != 32 {
+		t.Fatalf("shared heap holds %d, want 32", got)
+	}
+	// Initial batches are dealt best-first shard by shard: shard 0 gets the
+	// global best.
+	e, ok := s.Peek(0)
+	if !ok || e.ID != 0 || e.Score != 1000 {
+		t.Fatalf("shard 0 front = %+v,%v, want ID 0 score 1000", e, ok)
+	}
+	// Every held ID must be untracked in the shared heap.
+	s.Each(func(_ int, e Entry) {
+		if c.Tracked(e.ID) {
+			t.Fatalf("held AA %d still tracked in shared heap", e.ID)
+		}
+	})
+}
+
+func TestShardedPopIsQueueOrdered(t *testing.T) {
+	_, s := newShardedFixture(t, 64, 2, 4)
+	var last uint64 = 1 << 62
+	for i := 0; i < 4; i++ {
+		e, ok := s.Pop(0)
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if e.Score > last {
+			t.Fatalf("pop %d: score %d rose above %d — batch not best-first", i, e.Score, last)
+		}
+		last = e.Score
+	}
+	s.CheckInvariants()
+}
+
+func TestShardedSwapHidesRefill(t *testing.T) {
+	_, s := newShardedFixture(t, 64, 2, 4)
+	// Stage a standby batch, then drain the queue: the next pop must swap
+	// the standby batch in rather than fail.
+	if n := s.Stage(0); n != 4 {
+		t.Fatalf("staged %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Pop(0); !ok {
+			t.Fatalf("queue pop %d failed", i)
+		}
+	}
+	before := s.Metrics().Swaps
+	e, ok := s.Pop(0)
+	if !ok {
+		t.Fatal("pop after drain failed despite standby batch")
+	}
+	if s.Metrics().Swaps != before+1 {
+		t.Fatalf("swap count %d, want %d", s.Metrics().Swaps, before+1)
+	}
+	if e.Score == 0 {
+		t.Fatalf("swapped-in front has zero score: %+v", e)
+	}
+	s.CheckInvariants()
+}
+
+func TestShardedLowAndStall(t *testing.T) {
+	_, s := newShardedFixture(t, 64, 2, 4)
+	if s.Low(0) {
+		t.Fatal("full queue reported low")
+	}
+	s.Pop(0)
+	s.Pop(0)
+	if !s.Low(0) { // 2 left == batch/2, no standby
+		t.Fatal("half-drained queue with no standby not reported low")
+	}
+	s.Stage(0)
+	if s.Low(0) {
+		t.Fatal("queue with standby batch reported low")
+	}
+	// Exhaust queue + standby: Pop must finally report a stall.
+	for {
+		if _, ok := s.Pop(1); !ok {
+			break
+		}
+	}
+	if _, ok := s.Pop(1); ok {
+		t.Fatal("pop succeeded on exhausted shard")
+	}
+	s.CheckInvariants()
+}
+
+func TestShardedFlushRestoresShared(t *testing.T) {
+	c, s := newShardedFixture(t, 32, 4, 4)
+	held := s.HeldCount()
+	if n := s.FlushAll(); n != held {
+		t.Fatalf("flushed %d, want %d", n, held)
+	}
+	if c.Len() != 32 {
+		t.Fatalf("shared heap has %d after flush, want 32", c.Len())
+	}
+	if s.HeldCount() != 0 {
+		t.Fatal("entries still held after FlushAll")
+	}
+	// Frozen scores were preserved.
+	for id := aa.ID(0); id < 32; id++ {
+		if got := c.Score(id); got != uint64(1000-int(id)) {
+			t.Fatalf("AA %d score %d after flush, want %d", id, got, 1000-int(id))
+		}
+	}
+	s.CheckInvariants()
+}
+
+func TestShardedBestSpansHeldAndShared(t *testing.T) {
+	_, s := newShardedFixture(t, 64, 4, 8)
+	e, ok := s.Best()
+	if !ok || e.ID != 0 {
+		t.Fatalf("Best = %+v,%v, want global best ID 0", e, ok)
+	}
+	// Consume the best few; Best must keep tracking the true max.
+	s.Pop(0)
+	e, ok = s.Best()
+	if !ok || e.Score != 999 {
+		t.Fatalf("Best after pop = %+v,%v, want score 999", e, ok)
+	}
+}
+
+func TestShardedTamperBreaksInvariant(t *testing.T) {
+	c, s := newShardedFixture(t, 16, 2, 4)
+	if !s.TamperHeldScore(+7) {
+		t.Fatal("tamper found no held entry")
+	}
+	e, _ := s.Peek(0)
+	if e.Score != 1007 {
+		t.Fatalf("tampered front score %d, want 1007", e.Score)
+	}
+	_ = c
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteCollapsed folds timed trace spans into the collapsed-stack format
+// consumed by standard flamegraph tooling (flamegraph.pl, speedscope,
+// inferno): one "frame1;frame2;... value" line per unique stack, values in
+// nanoseconds of modeled time. The synthetic stack is Sys;Phase;Name, so a
+// flamegraph shows modeled CP time split by arm, then phase, then event
+// kind. Point events (Dur == 0) carry no time and are skipped; lines are
+// sorted for byte-stable output. Returns the number of stacks written.
+func WriteCollapsed(w io.Writer, events []Event) (int, error) {
+	agg := make(map[string]time.Duration)
+	for _, ev := range events {
+		if ev.Dur <= 0 {
+			continue
+		}
+		agg[ev.Sys+";"+ev.Phase+";"+ev.Name] += ev.Dur
+	}
+	stacks := make([]string, 0, len(agg))
+	for s := range agg {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	for _, s := range stacks {
+		if _, err := fmt.Fprintf(w, "%s %d\n", s, agg[s].Nanoseconds()); err != nil {
+			return 0, err
+		}
+	}
+	return len(stacks), nil
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCollapsed(t *testing.T) {
+	events := []Event{
+		{Sys: "arm", Phase: "cp.flush", Name: "group_flush", Dur: 100 * time.Nanosecond},
+		{Sys: "arm", Phase: "cp.flush", Name: "group_flush", Dur: 50 * time.Nanosecond},
+		{Sys: "arm", Phase: "cp.fold", Name: "hbps_updates", Dur: 25 * time.Nanosecond},
+		{Sys: "arm", Phase: "alloc.phys", Name: "cache_hit"}, // point event: skipped
+		{Sys: "base", Phase: "cp.flush", Name: "group_flush", Dur: 10 * time.Nanosecond},
+	}
+	var sb strings.Builder
+	n, err := WriteCollapsed(&sb, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d stacks, want 3", n)
+	}
+	want := "arm;cp.flush;group_flush 150\narm;cp.fold;hbps_updates 25\nbase;cp.flush;group_flush 10\n"
+	if sb.String() != want {
+		t.Fatalf("collapsed output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+
+	// Determinism: same events, permuted, must serialize identically.
+	perm := []Event{events[4], events[2], events[0], events[3], events[1]}
+	var sb2 strings.Builder
+	if _, err := WriteCollapsed(&sb2, perm); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Fatal("collapsed output depends on event order")
+	}
+}

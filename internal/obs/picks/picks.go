@@ -36,11 +36,14 @@ const (
 	// BitmapFallback: caching disabled; the pick came from a random/linear
 	// bitmap scan (the paper's baseline).
 	BitmapFallback Reason = "bitmap_fallback"
+	// ShardLocal: served from a per-worker shard queue without touching the
+	// shared heap/HBPS — the striped allocator's contention-free fast path.
+	ShardLocal Reason = "shard_local"
 )
 
 // Reasons returns every Reason in fixed order.
 func Reasons() []Reason {
-	return []Reason{HeapTop, HBPSBin, Refill, BitmapFallback}
+	return []Reason{HeapTop, HBPSBin, Refill, BitmapFallback, ShardLocal}
 }
 
 // PickRecord is one allocation decision.
@@ -211,7 +214,7 @@ type Ring struct {
 	head    int          // index of the oldest record once full
 	seq     uint64       // total records ever (next Seq - 1)
 	dropped uint64
-	reasons [4]uint64 // indexed parallel to Reasons()
+	reasons [5]uint64 // indexed parallel to Reasons()
 }
 
 func reasonIndex(reason Reason) int {
@@ -222,6 +225,8 @@ func reasonIndex(reason Reason) int {
 		return 1
 	case Refill:
 		return 2
+	case ShardLocal:
+		return 4
 	default:
 		return 3
 	}

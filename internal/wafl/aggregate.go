@@ -511,6 +511,9 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 			g.seedOnly = false
 			groupStats[i].inserts += uint64(len(scores))
 		}
+		// The cache object was replaced (or rebuilt): the shard queues hold
+		// pointers into the old one and all pre-crash ledger state is gone.
+		g.resetShardCache()
 		groupStats[i].outcome = outcome
 		ag.st.Emit("mount.group", i, outcome.String(), 0, int64(groupStats[i].inserts))
 	})
@@ -553,6 +556,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 			sp.replenish()
 			spaceStats[i].inserts += uint64(sp.topo.NumAAs())
 		}
+		sp.resetShardCache()
 		spaceStats[i].outcome = outcome
 		ag.st.Emit("mount.space", sp.shard, outcome.String(), 0, int64(spaceStats[i].inserts))
 	})
@@ -589,6 +593,9 @@ func (ag *Aggregate) CompleteBackgroundFill() uint64 {
 			if g.curValid && aa.ID(id) == g.curAA {
 				continue // held by the allocator; reinserted at finishAA
 			}
+			if g.sh != nil && g.sh.Holds(aa.ID(id)) {
+				continue // staged in a shard queue at its frozen seed score
+			}
 			if !g.cache.Tracked(aa.ID(id)) {
 				g.cache.Insert(aa.ID(id), scores[id])
 				// The bitmap score already reflects any deltas that were
@@ -615,7 +622,11 @@ func (ag *Aggregate) RepairTopAA() int {
 		g.cache = heapcache.NewFromScores(scores)
 		g.seedOnly = false
 		g.deltas = make(map[aa.ID]int64)
-		if err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache); err != nil {
+		err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
+		// Rebuild the shard queues around the repaired cache after the save,
+		// so the metafile holds the complete score set.
+		g.resetShardCache()
+		if err != nil {
 			// Bitmap-derived scores always fit the encoding; an error here
 			// would mean the topology itself is unencodable, which the
 			// builders reject. Keep going: the space stays on bitmap walks.
@@ -636,6 +647,7 @@ func (ag *Aggregate) RepairTopAA() int {
 	for i, sp := range spaces {
 		sp.replenish()
 		ag.store.SaveAgnostic(names[i], sp.cache)
+		sp.resetShardCache()
 		repaired++
 	}
 	return repaired

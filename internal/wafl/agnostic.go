@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
@@ -26,6 +27,12 @@ type agnosticSpace struct {
 	cache        *hbps.HBPS
 	cacheEnabled bool
 	workers      int // fan-out knob for replenish walks (Tunables.Workers)
+
+	// Striped allocator hot path (AllocShards > 1, see allocctx.go): sh
+	// stripes the HBPS list into per-shard pick queues; as holds the shard
+	// ledgers and the modeled busy vectors. sh is nil on the classic path.
+	sh *hbps.Sharded
+	as *allocState
 
 	// Allocation cursor within the current AA.
 	curAA    aa.ID
@@ -67,13 +74,14 @@ type agnosticSpace struct {
 	wdCursor int
 }
 
-func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled bool, rng *rand.Rand, workers int) *agnosticSpace {
+func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, tun Tunables, enabled bool, rng *rand.Rand) *agnosticSpace {
 	s := &agnosticSpace{
 		name:         name,
 		topo:         aa.NewLinearDefault(space),
 		bm:           bm,
 		cacheEnabled: enabled,
-		workers:      workers,
+		workers:      tun.Workers,
+		as:           newAllocState(tun),
 		deltas:       make(map[aa.ID]int64),
 		rng:          rng,
 	}
@@ -82,8 +90,25 @@ func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, enabled
 	for id := 0; id < s.topo.NumAAs(); id++ {
 		s.cache.Track(aa.ID(id), s.aaScore(aa.ID(id)))
 	}
+	s.resetShardCache()
 	return s
 }
+
+// resetShardCache (re)builds the shard queues around the current HBPS
+// object and drops all ledger state. Called wherever the cache is replaced
+// or rebuilt wholesale (fresh build, remount, repair).
+func (s *agnosticSpace) resetShardCache() {
+	s.as.clearLedgers()
+	if s.as.sharded() && s.cacheEnabled {
+		s.sh = hbps.NewSharded(s.cache, s.as.shards, s.as.batch)
+	} else {
+		s.sh = nil
+	}
+}
+
+// pendingDelta is the total pending score delta for id: the shared map
+// plus every shard ledger (the quantity the scrub invariant subtracts).
+func (s *agnosticSpace) pendingDelta(id aa.ID) int64 { return s.as.pending(id, s.deltas) }
 
 func (s *agnosticSpace) aaScore(id aa.ID) uint32 {
 	return uint32(aa.Score(s.topo, s.bm, id))
@@ -92,6 +117,9 @@ func (s *agnosticSpace) aaScore(id aa.ID) uint32 {
 // pick selects the next AA: HBPS pop when enabled (replenishing from a
 // bitmap walk if the list has run dry), uniformly random otherwise.
 func (s *agnosticSpace) pick() bool {
+	if s.sh != nil {
+		return s.pickSharded()
+	}
 	var id aa.ID
 	if s.cacheEnabled {
 		reason := picks.HBPSBin
@@ -118,6 +146,8 @@ func (s *agnosticSpace) pick() bool {
 			}
 		}
 		s.cacheOps++
+		s.as.picks++
+		s.as.pickBusy[0] += s.as.opCost // shared critical section: one vector
 		id = got
 		if s.st != nil { // score recomputation is pure popcount; skip when off
 			s.st.Emit("alloc.virt", s.shard, "hbps_pop", 0, int64(s.aaScore(id)))
@@ -170,6 +200,96 @@ func (s *agnosticSpace) pick() bool {
 	return true
 }
 
+// pickSharded is the striped pick path: pop the fixed shard's queue front,
+// staging ahead of exhaustion so refills — including the background bitmap
+// rescan when the shared list runs dry — hide behind ongoing picks. The
+// shard assignment is seq%shards, worker-independent, so the pick stream
+// is bit-identical at any worker width.
+func (s *agnosticSpace) pickSharded() bool {
+	as := s.as
+	shard := as.nextShard()
+	reason := picks.ShardLocal
+	id, ok := s.sh.Pop(shard)
+	if !ok {
+		// Stall: queue and standby batch are both dry. Refill synchronously;
+		// this cost serializes, unlike pipelined staging.
+		reason = picks.Refill
+		as.stalls++
+		n := s.stageShard(shard)
+		as.stallBusy += time.Duration(n+1) * as.opCost
+		if id, ok = s.sh.Pop(shard); !ok {
+			// The shared list is dry, but other shards may still hoard IDs
+			// (shards × batch can exceed the space's AA count). Rebalance:
+			// drop every held ID back to tracked-but-unlisted and restage —
+			// the replenish inside stageShard re-lists them.
+			if s.sh.HeldCount() > 0 {
+				n = s.sh.FlushAll()
+				n += s.stageShard(shard)
+				as.stallBusy += time.Duration(n) * as.opCost
+				id, ok = s.sh.Pop(shard)
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	s.cacheOps++
+	as.picks++
+	if reason == picks.ShardLocal {
+		as.localPicks++
+	}
+	as.pickBusy[shard] += as.opCost
+	if s.st != nil { // score recomputation is pure popcount; skip when off
+		s.st.Emit("alloc.virt", s.shard, "shard_pop", 0, int64(s.aaScore(id)))
+	}
+	if s.wd != nil && s.wd.enabled {
+		// The staged near-best window spans shards×batch list positions, so
+		// there is no single claimed bin to verify; the non-negative-score
+		// floor still holds (claimed < 0 skips the bin comparison).
+		s.wd.pickCheckSpace(s, id, -1)
+	}
+	if s.pr != nil {
+		s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), -1, s.sh.Len(shard)+s.cache.ListLen(), reason)
+	}
+	// Pipelined refill: stage the next batch while the current one still
+	// serves picks, so the eventual drain swaps in without stalling.
+	if s.sh.Low(shard) {
+		n := s.sh.Stage(shard, s.stageSkip)
+		s.cacheOps += uint64(n)
+		as.staged += uint64(n)
+		as.refillBusy += time.Duration(n) * as.opCost
+	}
+	as.curShard = shard
+	s.curAA = id
+	s.curValid = true
+	seg := s.topo.Segments(id)[0]
+	s.cursor = seg.Start
+	s.pickedScoreSum += float64(s.aaScore(id)) / float64(seg.Len())
+	s.pickedCount++
+	return true
+}
+
+// stageSkip keeps the in-flight cursor AA out of the shard queues: the CP
+// fold or a replenish may re-list it mid-consumption, and queueing it would
+// double-pick it.
+func (s *agnosticSpace) stageSkip(id aa.ID) bool {
+	return s.curValid && id == s.curAA
+}
+
+// stageShard refills the shard's standby batch off the shared list, running
+// the background bitmap rescan first when the list itself has run dry — the
+// rescan is part of the staged refill, so on the pipelined path its latency
+// hides behind ongoing picks too. Returns entries staged.
+func (s *agnosticSpace) stageShard(shard int) int {
+	if s.cache.NeedsReplenish() {
+		s.st.Emit("alloc.virt", s.shard, "list_dry", 0, 0)
+		s.replenish()
+	}
+	n := s.sh.Stage(shard, s.stageSkip)
+	s.cacheOps += uint64(n)
+	return n
+}
+
 // replenish rebuilds the HBPS from a full bitmap walk — the background scan
 // of §3.3.2 — charging the metafile reads and discarding pending deltas
 // (the recomputed scores already include them). The popcount work shards
@@ -182,6 +302,7 @@ func (s *agnosticSpace) replenish() {
 	for id := range s.deltas {
 		delete(s.deltas, id)
 	}
+	s.as.clearLedgers()
 	scores := aa.ScoresObs(s.topo, s.bm, s.workers, s.pobs, s.scored)
 	s.cache.Replenish(func(yield func(aa.ID, uint32)) {
 		for id, sc := range scores {
@@ -214,7 +335,7 @@ func (s *agnosticSpace) allocate(n int) []block.VBN {
 			continue
 		}
 		s.bm.Set(v)
-		s.deltas[s.curAA]--
+		s.as.noteAlloc(s.curAA, s.deltas)
 		s.scannedBlocks += uint64(v-s.cursor) + 1
 		s.allocatedBlocks++
 		s.cursor = v + 1
@@ -234,7 +355,7 @@ func (s *agnosticSpace) free(v block.VBN) {
 		return
 	}
 	s.bm.Clear(v)
-	s.deltas[s.topo.AAOf(v)]++
+	s.as.noteFree(s.topo.AAOf(v), s.deltas)
 }
 
 // applyCPDeltas flushes the batched score updates into the HBPS at the CP
@@ -244,6 +365,10 @@ func (s *agnosticSpace) free(v block.VBN) {
 // sequence, so folding the deltas in map-iteration order would make
 // allocation decisions vary run to run.
 func (s *agnosticSpace) applyCPDeltas() {
+	// Fold the shard ledgers into the shared delta map first (shard-index
+	// order, IDs sorted within each shard) so the HBPS updates below see
+	// totals identical at any worker width.
+	s.as.fold(s.deltas)
 	if !s.cacheEnabled {
 		for id := range s.deltas {
 			delete(s.deltas, id)
@@ -306,6 +431,7 @@ func (s *agnosticSpace) metrics() SpaceMetrics {
 func (s *agnosticSpace) resetMetrics() {
 	s.pickedScoreSum, s.pickedCount = 0, 0
 	s.cacheOps, s.replenishes = 0, 0
+	s.as.resetCounters()
 	// Note: reset only between CPs (System.CP snapshots scannedBlocks at
 	// CP start, and sweeps happen only inside CP).
 	s.scannedBlocks, s.allocatedBlocks = 0, 0

@@ -43,6 +43,11 @@ func (s *System) CleanBestAAs(g *Group, maxAAs int) CleanStats {
 
 	// Make sure the group's held AA doesn't shadow the heap's view.
 	g.finishAA(s.Agg.bm)
+	// Likewise entries staged in shard queues: flush them back so the heap
+	// pops the true best AAs for cleaning; the queues restage at the end.
+	if g.sh != nil {
+		g.sh.FlushAll()
+	}
 
 	cleaned := make([]aa.ID, 0, maxAAs)
 	for len(cleaned) < maxAAs {
@@ -83,7 +88,10 @@ func (s *System) CleanBestAAs(g *Group, maxAAs int) CleanStats {
 	// Return every popped AA to the heap with its post-cleaning score.
 	for _, id := range cleaned {
 		g.cache.Insert(id, aa.Score(g.topo, s.Agg.bm, id))
-		delete(g.deltas, id)
+		g.as.clearPending(id, g.deltas)
+	}
+	if g.sh != nil {
+		g.restageShards()
 	}
 	return st
 }

@@ -106,7 +106,7 @@ func (s *agnosticSpace) reclaimDelayedFrees(budget int) (freed, aas int) {
 			if !s.bm.Clear(v) {
 				panic(fmt.Sprintf("wafl: delayed free of unallocated %v in %s", v, s.name))
 			}
-			s.deltas[id]++
+			s.as.noteFree(id, s.deltas)
 			freed++
 		}
 		aas++

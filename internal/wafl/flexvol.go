@@ -30,7 +30,7 @@ func newFlexVol(spec VolSpec, tun Tunables, rng *rand.Rand) *FlexVol {
 	v := &FlexVol{
 		Name:  spec.Name,
 		bm:    bm,
-		space: newAgnosticSpace(spec.Name, block.R(0, block.VBN(spec.Blocks)), bm, tun.VolCacheEnabled, rng, tun.Workers),
+		space: newAgnosticSpace(spec.Name, block.R(0, block.VBN(spec.Blocks)), bm, tun, tun.VolCacheEnabled, rng),
 		luns:  make(map[string]*LUN),
 	}
 	if tun.DelayedVirtFrees {

@@ -41,6 +41,12 @@ type Group struct {
 	cacheEnabled bool
 	seedOnly     bool // cache holds only a TopAA seed; background fill pending
 
+	// Striped allocator hot path (AllocShards > 1, see allocctx.go): sh
+	// stripes the heap into per-shard pick queues; as holds the shard
+	// ledgers and the modeled busy vectors. sh is nil on the classic path.
+	sh *heapcache.Sharded
+	as *allocState
+
 	devices []Device // data devices, index-aligned with geometry
 	parity  Device   // one model standing in for the parity device(s)
 	ssds    []*device.SSD
@@ -122,6 +128,7 @@ func buildGroup(index int, spec GroupSpec, startVBN block.VBN, tun Tunables, rng
 		cacheEnabled: tun.AggregateCacheEnabled,
 		azcs:         spec.AZCS,
 		deltas:       make(map[aa.ID]int64),
+		as:           newAllocState(tun),
 		raidStats:    raid.NewStats(geo),
 		rng:          rng,
 	}
@@ -154,8 +161,41 @@ func buildGroup(index int, spec GroupSpec, startVBN block.VBN, tun Tunables, rng
 		scores[id] = aaBlockCount(topo, aa.ID(id))
 	}
 	g.cache = heapcache.NewFromScores(scores)
+	g.resetShardCache()
 	return g
 }
+
+// resetShardCache (re)builds the shard queues around the current cache
+// object and drops all ledger state. Called wherever the cache is replaced
+// wholesale (fresh build, remount, repair) — the Sharded wrapper holds a
+// pointer to the shared heap and must never outlive it.
+func (g *Group) resetShardCache() {
+	g.as.clearLedgers()
+	if g.as.sharded() && g.cacheEnabled {
+		g.sh = heapcache.NewSharded(g.cache, g.as.shards, g.as.batch)
+	} else {
+		g.sh = nil
+	}
+}
+
+// restageShards rebuilds the shard queues from the current shared heap
+// WITHOUT touching ledger state — for passes that flushed the queues to
+// operate on the complete heap (segment cleaning) while frees noted since
+// the last CP are still pending in the ledgers.
+func (g *Group) restageShards() {
+	if g.as.sharded() && g.cacheEnabled {
+		if g.sh != nil {
+			// Relocation writes mid-pass may have re-staged entries into the
+			// old wrapper; return them so the rebuild tracks every AA.
+			g.sh.FlushAll()
+		}
+		g.sh = heapcache.NewSharded(g.cache, g.as.shards, g.as.batch)
+	}
+}
+
+// pendingDelta is the total pending score delta for id: the shared map
+// plus every shard ledger (the quantity the scrub invariant subtracts).
+func (g *Group) pendingDelta(id aa.ID) int64 { return g.as.pending(id, g.deltas) }
 
 func (g *Group) buildDevices() {
 	spec := g.Spec
@@ -231,8 +271,16 @@ func (g *Group) WriteAmplification() float64 {
 }
 
 // bestScore returns the best available AA score for eligibility decisions:
-// the held AA's last known score, or the cache top.
+// the held AA's last known score, or the cache top. With the striped path
+// active the best entry may sit in a shard queue rather than the shared
+// heap, so the scan spans both.
 func (g *Group) bestScore() (uint64, bool) {
+	if g.sh != nil {
+		if e, ok := g.sh.Best(); ok {
+			return e.Score, true
+		}
+		return 0, false
+	}
 	if e, ok := g.cache.Best(); ok {
 		return e.Score, true
 	}
@@ -258,6 +306,9 @@ func (g *Group) eligible(minFraction float64) bool {
 // pickAA selects the next AA to fill: the cache's best when enabled,
 // uniformly random otherwise (the paper's baseline).
 func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
+	if g.sh != nil {
+		return g.pickAASharded(bm)
+	}
 	var id aa.ID
 	var score uint64
 	if g.cacheEnabled {
@@ -267,6 +318,8 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 			return false
 		}
 		g.cacheOps++
+		g.as.picks++
+		g.as.pickBusy[0] += g.as.opCost // shared critical section: one vector
 		if e.Score == 0 {
 			// Even the best AA has no free blocks: the group is full.
 			g.cache.Insert(e.ID, 0)
@@ -326,6 +379,101 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 	return true
 }
 
+// pickAASharded is the striped pick path: pop the fixed shard's queue
+// front, staging the next batch ahead of exhaustion so refills hide behind
+// ongoing picks. The shard assignment is seq%shards — worker-independent —
+// and every queue/stage mutation happens in pick order, so the pick stream
+// is bit-identical at any worker width.
+func (g *Group) pickAASharded(bm *bitmap.Bitmap) bool {
+	as := g.as
+	shard := as.nextShard()
+	reason := picks.ShardLocal
+	e, ok := g.sh.Pop(shard)
+	if !ok {
+		// Stall: queue and standby batch are both dry. Refill synchronously
+		// from the shared heap; this cost serializes (every worker would
+		// contend on the shared structure), unlike pipelined staging.
+		reason = picks.Refill
+		as.stalls++
+		n := g.sh.Stage(shard)
+		g.cacheOps += uint64(n)
+		as.stallBusy += time.Duration(n+1) * as.opCost
+		if e, ok = g.sh.Pop(shard); !ok {
+			// The shared heap is dry, but other shards may still hoard
+			// free AAs (shards × batch can exceed the group's AA count).
+			// Rebalance: return every shard's stock and restage this one.
+			if g.sh.HeldCount() > 0 {
+				n = g.sh.FlushAll() + g.sh.Stage(shard)
+				g.cacheOps += uint64(n)
+				as.stallBusy += time.Duration(n) * as.opCost
+				e, ok = g.sh.Pop(shard)
+			}
+			if !ok {
+				g.st.Emit("alloc.phys", g.Index, "cache_empty", 0, 0)
+				return false
+			}
+		}
+	}
+	if e.Score == 0 {
+		// The shard's front is empty — but that is only the shard-local
+		// view. Return every shard's stock to the shared heap and restage,
+		// so an AA whose score rose since staging — or a free AA hoarded by
+		// another shard — is found before the group is declared full (the
+		// classic path's cache_exhausted).
+		g.cache.Insert(e.ID, 0)
+		n := g.sh.FlushAll() + 1
+		n += g.sh.Stage(shard)
+		g.cacheOps += uint64(n)
+		as.stallBusy += time.Duration(n) * as.opCost
+		as.stalls++
+		reason = picks.Refill
+		if e, ok = g.sh.Pop(shard); !ok || e.Score == 0 {
+			if ok {
+				g.cache.Insert(e.ID, 0)
+				g.cacheOps++
+			}
+			g.st.Emit("alloc.phys", g.Index, "cache_exhausted", 0, 0)
+			return false
+		}
+	}
+	id, score := e.ID, e.Score
+	g.cacheOps++
+	as.picks++
+	if reason == picks.ShardLocal {
+		as.localPicks++
+	}
+	as.pickBusy[shard] += as.opCost
+	g.st.Emit("alloc.phys", g.Index, "shard_hit", 0, int64(score))
+	if g.wd != nil && g.wd.enabled {
+		g.wd.pickCheckGroup(g, bm, id, score)
+	}
+	if g.pr != nil {
+		runner := int64(-1)
+		if e2, ok := g.sh.Peek(shard); ok {
+			runner = int64(e2.Score)
+		} else if e2, ok := g.cache.Best(); ok {
+			runner = int64(e2.Score)
+		}
+		g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.sh.Len(shard)+g.cache.Len(), reason)
+	}
+	// Pipelined refill: the shard is running low, so stage the next batch
+	// now — the eventual drain swaps a ready batch in instead of stalling.
+	if g.sh.Low(shard) {
+		n := g.sh.Stage(shard)
+		g.cacheOps += uint64(n)
+		as.staged += uint64(n)
+		as.refillBusy += time.Duration(n) * as.opCost
+	}
+	as.curShard = shard
+	g.curAA = id
+	g.curValid = true
+	g.curWrote = false
+	g.curStripe, g.curEnd = g.topo.StripeRange(id)
+	g.pickedScoreSum += float64(score) / float64(aaBlockCount(g.topo, id))
+	g.pickedCount++
+	return true
+}
+
 // aaBlockCount returns the capacity of AA id, accounting for a truncated
 // final AA.
 func aaBlockCount(t *aa.Striped, id aa.ID) uint64 { return aa.Capacity(t, id) }
@@ -342,7 +490,7 @@ func (g *Group) finishAA(bm *bitmap.Bitmap) {
 		g.cache.Insert(g.curAA, aa.Score(g.topo, bm, g.curAA))
 		g.scored.Inc()
 		g.cacheOps++
-		delete(g.deltas, g.curAA) // the fresh score already reflects them
+		g.as.clearPending(g.curAA, g.deltas) // the fresh score already reflects them
 	}
 	g.curValid = false
 }
@@ -375,7 +523,7 @@ func (g *Group) allocateTetris(bm *bitmap.Bitmap, max int) (vbns []block.VBN, mo
 			v := g.geo.VBNOf(d, s)
 			if bm.Set(v) {
 				vbns = append(vbns, v)
-				g.deltas[g.curAA]--
+				g.as.noteAlloc(g.curAA, g.deltas)
 			}
 		}
 	}
@@ -395,7 +543,7 @@ func (g *Group) free(bm *bitmap.Bitmap, v block.VBN, trim bool) {
 	if !bm.Clear(v) {
 		panic(fmt.Sprintf("wafl: double free of physical %v", v))
 	}
-	g.deltas[g.topo.AAOf(v)]++
+	g.as.noteFree(g.topo.AAOf(v), g.deltas)
 	if trim {
 		d, dbn := g.geo.Locate(v)
 		if g.azcs {
@@ -489,6 +637,10 @@ func (g *Group) queueAZCSBoundaries(id aa.ID) {
 // applyCPDeltas folds the batched score changes into the AA cache at the CP
 // boundary (§3.3).
 func (g *Group) applyCPDeltas() {
+	// Fold the shard ledgers into the shared delta map first: shard-index
+	// order, IDs sorted within each shard, so the merged totals — and the
+	// heap updates below — are identical at any worker width.
+	g.as.fold(g.deltas)
 	if !g.cacheEnabled {
 		for id := range g.deltas {
 			delete(g.deltas, id)
@@ -550,6 +702,7 @@ func (g *Group) ResetMetrics() {
 	g.cacheOps = 0
 	g.azcsSeqWrites, g.azcsRandomWrites = 0, 0
 	g.deviceBusy = 0
+	g.as.resetCounters()
 }
 
 // FTLTotals sums FTL accounting across the group's SSD data devices.

@@ -242,6 +242,13 @@ func (ag *Aggregate) initObs() {
 	ag.reg.CounterFunc("topaa.damaged_loads", func() uint64 { return ag.store.Recovery().DamagedLoads })
 	ag.reg.CounterFunc("faults.crashes", func() uint64 { return ag.faults.Crashes() })
 
+	// Modeled pick wall at the configured worker width. Volatile: like
+	// cp.flush_wall_ns it shrinks as Workers grows, while every alloc.*
+	// input underneath it stays worker-invariant.
+	ag.reg.VolatileCounterFunc("alloc.pick_wall_ns", func() uint64 {
+		return uint64(ag.AllocPickWall(ag.workers()))
+	})
+
 	ag.reg.CounterFunc("agg.bitmap.pages_dirtied", func() uint64 { return ag.bm.Stats().PagesDirtied })
 	ag.reg.CounterFunc("agg.bitmap.pages_flushed", func() uint64 { return ag.bm.Stats().PagesFlushed })
 	ag.reg.CounterFunc("agg.bitmap.page_reads", func() uint64 { return ag.bm.Stats().PageReads })
@@ -281,6 +288,7 @@ func (ag *Aggregate) registerGroupObs(g *Group) {
 	ag.reg.CounterFunc(p+"heap.inserts", func() uint64 { return g.cache.Metrics().Inserts })
 	ag.reg.CounterFunc(p+"heap.swaps", func() uint64 { return g.cache.Metrics().Swaps })
 	ag.reg.GaugeFunc(p+"heap.size", func() int64 { return int64(g.cache.Len()) })
+	ag.registerAllocObs(p, g.as)
 	if ag.obsOpts.DeviceHistograms {
 		for d, dev := range g.devices {
 			if bo, ok := dev.(interface{ SetBusyHist(*obs.Histogram) }); ok {
@@ -319,11 +327,28 @@ func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard in
 	ag.reg.CounterFunc(prefix+"hbps.bin_migrations", func() uint64 { return sp.cache.Metrics().BinMigrations })
 	ag.reg.CounterFunc(prefix+"hbps.evictions", func() uint64 { return sp.cache.Metrics().Evictions })
 	ag.reg.CounterFunc(prefix+"hbps.pops", func() uint64 { return sp.cache.Metrics().Pops })
+	ag.registerAllocObs(prefix, sp.as)
 	if sp.delayed != nil {
 		ag.reg.GaugeFunc(prefix+"delayed.pending", func() int64 { return int64(sp.delayed.count) })
 		ag.reg.CounterFunc(prefix+"delayed.hbps_pops", func() uint64 { return sp.delayed.cache.Metrics().Pops })
 		ag.reg.CounterFunc(prefix+"delayed.hbps_replenishes", func() uint64 { return sp.delayed.cache.Metrics().Replenishes })
 	}
+}
+
+// registerAllocObs exposes one space's striped-allocator counters under
+// <prefix>alloc.*. All are worker-invariant (the busy vectors are modeled on
+// the CP thread); the classic path keeps them registered but near-zero —
+// pick_busy_ns then equals picks × CPUPerCacheOp on one vector.
+func (ag *Aggregate) registerAllocObs(prefix string, as *allocState) {
+	ag.reg.CounterFunc(prefix+"alloc.picks", func() uint64 { return as.picks })
+	ag.reg.CounterFunc(prefix+"alloc.local_picks", func() uint64 { return as.localPicks })
+	ag.reg.CounterFunc(prefix+"alloc.refill_stalls", func() uint64 { return as.stalls })
+	ag.reg.CounterFunc(prefix+"alloc.staged_entries", func() uint64 { return as.staged })
+	ag.reg.CounterFunc(prefix+"alloc.dup_skips", func() uint64 { return as.dupSkips })
+	ag.reg.CounterFunc(prefix+"alloc.ledger_folds", func() uint64 { return as.folds })
+	ag.reg.CounterFunc(prefix+"alloc.pick_busy_ns", func() uint64 { return uint64(as.busyTotal()) })
+	ag.reg.CounterFunc(prefix+"alloc.refill_busy_ns", func() uint64 { return uint64(as.refillBusy) })
+	ag.reg.CounterFunc(prefix+"alloc.stall_busy_ns", func() uint64 { return uint64(as.stallBusy) })
 }
 
 // registerSystemObs exposes the System's cumulative counters under wafl.*.

@@ -109,6 +109,17 @@ type Tunables struct {
 	// CPStats.FlushWall shrinks as workers increase.
 	Workers int
 
+	// AllocShards stripes the allocation hot path into per-worker shard
+	// queues fed from the shared heap/HBPS in bounded batches, with
+	// per-shard delta ledgers folded deterministically at CP boundaries
+	// (see allocctx.go). 0 or 1 keeps the classic shared pick path —
+	// including every modeled cost and metric byte-for-byte — so the knob
+	// is an opt-in for the striped allocator experiments.
+	AllocShards int
+	// AllocBatch bounds each shard queue and standby batch; 0 selects 8.
+	// Larger batches stage less often but widen the near-best window.
+	AllocBatch int
+
 	// Obs configures the observability layer (metric export, CP-phase
 	// tracing, per-CP CSV). Nil keeps every sink off; the hot paths then pay
 	// only nil-checks. See obs.go.

@@ -79,7 +79,7 @@ func (ag *Aggregate) AddObjectPool(spec PoolSpec) *Pool {
 	ag.bm.Grow(uint64(start) + spec.Blocks)
 	p := &Pool{spec: spec}
 	p.space = newAgnosticSpace(poolTopAAKey, block.R(start, start+block.VBN(spec.Blocks)),
-		ag.bm, ag.tun.AggregateCacheEnabled, ag.rng, ag.tun.Workers)
+		ag.bm, ag.tun, ag.tun.AggregateCacheEnabled, ag.rng)
 	ag.pool = p
 	ag.registerSpaceObs(p.space, "pool.", poolShard)
 	ag.reg.CounterFunc("pool.puts", func() uint64 { return p.puts })

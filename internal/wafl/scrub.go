@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/heapcache"
 	"waflfs/internal/parallel"
 )
 
@@ -121,20 +122,44 @@ func (ag *Aggregate) scrubGroup(g *Group) SpaceScrub {
 		return s
 	}
 	for _, e := range g.cache.TopK(g.cache.Len()) {
-		want := int64(aa.Score(g.topo, ag.bm, e.ID)) - g.deltas[e.ID]
+		want := int64(aa.Score(g.topo, ag.bm, e.ID)) - g.pendingDelta(e.ID)
 		if int64(e.Score) != want {
 			s.Divergence = fmt.Sprintf("AA %d: cached score %d, bitmap-derived %d", e.ID, e.Score, want)
 			return s
 		}
 		s.Checked++
 	}
+	held := 0
+	if g.sh != nil {
+		// Striped path: entries staged in shard queues are untracked in the
+		// shared heap but obey the same invariant at their frozen scores.
+		divergence := ""
+		g.sh.Each(func(shard int, e heapcache.Entry) {
+			if divergence != "" {
+				return
+			}
+			want := int64(aa.Score(g.topo, ag.bm, e.ID)) - g.pendingDelta(e.ID)
+			if int64(e.Score) != want {
+				divergence = fmt.Sprintf("shard %d AA %d: staged score %d, bitmap-derived %d",
+					shard, e.ID, e.Score, want)
+				return
+			}
+			s.Checked++
+		})
+		if divergence != "" {
+			s.Divergence = divergence
+			return s
+		}
+		held = g.sh.HeldCount()
+	}
 	if !g.seedOnly {
-		wantLen := g.topo.NumAAs()
+		wantLen := g.topo.NumAAs() - held
 		if g.curValid {
 			wantLen-- // held by the allocation cursor, reinserted at finishAA
 		}
 		if g.cache.Len() != wantLen {
-			s.Divergence = fmt.Sprintf("cache tracks %d AAs, want %d", g.cache.Len(), wantLen)
+			s.Divergence = fmt.Sprintf("cache tracks %d AAs, want %d (+%d staged in shard queues)",
+				g.cache.Len(), wantLen, held)
 		}
 	}
 	return s
@@ -158,7 +183,7 @@ func (ag *Aggregate) scrubSpace(name string, sp *agnosticSpace) SpaceScrub {
 	}
 	census := make([]uint64, sp.cache.NumBins())
 	for id := 0; id < n; id++ {
-		want := int64(sp.aaScore(aa.ID(id))) - sp.deltas[aa.ID(id)]
+		want := int64(sp.aaScore(aa.ID(id))) - sp.pendingDelta(aa.ID(id))
 		if want < 0 {
 			s.Divergence = fmt.Sprintf("AA %d: bitmap-derived score %d is negative", id, want)
 			return s
@@ -176,7 +201,7 @@ func (ag *Aggregate) scrubSpace(name string, sp *agnosticSpace) SpaceScrub {
 		if s.Divergence != "" {
 			return
 		}
-		want := int64(sp.aaScore(id)) - sp.deltas[id]
+		want := int64(sp.aaScore(id)) - sp.pendingDelta(id)
 		if wb := sp.cache.Bin(uint32(want)); wb != b {
 			s.Divergence = fmt.Sprintf("listed AA %d in bin %d, bitmap-derived bin %d", id, b, wb)
 		}

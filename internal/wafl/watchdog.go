@@ -5,6 +5,7 @@ import (
 
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
+	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
 )
 
@@ -27,6 +28,12 @@ import (
 //     equal the bitmap-derived score minus the pending delta exactly; an
 //     HBPS pick must fall within one bin of the best tracked bin — the
 //     paper's §3.3.2 near-best bound.
+//
+//   - Shard-ledger consistency (AllocShards > 1): every entry held in a
+//     shard queue mid-CP satisfies frozenScore == bitmapScore − pending
+//     (pending spans the shared delta map plus every shard ledger), and
+//     after the CP-boundary fold every ledger is empty — a stale merge
+//     leaves residue or a score mismatch, and this class catches both.
 //
 // Violations bump watchdog.* counters (always registered, so metric
 // streams keep their shape whether or not the monitors run) and append to
@@ -51,6 +58,8 @@ type watchdogState struct {
 	scoreViol  *obs.Counter
 	pickChecks *obs.Counter
 	pickViol   *obs.Counter
+	ledgerChk  *obs.Counter
+	ledgerViol *obs.Counter
 
 	log []string
 }
@@ -71,6 +80,8 @@ func (ag *Aggregate) initWatchdogs(o ObsOptions) {
 		scoreViol:  ag.reg.Counter("watchdog.score_violations"),
 		pickChecks: ag.reg.Counter("watchdog.pick_checks"),
 		pickViol:   ag.reg.Counter("watchdog.pick_violations"),
+		ledgerChk:  ag.reg.Counter("watchdog.ledger_checks"),
+		ledgerViol: ag.reg.Counter("watchdog.ledger_violations"),
 	}
 	if ag.wd.sample <= 0 {
 		ag.wd.sample = 8
@@ -100,7 +111,7 @@ func (w *watchdogState) violate(class *obs.Counter, format string, args ...inter
 func (w *watchdogState) pickCheckGroup(g *Group, bm *bitmap.Bitmap, id aa.ID, score uint64) {
 	w.checks.Inc()
 	w.pickChecks.Inc()
-	want := int64(aa.Score(g.topo, bm, id)) - g.deltas[id]
+	want := int64(aa.Score(g.topo, bm, id)) - g.pendingDelta(id)
 	if int64(score) != want {
 		w.violate(w.pickViol, "rg%d pick: AA %d cached score %d, bitmap-derived %d",
 			g.Index, id, score, want)
@@ -118,7 +129,7 @@ func (w *watchdogState) pickCheckGroup(g *Group, bm *bitmap.Bitmap, id aa.ID, sc
 func (w *watchdogState) pickCheckSpace(sp *agnosticSpace, id aa.ID, claimed int) {
 	w.checks.Inc()
 	w.pickChecks.Inc()
-	want := int64(sp.aaScore(id)) - sp.deltas[id]
+	want := int64(sp.aaScore(id)) - sp.pendingDelta(id)
 	if want < 0 {
 		w.violate(w.pickViol, "%s pick: AA %d bitmap-derived score %d is negative",
 			sp.name, id, want)
@@ -156,7 +167,7 @@ func (w *watchdogState) sampleGroup(ag *Aggregate, g *Group) {
 		}
 		w.checks.Inc()
 		w.scoreCheck.Inc()
-		want := int64(aa.Score(g.topo, ag.bm, id)) - g.deltas[id]
+		want := int64(aa.Score(g.topo, ag.bm, id)) - g.pendingDelta(id)
 		if got := g.cache.Score(id); int64(got) != want {
 			w.violate(w.scoreViol, "rg%d: AA %d cached score %d, bitmap-derived %d",
 				g.Index, id, got, want)
@@ -190,7 +201,7 @@ func (w *watchdogState) sampleSpace(sp *agnosticSpace) {
 		id, bin := sp.cache.ListedAt((sp.wdCursor + i) % l)
 		w.checks.Inc()
 		w.scoreCheck.Inc()
-		want := int64(sp.aaScore(id)) - sp.deltas[id]
+		want := int64(sp.aaScore(id)) - sp.pendingDelta(id)
 		if want < 0 {
 			w.violate(w.scoreViol, "%s: listed AA %d bitmap-derived score %d is negative",
 				sp.name, id, want)
@@ -202,6 +213,60 @@ func (w *watchdogState) sampleSpace(sp *agnosticSpace) {
 		}
 	}
 	sp.wdCursor = (sp.wdCursor + k) % l
+}
+
+// sampleShardsGroup verifies the striped allocator's mid-CP state for one
+// RAID group: every entry held in a shard queue must satisfy the frozen-
+// score invariant against the bitmap, and — since runWatchdogs executes
+// after the CP fold — every shard ledger must be empty. The held set is
+// bounded by 2×batch×shards, so the full scan stays O(held) per CP.
+func (w *watchdogState) sampleShardsGroup(ag *Aggregate, g *Group) {
+	if g.sh == nil {
+		return
+	}
+	g.sh.Each(func(shard int, e heapcache.Entry) {
+		w.checks.Inc()
+		w.ledgerChk.Inc()
+		want := int64(aa.Score(g.topo, ag.bm, e.ID)) - g.pendingDelta(e.ID)
+		if int64(e.Score) != want {
+			w.violate(w.ledgerViol,
+				"rg%d shard %d: staged AA %d frozen score %d, bitmap-derived %d — stale merge",
+				g.Index, shard, e.ID, e.Score, want)
+		}
+	})
+	w.checks.Inc()
+	w.ledgerChk.Inc()
+	if shard, id, d, ok := g.as.residue(); ok {
+		w.violate(w.ledgerViol,
+			"rg%d shard %d: ledger still holds %+d for AA %d after the CP fold",
+			g.Index, shard, d, id)
+	}
+}
+
+// sampleShardsSpace is the HBPS counterpart: held IDs carry no frozen
+// scores (the histogram stays authoritative), so the check is the pick
+// floor — bitmap-derived score net of pending deltas must be non-negative —
+// plus the post-fold empty-ledger requirement.
+func (w *watchdogState) sampleShardsSpace(sp *agnosticSpace) {
+	if sp.sh == nil {
+		return
+	}
+	sp.sh.Each(func(shard int, id aa.ID) {
+		w.checks.Inc()
+		w.ledgerChk.Inc()
+		if want := int64(sp.aaScore(id)) - sp.pendingDelta(id); want < 0 {
+			w.violate(w.ledgerViol,
+				"%s shard %d: staged AA %d bitmap-derived score %d is negative — stale merge",
+				sp.name, shard, id, want)
+		}
+	})
+	w.checks.Inc()
+	w.ledgerChk.Inc()
+	if shard, id, d, ok := sp.as.residue(); ok {
+		w.violate(w.ledgerViol,
+			"%s shard %d: ledger still holds %+d for AA %d after the CP fold",
+			sp.name, shard, d, id)
+	}
 }
 
 // runWatchdogs executes the per-CP monitors. Called at the end of
@@ -230,11 +295,14 @@ func (s *System) runWatchdogs() {
 	}
 	for _, g := range ag.groups {
 		w.sampleGroup(ag, g)
+		w.sampleShardsGroup(ag, g)
 	}
 	for _, v := range ag.vols {
 		w.sampleSpace(v.space)
+		w.sampleShardsSpace(v.space)
 	}
 	if ag.pool != nil {
 		w.sampleSpace(ag.pool.space)
+		w.sampleShardsSpace(ag.pool.space)
 	}
 }

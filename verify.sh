@@ -21,6 +21,9 @@ go test -race -short ./...
 # corpus plus fresh mutations under the fuzzer's instrumentation.
 go test -run '^$' -fuzz '^FuzzLoadRAIDAware$' -fuzztime 5s ./internal/topaa
 go test -run '^$' -fuzz '^FuzzLoadAgnostic$' -fuzztime 5s ./internal/topaa
+# Sharded-HBPS op-sequence fuzzer: random stage/pop/free/flush interleavings
+# must preserve the tracked-set and no-duplicate-pick invariants.
+go test -run '^$' -fuzz '^FuzzShardedOps$' -fuzztime 5s ./internal/hbps
 
 # Observability smoke test: a small bench run must serve /metrics (the bench
 # self-checks the endpoint and exits nonzero if it cannot fetch it) and
@@ -34,6 +37,13 @@ go build -o "$tmpdir/waflbench" ./cmd/waflbench
     -trace-out "$tmpdir/bench.jsonl" >/dev/null
 test -s "$tmpdir/bench.csv"
 test -s "$tmpdir/bench.jsonl"
+
+# Allocator pick-path smoke: the striped arm's modeled pick wall-clock at
+# 8 workers must beat the shared arm's, or the bench exits nonzero. Also
+# exercises -trace-collapse end to end.
+"$tmpdir/waflbench" -pickbench -scale 0.1 \
+    -trace-collapse "$tmpdir/pick.folded" >/dev/null
+test -s "$tmpdir/pick.folded"
 
 # Benchmark-artifact smoke test: a tiny-scale artifact must collect, and
 # benchdiff comparing it against itself must report zero drift (exit 0) —
