@@ -6,7 +6,7 @@ SCALE ?= 1.0
 # `make bench-artifact` never clobbers a committed baseline by accident.
 BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench benchpick bench-artifact bench-diff live
+.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo
 
 all: build
 
@@ -44,6 +44,15 @@ bench-diff:
 
 # Run a quarter-scale fig9 with the live introspection endpoints up and hold
 # them for half an hour — point cmd/wafltop (or a browser) at the address.
+# The SLO engine is armed, so /debug/slo serves the live portfolio and the
+# wafltop SLO panel populates.
 live:
 	go run ./cmd/waflbench -exp fig9 -scale 0.25 \
-	    -metrics-addr 127.0.0.1:9190 -hold 30m
+	    -metrics-addr 127.0.0.1:9190 -slo default -hold 30m
+
+# SLO gate both ways: a clean figure run must fire no alert, and the crash
+# matrix (always at small scale — it sweeps every phase × fault) must page
+# the recovery SLI.
+slo:
+	go run ./cmd/waflbench -exp fig9 -scale $(SCALE) -slo default -slo-expect none
+	go run ./cmd/waflbench -faults matrix -scale 0.1 -slo default -slo-expect alerts

@@ -11,6 +11,7 @@
 //	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
 //	          [-trace-collapse f.folded] [-bench-json BENCH_n.json]
 //	          [-faults matrix|<plan-spec>] [-pickbench]
+//	          [-slo default|<spec>] [-slo-expect none|alerts]
 //
 // -faults runs the crash-recovery harness instead of a figure: "matrix"
 // sweeps a crash at every CP phase × media fault kind and exits nonzero if
@@ -41,6 +42,17 @@
 // sequence as JSON Lines, and -trace-collapse folds the same timed spans
 // into collapsed-stack format (one "sys;phase;name <count>" line per unique
 // stack, flamegraph.pl-compatible).
+//
+// -slo arms the per-volume SLO engine on every arm: the spec string
+// ("default" for the stock portfolio, or clauses like
+// "name=lat,kind=latency,space=vol.*,target=0.99,threshold=20ms,
+// page=10@30s/5m,warn=2@2m30s/20m") is evaluated at each CP boundary
+// against the embedded time-series store over modeled-clock windows, and
+// the final alert totals print after the run. With -metrics-addr the
+// /debug/slo endpoint serves the live status document. -slo-expect turns
+// the outcome into an exit code: "none" fails the run if any warn or page
+// fired (clean-figure smoke), "alerts" fails unless at least one page
+// fired (crash-matrix smoke). See internal/obs/slo.
 //
 // -pickbench runs the striped-vs-shared allocator pick-path microbenchmark
 // (see internal/experiments.RunAllocBench) and exits nonzero if the striped
@@ -74,6 +86,7 @@ import (
 	"waflfs/internal/faultinject"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/stats"
 )
@@ -112,7 +125,22 @@ func main() {
 		"run the canonical fig6-fig10 + microbench suite and write a schema-versioned benchmark artifact (BENCH_<n>.json) to this file; overrides -exp")
 	faults := flag.String("faults", "",
 		"fault-injection mode: 'matrix' sweeps a crash at every CP phase × media fault and exits 1 on silent divergence; any other value is a plan spec like 'phase=flush,fault=torn,cp=2' running one crash-and-recover scenario; overrides -exp")
+	sloSpec := flag.String("slo", "",
+		"arm the SLO engine on every arm with this spec string ('default' for the stock portfolio; see internal/obs/slo)")
+	sloExpect := flag.String("slo-expect", "",
+		"exit 1 unless the run's SLO alert totals match: 'none' (no warns or pages) or 'alerts' (at least one page); requires -slo")
 	flag.Parse()
+
+	switch *sloExpect {
+	case "", "none", "alerts":
+	default:
+		fmt.Fprintf(os.Stderr, "-slo-expect %q: want 'none' or 'alerts'\n", *sloExpect)
+		os.Exit(2)
+	}
+	if *sloExpect != "" && *sloSpec == "" {
+		fmt.Fprintln(os.Stderr, "-slo-expect requires -slo")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -169,22 +197,42 @@ func main() {
 		live    *obs.Latest
 		tsStore *tsdb.Store
 		pickRec *picks.Recorder
+		sloSet  *slo.Set
 	)
-	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" {
+	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" || *sloSpec != "" {
 		export = obs.NewRegistry()
 		sink := &experiments.ObsSink{Export: export}
+		if *metricsAddr != "" || *sloSpec != "" {
+			// The SLO engine reads its SLI windows out of the time-series
+			// store, so -slo arms the tsdb even without live serving; the
+			// latency SLIs additionally need the cumulative histogram-bucket
+			// series.
+			tsCfg := tsdb.DefaultConfig()
+			if *sloSpec != "" {
+				tsCfg.HistBuckets = tsdb.SuffixFilter(".lat_ns")
+			}
+			tsStore = tsdb.NewStore(tsCfg)
+			sink.TSDB = tsStore
+		}
 		if *metricsAddr != "" {
 			// Live serving: arms publish their registry snapshots at CP
 			// boundaries (tear-free under concurrent scrapes), the tsdb and
 			// pick rings are mutex-guarded, and the invariant watchdogs run
 			// whenever someone is watching.
 			live = obs.NewLatest()
-			tsStore = tsdb.NewStore(tsdb.DefaultConfig())
 			pickRec = picks.NewRecorder(picks.DefaultConfig())
 			sink.Live = live
-			sink.TSDB = tsStore
 			sink.Picks = pickRec
 			sink.Watchdogs = true
+		}
+		if *sloSpec != "" {
+			specs, err := slo.ParseSpecs(*sloSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-slo: %v\n", err)
+				os.Exit(2)
+			}
+			sloSet = slo.NewSet(specs)
+			sink.SLO = sloSet
 		}
 		if *traceOut != "" || *traceCollapse != "" {
 			tracer = obs.NewTracer()
@@ -231,6 +279,10 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = pickRec.WriteJSON(w)
 		})
+		mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = sloSet.WriteJSON(w) // nil-safe: empty document without -slo
+		})
 		mux.HandleFunc("/debug/pprof/", hpprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", hpprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
@@ -239,7 +291,7 @@ func main() {
 		srv = &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
-		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/pprof)\n\n", ln.Addr())
+		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/slo /debug/pprof)\n\n", ln.Addr())
 	}
 
 	if *pickbench {
@@ -286,6 +338,10 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 
+	if sloSet != nil {
+		printSLOSummary(sloSet)
+	}
+
 	if srv != nil && *hold > 0 {
 		fmt.Printf("holding live endpoints for %v (interrupt to stop early)\n", *hold)
 		time.Sleep(*hold)
@@ -295,6 +351,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if err := checkSLOExpect(*sloExpect, sloSet); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// printSLOSummary renders the run's final SLO posture: portfolio-wide alert
+// totals, then one line per instance that ever left (or is still out of) the
+// ok state. All-green portfolios print just the totals line.
+func printSLOSummary(set *slo.Set) {
+	tot := set.Totals()
+	fmt.Printf("slo: %d systems, %d instances, %d evaluations — %d warns, %d pages (%d transitions; active: %d warn, %d page)\n",
+		tot.Systems, tot.Instances, tot.Evaluations, tot.Warns, tot.Pages,
+		tot.Transitions, tot.ActiveWarns, tot.ActivePages)
+	for _, sys := range set.Status() {
+		for _, in := range sys.Instances {
+			if in.State == "ok" {
+				continue
+			}
+			fmt.Printf("  %s/%s [%s]: state=%s burn_fast=%.2f burn_slow=%.2f budget_used=%.3f\n",
+				sys.System, in.Name, in.Kind, in.State,
+				in.BurnFast, in.BurnSlow, in.BudgetUsed)
+		}
+		for _, tr := range sys.Transitions {
+			fmt.Printf("  %s/%s: %s -> %s at cp %d\n",
+				sys.System, tr.Instance, tr.From, tr.To, tr.CP)
+		}
+	}
+}
+
+// checkSLOExpect turns the portfolio's final alert totals into an exit
+// status: "none" is the clean-figure contract (no warn or page may have
+// fired anywhere), "alerts" the crash-smoke contract (at least one page).
+func checkSLOExpect(expect string, set *slo.Set) error {
+	if expect == "" {
+		return nil
+	}
+	tot := set.Totals()
+	switch expect {
+	case "none":
+		if tot.Pages != 0 || tot.Warns != 0 {
+			var sb strings.Builder
+			_ = set.WriteJSON(&sb)
+			return fmt.Errorf("slo-expect none: %d pages, %d warns fired\n%s", tot.Pages, tot.Warns, sb.String())
+		}
+	case "alerts":
+		if tot.Pages == 0 {
+			return fmt.Errorf("slo-expect alerts: no SLO page fired (%d evaluations, %d warns)", tot.Evaluations, tot.Warns)
+		}
+	}
+	return nil
 }
 
 // runFaults handles -faults: the full crash matrix, or one plan-spec

@@ -1,24 +1,29 @@
 // Command wafltop is a terminal viewer for a running waflbench's live
-// introspection endpoints (-metrics-addr). It polls /debug/timeseries and
-// /debug/picks and renders, per experiment arm: the per-CP allocation-quality
-// deciles from the embedded time-series store, the pick-provenance reason mix
-// (cache hit / refill / fallback rates), the CP-phase modeled-clock
-// breakdown, and the watchdog counters.
+// introspection endpoints (-metrics-addr). It polls /debug/timeseries,
+// /debug/picks, and /debug/slo and renders, per experiment arm: the per-CP
+// allocation-quality deciles from the embedded time-series store, the
+// pick-provenance reason mix (cache hit / refill / fallback rates), the
+// CP-phase modeled-clock breakdown with historical sparklines drawn from the
+// series rings, the watchdog counters, and the SLO portfolio (per-instance
+// alert state, burn rates, budget used, and a slow-burn sparkline).
 //
 // Usage:
 //
 //	wafltop [-addr host:port] [-interval 2s] [-count N] [-snapshot]
 //
 // -snapshot fetches once, prints one report, and exits — nonzero when the
-// store holds no nonzero per-CP series yet (the CI smoke-test mode). Without
-// it, wafltop clears the screen and refreshes every -interval until
-// interrupted (or N refreshes with -count).
+// store holds no nonzero per-CP series yet, or when any SLO instance is in
+// the page state (the CI smoke-test mode). Without it, wafltop clears the
+// screen and refreshes every -interval until interrupted (or N refreshes
+// with -count). A bench built before the SLO engine simply has no
+// /debug/slo endpoint; the panel is skipped in that case.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -51,6 +56,30 @@ type tsDoc struct {
 	} `json:"series"`
 }
 
+type sloDoc struct {
+	Totals struct {
+		Systems     int    `json:"systems"`
+		Instances   int    `json:"instances"`
+		Evaluations uint64 `json:"evaluations"`
+		Transitions uint64 `json:"transitions"`
+		Warns       uint64 `json:"warns"`
+		Pages       uint64 `json:"pages"`
+		ActiveWarns int    `json:"active_warns"`
+		ActivePages int    `json:"active_pages"`
+	} `json:"totals"`
+	Systems []struct {
+		System    string `json:"system"`
+		Instances []struct {
+			Name       string  `json:"name"`
+			Kind       string  `json:"kind"`
+			State      string  `json:"state"`
+			BurnFast   float64 `json:"burn_fast"`
+			BurnSlow   float64 `json:"burn_slow"`
+			BudgetUsed float64 `json:"budget_used"`
+		} `json:"instances"`
+	} `json:"systems"`
+}
+
 type picksDoc struct {
 	Spaces []struct {
 		Space    string            `json:"space"`
@@ -80,11 +109,42 @@ func last(pts []point) (point, bool) {
 	return pts[len(pts)-1], true
 }
 
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders the newest `width` per-point averages of a series ring as a
+// unicode sparkline, scaled to the shown window's own min..max. Flat series
+// render as a low bar; an empty series renders empty.
+func spark(pts []point, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.avg()
+		lo = math.Min(lo, vals[i])
+		hi = math.Max(hi, vals[i])
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
 // report renders one refresh. It returns the number of series that carry at
-// least one nonzero sample — the -snapshot liveness criterion.
-func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
+// least one nonzero sample (the -snapshot liveness criterion) and the number
+// of SLO instances currently in the page state (the -snapshot health
+// criterion).
+func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool) (nonzero, paging int) {
 	bySeries := make(map[string][]point, len(ts.Series))
-	nonzero := 0
 	maxCP := uint64(0)
 	for _, se := range ts.Series {
 		bySeries[se.Name] = se.Points
@@ -111,9 +171,10 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 	fmt.Fprintf(w, "wafltop — %d series (cap %d/series), %d arms, newest CP %d\n\n",
 		len(ts.Series), ts.Capacity, len(arms), maxCP)
 
-	// CP-phase modeled-clock breakdown per arm.
-	fmt.Fprintf(w, "%-28s %8s %12s %12s %10s %9s %9s\n",
-		"arm", "cps", "cpu_ms", "dev_ms", "cp_pages", "wd_checks", "wd_viol")
+	// CP-phase modeled-clock breakdown per arm, with the CPU-clock history
+	// sparkline drawn straight from the series ring.
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %10s %9s %9s  %s\n",
+		"arm", "cps", "cpu_ms", "dev_ms", "cp_pages", "wd_checks", "wd_viol", "cpu trend")
 	for _, arm := range arms {
 		val := func(suffix string) float64 {
 			p, ok := last(bySeries[arm+suffix])
@@ -127,13 +188,14 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 		if wdv > 0 {
 			mark = "  <-- VIOLATIONS"
 		}
-		fmt.Fprintf(w, "%-28s %8.0f %12.2f %12.2f %10.0f %9.0f %9.0f%s\n",
+		fmt.Fprintf(w, "%-28s %8.0f %12.2f %12.2f %10.0f %9.0f %9.0f  %s%s\n",
 			arm,
 			val(".wafl.cps"),
 			val(".wafl.cpu_ns")/1e6,
 			val(".cp.device_busy_ns")/1e6,
 			val(".cp.metafile_pages_agg")+val(".cp.metafile_pages_vols"),
-			val(".watchdog.checks"), wdv, mark)
+			val(".watchdog.checks"), wdv,
+			spark(bySeries[arm+".wafl.cpu_ns"], 16), mark)
 	}
 
 	// Allocation-quality deciles from the fragscan series.
@@ -145,8 +207,8 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 	}
 	sort.Strings(fragSpaces)
 	if len(fragSpaces) > 0 {
-		fmt.Fprintf(w, "\n%-28s %8s %8s %8s %10s %12s\n",
-			"space (AA free-frac)", "p10", "p50", "p90", "free_frac", "picked_free")
+		fmt.Fprintf(w, "\n%-28s %8s %8s %8s %10s %12s  %s\n",
+			"space (AA free-frac)", "p10", "p50", "p90", "free_frac", "picked_free", "p50 trend")
 		for _, sp := range fragSpaces {
 			val := func(suffix string) float64 {
 				p, ok := last(bySeries[sp+suffix])
@@ -155,9 +217,10 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 				}
 				return p.avg()
 			}
-			fmt.Fprintf(w, "%-28s %8.3f %8.3f %8.3f %10.3f %12.3f\n",
+			fmt.Fprintf(w, "%-28s %8.3f %8.3f %8.3f %10.3f %12.3f  %s\n",
 				sp, val(".frag.p10"), val(".frag.p50"), val(".frag.p90"),
-				val(".frag.free_frac"), val(".frag.picked_free_frac"))
+				val(".frag.free_frac"), val(".frag.picked_free_frac"),
+				spark(bySeries[sp+".frag.p50"], 16))
 		}
 	}
 
@@ -196,7 +259,70 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc) int {
 			fmt.Fprintf(w, "  … and %d more spaces\n", len(pk.Spaces)-len(shown))
 		}
 	}
-	return nonzero
+
+	// SLO portfolio: alert totals, then per-instance state with the
+	// slow-window burn-rate history (the engine writes its evaluation
+	// stream back into the same tsdb, so the sparkline comes for free).
+	if haveSLO && sl.Totals.Instances > 0 {
+		t := sl.Totals
+		fmt.Fprintf(w, "\nSLO portfolio — %d instances / %d systems, %d evaluations, %d warns, %d pages (active: %d warn, %d page)\n",
+			t.Instances, t.Systems, t.Evaluations, t.Warns, t.Pages, t.ActiveWarns, t.ActivePages)
+		type row struct {
+			sys  string
+			name string
+			kind string
+			st   string
+			bf   float64
+			bs   float64
+			bu   float64
+		}
+		var rows []row
+		for _, sys := range sl.Systems {
+			for _, in := range sys.Instances {
+				if in.State == "page" {
+					paging++
+				}
+				rows = append(rows, row{sys.System, in.Name, in.Kind, in.State, in.BurnFast, in.BurnSlow, in.BudgetUsed})
+			}
+		}
+		rank := func(st string) int {
+			switch st {
+			case "page":
+				return 0
+			case "warn":
+				return 1
+			}
+			return 2
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if a, b := rank(rows[i].st), rank(rows[j].st); a != b {
+				return a < b
+			}
+			if rows[i].sys != rows[j].sys {
+				return rows[i].sys < rows[j].sys
+			}
+			return rows[i].name < rows[j].name
+		})
+		fmt.Fprintf(w, "%-42s %-9s %-6s %9s %9s %8s  %s\n",
+			"system/instance", "kind", "state", "burn_fast", "burn_slow", "budget", "slow-burn trend")
+		shown := rows
+		if len(shown) > 14 {
+			shown = shown[:14]
+		}
+		for _, r := range shown {
+			mark := ""
+			if r.st == "page" {
+				mark = "  <-- PAGING"
+			}
+			fmt.Fprintf(w, "%-42s %-9s %-6s %9.2f %9.2f %8.3f  %s%s\n",
+				r.sys+"/"+r.name, r.kind, r.st, r.bf, r.bs, r.bu,
+				spark(bySeries[r.sys+".slo."+r.name+".burn_slow"], 16), mark)
+		}
+		if len(rows) > len(shown) {
+			fmt.Fprintf(w, "  … and %d more instances (all %s)\n", len(rows)-len(shown), shown[len(shown)-1].st)
+		}
+	}
+	return nonzero, paging
 }
 
 func main() {
@@ -204,7 +330,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	count := flag.Int("count", 0, "number of refreshes before exiting (0 = until interrupted)")
 	snapshot := flag.Bool("snapshot", false,
-		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet")
+		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet or any SLO instance is paging")
 	flag.Parse()
 
 	base := *addr
@@ -216,6 +342,7 @@ func main() {
 	for i := 0; ; i++ {
 		var ts tsDoc
 		var pk picksDoc
+		var sl sloDoc
 		if err := fetchJSON(client, base+"/debug/timeseries", &ts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -224,12 +351,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// Benches built before the SLO engine have no /debug/slo; skip the
+		// panel rather than failing the whole viewer.
+		haveSLO := fetchJSON(client, base+"/debug/slo", &sl) == nil
 		var b strings.Builder
-		nonzero := report(&b, ts, pk)
+		nonzero, paging := report(&b, ts, pk, sl, haveSLO)
 		if *snapshot {
 			fmt.Print(b.String())
 			if nonzero == 0 {
 				fmt.Fprintln(os.Stderr, "wafltop: no nonzero per-CP series yet")
+				os.Exit(1)
+			}
+			if paging > 0 {
+				fmt.Fprintf(os.Stderr, "wafltop: %d SLO instance(s) in page state\n", paging)
 				os.Exit(1)
 			}
 			return

@@ -12,6 +12,8 @@ import (
 	"waflfs/internal/benchfmt"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/slo"
+	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/parallel"
 	"waflfs/internal/wafl"
 	"waflfs/internal/workload"
@@ -41,6 +43,16 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// The invariant watchdogs ride every arm, so a full artifact collection
 	// doubles as a zero-violation audit of the allocator caches.
 	cfg.Obs.Watchdogs = true
+	// The SLO engine rides every arm too: clean figure arms must stay
+	// green while the crash matrix burns budget and pages. Modest ring
+	// capacity — burn-rate windows only need recent CPs, and the suite
+	// arms hundreds of systems (series grow lazily).
+	if cfg.Obs.TSDB == nil {
+		cfg.Obs.TSDB = tsdb.NewStore(tsdb.Config{Capacity: 128, HistBuckets: tsdb.SuffixFilter(".lat_ns")})
+	}
+	if cfg.Obs.SLO == nil {
+		cfg.Obs.SLO = slo.NewSet(slo.DefaultSpecs())
+	}
 
 	art := benchfmt.Artifact{
 		Schema:  benchfmt.SchemaVersion,
@@ -188,6 +200,30 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	}
 	if wdViolations != 0 {
 		return art, fmt.Errorf("experiments: %d watchdog violations during artifact collection", wdViolations)
+	}
+
+	// SLO audit: alert totals split by arm prefix, its own metric family
+	// (like watchdog.alloc_checks) so the new rows read as additions, not
+	// drift, against pre-SLO baselines. Zero-tolerance gates: any alert on
+	// a clean arm or a silent crash matrix fails collection outright.
+	isCrash := func(sys string) bool { return strings.HasPrefix(sys, "crash.") }
+	crashTot := cfg.Obs.SLO.TotalsWhere(isCrash)
+	cleanTot := cfg.Obs.SLO.TotalsWhere(func(sys string) bool { return !isCrash(sys) })
+	art.Add("slo.evaluations", float64(cleanTot.Evaluations+crashTot.Evaluations), "count", 0.25)
+	art.Add("slo.instances", float64(cleanTot.Instances+crashTot.Instances), "count", 0.25)
+	art.Add("slo.pages_clean", float64(cleanTot.Pages), "count", 0.001)
+	art.Add("slo.warns_clean", float64(cleanTot.Warns), "count", 0.001)
+	art.Add("slo.pages_crash", float64(crashTot.Pages), "count", 0.25)
+	art.Add("slo.transitions_crash", float64(crashTot.Transitions), "count", 0.25)
+	if cleanTot.Evaluations == 0 {
+		return art, fmt.Errorf("experiments: SLO engine armed but never evaluated")
+	}
+	if cleanTot.Pages != 0 || cleanTot.Warns != 0 {
+		return art, fmt.Errorf("experiments: %d pages / %d warns on clean arms during artifact collection",
+			cleanTot.Pages, cleanTot.Warns)
+	}
+	if crashTot.Pages == 0 {
+		return art, fmt.Errorf("experiments: crash matrix fired no SLO pages — the recovery SLI is dead")
 	}
 
 	art.Sort()

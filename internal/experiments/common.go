@@ -19,6 +19,7 @@ import (
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/sim"
 	"waflfs/internal/stats"
@@ -83,6 +84,10 @@ type ObsSink struct {
 	// Live, when non-nil, receives each arm's registry snapshot at every CP
 	// boundary for tear-free serving while arms are running.
 	Live *obs.Latest
+	// SLO, when non-nil together with TSDB, evaluates the spec portfolio
+	// on every arm at each CP boundary; per-arm engines register under the
+	// arm name so alert totals can be split by prefix (clean vs crash.*).
+	SLO *slo.Set
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -118,6 +123,7 @@ func (c Config) tunablesNamed(name string) wafl.Tunables {
 			Picks:            c.Obs.Picks,
 			Watchdogs:        c.Obs.Watchdogs,
 			Live:             c.Obs.Live,
+			SLO:              c.Obs.SLO,
 		}
 	}
 	return tun

@@ -125,6 +125,20 @@ var DurationBuckets = []uint64{
 	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
 }
 
+// LatencyBuckets is the finer 1-2-5 layout for per-volume modeled op
+// latencies, in nanoseconds: 1µs to 10s. The SLO engine snaps latency
+// thresholds to these bounds, so the resolution here bounds how precisely a
+// latency objective can be stated.
+var LatencyBuckets = []uint64{
+	1_000, 2_000, 5_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000, 10_000_000_000,
+}
+
 // FanoutBuckets is the standard bucket layout for work-pool fan-out widths.
 var FanoutBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
 
@@ -146,6 +160,27 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[lo].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveN records n identical samples of value v — how a CP attributes one
+// amortized per-block cost to every block it flushed without n binary
+// searches. Equivalent to calling Observe(v) n times.
+func (h *Histogram) ObserveN(v uint64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(n)
+	h.sum.Add(v * n)
+	h.count.Add(n)
 }
 
 // ObserveDuration records a non-negative duration sample in nanoseconds.

@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,19 @@ type Config struct {
 	// Capacity is the maximum number of points retained per series (≥1).
 	// Once full, adjacent points merge pairwise and recording continues.
 	Capacity int
+	// HistBuckets, when non-nil, selects histogram metrics whose cumulative
+	// per-bucket counts are additionally stored as one "<name>.le_<bound>"
+	// counter series per finite bound (the metric name passed in carries the
+	// "<sys>." prefix). The SLO engine needs these to answer windowed
+	// percentile and threshold-exceed queries; the default nil keeps the
+	// compact ".sum"/".count" pair only.
+	HistBuckets func(metric string) bool
+}
+
+// SuffixFilter returns a HistBuckets predicate selecting metrics with the
+// given name suffix.
+func SuffixFilter(suffix string) func(string) bool {
+	return func(name string) bool { return strings.HasSuffix(name, suffix) }
 }
 
 // DefaultConfig holds 512 points per series — at one sample per CP that is
@@ -82,11 +97,15 @@ func merge(a, b Point) Point {
 }
 
 type series struct {
-	pts []Point // len ≤ cap(pts) == Config.Capacity, allocated once
+	pts []Point // len ≤ Config.Capacity; grows lazily via append
 }
 
-// add appends a full-resolution point, downsampling first if the ring is
-// at capacity. The backing array never grows past the configured capacity.
+// add appends a full-resolution point, downsampling first if the ring is at
+// capacity. The backing array grows lazily (short-lived series stay small)
+// and its length never exceeds the configured capacity. Because folds merge
+// rather than drop, the first retained point always begins at the series'
+// first recorded CP — retained history spans the whole run at degrading
+// resolution, which the window queries below rely on.
 func (se *series) add(capacity int, p Point) {
 	if len(se.pts) == capacity {
 		if capacity == 1 {
@@ -109,9 +128,10 @@ func (se *series) add(capacity int, p Point) {
 // Store holds one bounded ring per series. Safe for concurrent use: the CP
 // boundary records while live HTTP endpoints read.
 type Store struct {
-	mu       sync.Mutex
-	capacity int
-	series   map[string]*series
+	mu          sync.Mutex
+	capacity    int
+	histBuckets func(string) bool
+	series      map[string]*series
 }
 
 // NewStore creates an empty store. Capacity ≤ 0 selects the default.
@@ -119,7 +139,7 @@ func NewStore(cfg Config) *Store {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultConfig().Capacity
 	}
-	return &Store{capacity: cfg.Capacity, series: make(map[string]*series)}
+	return &Store{capacity: cfg.Capacity, histBuckets: cfg.HistBuckets, series: make(map[string]*series)}
 }
 
 // Capacity returns the per-series point bound.
@@ -144,7 +164,7 @@ func (s *Store) Observe(name string, cp uint64, at time.Duration, v float64) {
 func (s *Store) observeLocked(name string, cp uint64, at time.Duration, v float64) {
 	se := s.series[name]
 	if se == nil {
-		se = &series{pts: make([]Point, 0, s.capacity)}
+		se = &series{}
 		s.series[name] = se
 	}
 	se.add(s.capacity, Point{CPFirst: cp, CPLast: cp, At: at, Min: v, Max: v, Sum: v, Count: 1})
@@ -169,12 +189,129 @@ func (s *Store) Sample(sys string, cp uint64, at time.Duration, snap obs.Snapsho
 		case m.Hist != nil:
 			s.observeLocked(name+".sum", cp, at, float64(m.Hist.Sum))
 			s.observeLocked(name+".count", cp, at, float64(m.Hist.Count))
+			if s.histBuckets != nil && s.histBuckets(name) {
+				// Cumulative per-bucket counters, one series per finite
+				// bound, so windowed queries can reconstruct the histogram
+				// of any CP range by delta.
+				var cum uint64
+				for i, b := range m.Hist.Bounds {
+					cum += m.Hist.Counts[i]
+					s.observeLocked(name+".le_"+strconv.FormatUint(b, 10), cp, at, float64(cum))
+				}
+			}
 		case m.Kind == obs.KindGauge:
 			s.observeLocked(name, cp, at, float64(m.Gauge))
 		default:
 			s.observeLocked(name, cp, at, float64(m.Value))
 		}
 	}
+}
+
+// Window aggregates the retained points of one series over a CP range.
+type Window struct {
+	// Points is how many ring points intersected the window.
+	Points int
+	// CPFirst..CPLast is the CP range the intersecting points actually
+	// cover, clamped to retained resolution (a folded point is included
+	// whole when any of its range intersects the query).
+	CPFirst, CPLast uint64
+	// AtLast is the modeled timestamp of the newest intersecting point.
+	AtLast time.Duration
+
+	Min, Max, Sum float64
+	Count         uint64
+	// FirstMin is the Min of the oldest intersecting point and LastMax the
+	// Max of the newest. For a monotone (counter) series these are exact
+	// even across folds: within a folded point the minimum is the value at
+	// CPFirst and the maximum the value at CPLast, so LastMax−FirstMin is
+	// the increase over the covered range.
+	FirstMin, LastMax float64
+}
+
+// WindowStats aggregates the named series over the CP range [fromCP, toCP]
+// (inclusive). Folded points are included whenever their CP range intersects
+// the query, so the returned coverage (CPFirst..CPLast) can be wider than
+// asked once downsampling has coarsened old history. Returns ok=false when
+// the series is unknown or no retained point intersects.
+func (s *Store) WindowStats(name string, fromCP, toCP uint64) (Window, bool) {
+	if s == nil {
+		return Window{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.series[name]
+	if se == nil || len(se.pts) == 0 || fromCP > toCP {
+		return Window{}, false
+	}
+	// Points are ordered by CP; find the first with CPLast >= fromCP and
+	// take every one with CPFirst <= toCP from there.
+	lo := sort.Search(len(se.pts), func(i int) bool { return se.pts[i].CPLast >= fromCP })
+	var w Window
+	for i := lo; i < len(se.pts) && se.pts[i].CPFirst <= toCP; i++ {
+		p := se.pts[i]
+		if w.Points == 0 {
+			w = Window{CPFirst: p.CPFirst, Min: p.Min, Max: p.Max, FirstMin: p.Min}
+		} else {
+			if p.Min < w.Min {
+				w.Min = p.Min
+			}
+			if p.Max > w.Max {
+				w.Max = p.Max
+			}
+		}
+		w.Points++
+		w.CPLast = p.CPLast
+		w.AtLast = p.At
+		w.Sum += p.Sum
+		w.Count += p.Count
+		w.LastMax = p.Max
+	}
+	return w, w.Points > 0
+}
+
+// ValueAt returns a monotone (counter) series' value at-or-before the given
+// CP. Exact at retained point boundaries; inside a folded range it returns
+// the fold's starting value (the newest exactly-known value ≤ cp). A cp
+// before the series' first sample returns 0 — counters start at zero, and
+// folding never discards the front of a series, so the first retained point
+// is the true beginning. ok=false only when the series is unknown.
+func (s *Store) ValueAt(name string, cp uint64) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.series[name]
+	if se == nil || len(se.pts) == 0 {
+		return 0, false
+	}
+	pts := se.pts
+	if cp < pts[0].CPFirst {
+		return 0, true
+	}
+	// Last point with CPFirst <= cp.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].CPFirst > cp }) - 1
+	if cp >= pts[i].CPLast {
+		return pts[i].Max, true
+	}
+	return pts[i].Min, true
+}
+
+// CounterDelta returns the increase of a monotone (counter) series over the
+// half-open CP window (fromCP, toCP]: ValueAt(toCP) − ValueAt(fromCP),
+// clamped at 0. Exact whenever both endpoints land on retained point
+// boundaries (always true until folding coarsens them); endpoints inside a
+// folded range resolve conservatively to the fold's starting value.
+func (s *Store) CounterDelta(name string, fromCP, toCP uint64) (float64, bool) {
+	v1, ok := s.ValueAt(name, toCP)
+	if !ok {
+		return 0, false
+	}
+	v0, _ := s.ValueAt(name, fromCP)
+	if v1 < v0 {
+		return 0, true
+	}
+	return v1 - v0, true
 }
 
 // NumSeries returns the number of distinct series recorded.
@@ -185,6 +322,24 @@ func (s *Store) NumSeries() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.series)
+}
+
+// SeriesWithPrefix returns every series name with the given prefix, sorted —
+// how the SLO engine discovers per-volume SLI series under one system.
+func (s *Store) SeriesWithPrefix(prefix string) []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for n := range s.series {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // SeriesNames returns every series name, sorted.

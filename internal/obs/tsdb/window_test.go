@@ -1,0 +1,166 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"waflfs/internal/obs"
+)
+
+// monotone fills a counter-like series: value cp*10 at each CP 1..n.
+func monotone(s *Store, name string, n uint64) {
+	for cp := uint64(1); cp <= n; cp++ {
+		s.Observe(name, cp, time.Duration(cp), float64(cp*10))
+	}
+}
+
+func TestWindowStatsFullResolution(t *testing.T) {
+	s := NewStore(Config{Capacity: 16})
+	monotone(s, "x", 8)
+	w, ok := s.WindowStats("x", 3, 5)
+	if !ok {
+		t.Fatal("no window")
+	}
+	if w.Points != 3 || w.CPFirst != 3 || w.CPLast != 5 {
+		t.Fatalf("coverage = %d points [%d,%d], want 3 points [3,5]", w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Min != 30 || w.Max != 50 || w.Sum != 120 || w.Count != 3 {
+		t.Fatalf("stats = min %v max %v sum %v count %d", w.Min, w.Max, w.Sum, w.Count)
+	}
+	if w.FirstMin != 30 || w.LastMax != 50 {
+		t.Fatalf("FirstMin/LastMax = %v/%v, want 30/50", w.FirstMin, w.LastMax)
+	}
+	if w.AtLast != 5 {
+		t.Fatalf("AtLast = %v, want 5", w.AtLast)
+	}
+}
+
+// A window spanning folded points: capacity 4 over 8 CPs leaves
+// [1..4][5..6][7][8]. Querying [2,5] must pull in both folds whole and
+// report the widened coverage.
+func TestWindowStatsSpansFoldedPoints(t *testing.T) {
+	s := NewStore(Config{Capacity: 4})
+	monotone(s, "x", 8)
+	w, ok := s.WindowStats("x", 2, 5)
+	if !ok {
+		t.Fatal("no window")
+	}
+	if w.Points != 2 || w.CPFirst != 1 || w.CPLast != 6 {
+		t.Fatalf("coverage = %d points [%d,%d], want 2 points [1,6] (folds included whole)",
+			w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.FirstMin != 10 || w.LastMax != 60 {
+		t.Fatalf("FirstMin/LastMax = %v/%v, want 10/60", w.FirstMin, w.LastMax)
+	}
+	if w.Count != 6 || w.Sum != 10+20+30+40+50+60 {
+		t.Fatalf("count/sum = %d/%v", w.Count, w.Sum)
+	}
+}
+
+// A window that only partially intersects the retained ring: the leading
+// edge clamps to the first retained point, the trailing edge past the newest
+// CP clamps to the newest.
+func TestWindowStatsPartialCoverage(t *testing.T) {
+	s := NewStore(Config{Capacity: 4})
+	monotone(s, "x", 8) // ring: [1..4][5..6][7][8]
+	if _, ok := s.WindowStats("x", 9, 20); ok {
+		t.Fatal("window beyond newest CP should be empty")
+	}
+	w, ok := s.WindowStats("x", 7, 20)
+	if !ok || w.Points != 2 || w.CPFirst != 7 || w.CPLast != 8 {
+		t.Fatalf("tail clamp = ok %v, %d points [%d,%d]", ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	w, ok = s.WindowStats("x", 0, 1)
+	if !ok || w.Points != 1 || w.CPFirst != 1 || w.CPLast != 4 {
+		t.Fatalf("head clamp = ok %v, %d points [%d,%d]", ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if _, ok := s.WindowStats("y", 1, 8); ok {
+		t.Fatal("unknown series should not return a window")
+	}
+	if _, ok := s.WindowStats("x", 5, 4); ok {
+		t.Fatal("inverted window should be empty")
+	}
+}
+
+func TestValueAtAndCounterDelta(t *testing.T) {
+	s := NewStore(Config{Capacity: 4})
+	monotone(s, "x", 8) // ring: [1..4][5..6][7][8]
+
+	cases := []struct {
+		cp   uint64
+		want float64
+	}{
+		{0, 0},  // before the series: counters start at zero
+		{4, 40}, // fold boundary: exact (Max of [1..4])
+		{2, 10}, // inside a fold: conservative start-of-fold value
+		{6, 60},
+		{7, 70},
+		{8, 80},
+		{99, 80}, // past the end: newest value
+	}
+	for _, c := range cases {
+		got, ok := s.ValueAt("x", c.cp)
+		if !ok || got != c.want {
+			t.Errorf("ValueAt(%d) = %v,%v, want %v", c.cp, got, ok, c.want)
+		}
+	}
+	if _, ok := s.ValueAt("y", 1); ok {
+		t.Error("ValueAt on unknown series should report !ok")
+	}
+
+	// Delta over the whole run is exact regardless of folding.
+	if d, ok := s.CounterDelta("x", 0, 8); !ok || d != 80 {
+		t.Errorf("CounterDelta(0,8) = %v,%v, want 80", d, ok)
+	}
+	// Both endpoints on retained boundaries: exact.
+	if d, ok := s.CounterDelta("x", 4, 7); !ok || d != 30 {
+		t.Errorf("CounterDelta(4,7) = %v,%v, want 30", d, ok)
+	}
+	// Endpoint inside a fold resolves to the fold's start.
+	if d, ok := s.CounterDelta("x", 5, 8); !ok || d != 30 {
+		t.Errorf("CounterDelta(5,8) = %v,%v, want 30 (from folds to 50)", d, ok)
+	}
+}
+
+// Histogram bucket series: with a HistBuckets filter the store keeps one
+// cumulative counter series per finite bound, enabling windowed
+// threshold-exceed queries by delta.
+func TestSampleHistogramBucketSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat_ns", []uint64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.ObserveN(500, 3)
+
+	s := NewStore(Config{Capacity: 8, HistBuckets: SuffixFilter(".lat_ns")})
+	s.Sample("arm", 1, time.Nanosecond, reg.StableSnapshot())
+	h.ObserveN(5000, 2) // +Inf bucket
+	s.Sample("arm", 2, 2*time.Nanosecond, reg.StableSnapshot())
+
+	wantAt2 := map[string]float64{
+		"arm.lat_ns.le_10":   1,
+		"arm.lat_ns.le_100":  2,
+		"arm.lat_ns.le_1000": 5,
+		"arm.lat_ns.count":   7,
+	}
+	for name, want := range wantAt2 {
+		if v, ok := s.ValueAt(name, 2); !ok || v != want {
+			t.Errorf("%s at cp2 = %v,%v, want %v", name, v, ok, want)
+		}
+	}
+	// Threshold-exceed over (1,2]: samples above 1000 = count − le_1000.
+	cd := func(name string) float64 {
+		d, _ := s.CounterDelta(name, 1, 2)
+		return d
+	}
+	if bad := cd("arm.lat_ns.count") - cd("arm.lat_ns.le_1000"); bad != 2 {
+		t.Errorf("windowed above-threshold = %v, want 2", bad)
+	}
+
+	// Without the filter no bucket series exist.
+	s2 := NewStore(Config{Capacity: 8})
+	s2.Sample("arm", 1, time.Nanosecond, reg.StableSnapshot())
+	if pts := s2.Points("arm.lat_ns.le_10"); pts != nil {
+		t.Errorf("unexpected bucket series without filter: %+v", pts)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/slo"
 	"waflfs/internal/parallel"
 	"waflfs/internal/topaa"
 )
@@ -54,6 +55,10 @@ type Aggregate struct {
 	// wd is the online-watchdog state (watchdog.go). The counters always
 	// exist; the monitors run only when ObsOptions.Watchdogs is set.
 	wd watchdogState
+	// sloEng evaluates the configured SLO portfolio against the tsdb
+	// series at every CP boundary (nil unless both ObsOptions.SLO and
+	// ObsOptions.TSDB are armed; all uses are nil-safe).
+	sloEng *slo.Engine
 }
 
 // NewAggregate builds an aggregate from RAID-group specs. The seed makes

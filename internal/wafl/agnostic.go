@@ -63,6 +63,11 @@ type agnosticSpace struct {
 	shard  int // trace shard: volume index, or poolShard for the pool
 	pobs   *parallel.Obs
 	scored *obs.Counter
+	// lat is the per-volume modeled op-latency histogram feeding the SLO
+	// latency SLI (vol.<name>.lat_ns; nil for the pool). Reads observe
+	// their modeled device+CPU cost per op; writes observe their share of
+	// the CP's modeled cost at commit (see System.CP).
+	lat *obs.Histogram
 
 	// Allocation-decision provenance and watchdog hooks (nil when off;
 	// set by Aggregate.registerSpaceObs). cpNow points at the aggregate's

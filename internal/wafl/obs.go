@@ -8,6 +8,7 @@ import (
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/parallel"
 )
@@ -84,6 +85,13 @@ type ObsOptions struct {
 	// StrictWatchdogs promotes any watchdog violation to a panic — tests
 	// use it to turn the monitors into hard failures.
 	StrictWatchdogs bool
+	// SLO, when non-nil together with TSDB, evaluates the set's spec
+	// portfolio for this system at every CP boundary: error budgets and
+	// burn rates are computed from the TSDB series over modeled-clock
+	// windows, and the resulting alert states are written back as
+	// "<Name>.slo.*" series. Scalar totals surface as slo.* metrics. The
+	// set may be shared across systems (arms); totals then aggregate.
+	SLO *slo.Set
 }
 
 func (o *ObsOptions) normalized() ObsOptions {
@@ -249,6 +257,18 @@ func (ag *Aggregate) initObs() {
 		return uint64(ag.AllocPickWall(ag.workers()))
 	})
 
+	// SLO engine: System.CP calls Evaluate after the tsdb Sample for the
+	// same CP, so CSV/live rows see the slo.* counters with a one-CP lag.
+	// The counters are registered unconditionally (nil engine reads 0) so
+	// the metric set does not depend on arming.
+	if o.SLO != nil && o.TSDB != nil {
+		ag.sloEng = o.SLO.Engine(o.Name, o.TSDB)
+	}
+	ag.reg.CounterFunc("slo.evaluations", func() uint64 { return ag.sloEng.Evaluations() })
+	ag.reg.CounterFunc("slo.warns", func() uint64 { return ag.sloEng.Warns() })
+	ag.reg.CounterFunc("slo.pages", func() uint64 { return ag.sloEng.Pages() })
+	ag.reg.CounterFunc("slo.transitions", func() uint64 { return ag.sloEng.Transitions() })
+
 	ag.reg.CounterFunc("agg.bitmap.pages_dirtied", func() uint64 { return ag.bm.Stats().PagesDirtied })
 	ag.reg.CounterFunc("agg.bitmap.pages_flushed", func() uint64 { return ag.bm.Stats().PagesFlushed })
 	ag.reg.CounterFunc("agg.bitmap.page_reads", func() uint64 { return ag.bm.Stats().PageReads })
@@ -317,6 +337,12 @@ func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard in
 	}
 	if ag.wd.enabled {
 		sp.wd = &ag.wd
+	}
+	if strings.HasPrefix(prefix, "vol.") {
+		// Per-volume modeled op-latency histogram — the latency SLI. Fixed
+		// 1-2-5 buckets so the tsdb can keep cumulative per-bucket counter
+		// series (Config.HistBuckets) for windowed burn-rate queries.
+		sp.lat = ag.reg.Histogram(prefix+"lat_ns", obs.LatencyBuckets)
 	}
 	ag.reg.CounterFunc(prefix+"picks", func() uint64 { return sp.pickedCount })
 	ag.reg.CounterFunc(prefix+"cache_ops", func() uint64 { return sp.cacheOps })

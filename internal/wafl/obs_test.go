@@ -10,6 +10,7 @@ import (
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/picks"
+	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
 )
 
@@ -33,9 +34,10 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 		Tracer:    tracer,
 		CSV:       rec,
 		Frag:      frag,
-		TSDB:      tsdb.NewStore(tsdb.DefaultConfig()),
+		TSDB:      tsdb.NewStore(tsdb.Config{Capacity: 512, HistBuckets: tsdb.SuffixFilter(".lat_ns")}),
 		Picks:     picks.NewRecorder(picks.DefaultConfig()),
 		Watchdogs: true,
+		SLO:       slo.NewSet(slo.DefaultSpecs()),
 	}
 	s := NewSystem(testSpecs(),
 		[]VolSpec{
@@ -66,6 +68,9 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 	s.Agg.Remount(true)
 	for i := 0; i < 3000; i++ {
 		s.Write(lunA, uint64(rng.Intn(60000)), 1)
+	}
+	for i := 0; i < 500; i++ { // exercise the read-side latency SLI
+		s.Read(lunA, uint64(rng.Intn(59000)), 4)
 	}
 	record()
 	s.Agg.Remount(false)
@@ -224,6 +229,28 @@ func TestObsSerialEquivalence(t *testing.T) {
 			}
 		}
 		t.Fatal("tsdb JSON diverged across worker counts")
+	}
+
+	// SLO evaluation streams are part of the contract: instance states,
+	// burn rates, budget accounting, and transition logs are byte-identical
+	// at any worker width. (The per-CP burn-rate and state series the
+	// engine writes back into the store ride the tsdb comparison above.)
+	slo1, slo8 := s1.Agg.obsOpts.SLO, s8.Agg.obsOpts.SLO
+	if slo1.Totals().Evaluations == 0 {
+		t.Fatal("slo engine never evaluated")
+	}
+	if slo1.Totals().Instances == 0 {
+		t.Fatal("slo engine resolved no instances")
+	}
+	var sj1, sj8 strings.Builder
+	if err := slo1.WriteJSON(&sj1); err != nil {
+		t.Fatal(err)
+	}
+	if err := slo8.WriteJSON(&sj8); err != nil {
+		t.Fatal(err)
+	}
+	if sj1.String() != sj8.String() {
+		t.Fatalf("slo status diverged across worker counts:\n%s\nvs\n%s", sj1.String(), sj8.String())
 	}
 
 	// Pick-provenance streams replay in canonical order at any worker width.

@@ -140,6 +140,7 @@ func (s *System) Read(l *LUN, lba uint64, nblocks int) {
 	}
 	s.c.Ops++
 	s.c.CPUTime += s.tun.CPUBasePerOp
+	busyBefore := s.c.DeviceBusy
 	// Gather the op's physical blocks and coalesce per device, exactly as a
 	// RAID read engine does: striped sequential data becomes one contiguous
 	// DBN chain per device.
@@ -186,6 +187,9 @@ func (s *System) Read(l *LUN, lba uint64, nblocks int) {
 			i = j
 		}
 	}
+	// Latency SLI: a read op's modeled latency is its base CPU charge plus
+	// the device time it just accrued — both worker-invariant.
+	l.vol.space.lat.Observe(uint64(s.tun.CPUBasePerOp + (s.c.DeviceBusy - busyBefore)))
 }
 
 // devKey identifies one data device for read coalescing.
@@ -224,6 +228,8 @@ func (s *System) CP() CPStats {
 		}
 		return luns[i].Name < luns[j].Name
 	})
+	volBlocks := make(map[*FlexVol]uint64, len(s.Agg.vols))
+	var totalBlocks uint64
 	for _, l := range luns {
 		dirty := s.pending[l]
 		n := len(dirty)
@@ -231,6 +237,8 @@ func (s *System) CP() CPStats {
 			continue
 		}
 		vol := l.vol
+		volBlocks[vol] += uint64(n)
+		totalBlocks += uint64(n)
 		virt := vol.space.allocate(n)
 		var phys []block.VBN
 		if s.tun.FlashPool {
@@ -284,11 +292,27 @@ func (s *System) CP() CPStats {
 	s.c.MetafilePages += pages
 	s.c.TopAABlocks += uint64(st.TopAABlocks)
 	s.c.CPUTime += time.Duration(pages) * s.tun.CPUPerMetafilePage
-	s.c.CPUTime += time.Duration(s.virtScanBlocks()-scanBefore) * s.tun.CPUPerVirtAllocScan
+	scanCPU := time.Duration(s.virtScanBlocks()-scanBefore) * s.tun.CPUPerVirtAllocScan
+	s.c.CPUTime += scanCPU
 	cacheCPU := time.Duration(s.cacheOps()-cacheOpsBefore) * s.tun.CPUPerCacheOp
 	s.c.CPUTime += cacheCPU
 	s.c.CacheCPUTime += cacheCPU
 	s.cpWall += st.FlushWall
+
+	// Latency SLI, write side: every block committed this CP shares the
+	// CP's worker-invariant modeled cost (device time, metafile and
+	// virtual-scan CPU, cache CPU) evenly, on top of the per-op base CPU
+	// charge. FlushWall is deliberately excluded: it varies with worker
+	// width, and the SLO engine requires invariant inputs.
+	if totalBlocks > 0 {
+		cpCost := st.DeviceBusy + time.Duration(pages)*s.tun.CPUPerMetafilePage + scanCPU + cacheCPU
+		perBlock := uint64(s.tun.CPUBasePerOp) + uint64(cpCost)/totalBlocks
+		for _, v := range s.Agg.vols {
+			if n := volBlocks[v]; n > 0 {
+				v.space.lat.ObserveN(perBlock, n)
+			}
+		}
+	}
 
 	// Advance the tracer's modeled clock by the worker-invariant time this
 	// CP (and the client ops since the last one) accrued, then record the
@@ -310,6 +334,12 @@ func (s *System) CP() CPStats {
 		// excludes volatile metrics, so the stored series are byte-identical
 		// across worker widths.
 		ts.Sample(s.Agg.obsOpts.Name, s.c.CPs, tot, s.Agg.reg.StableSnapshot())
+	}
+	if e := s.Agg.sloEng; e != nil {
+		// Evaluate the SLO portfolio against the series sampled above. The
+		// alert state for this CP lands in the store immediately; the
+		// slo.* scalar counters appear in CSV/live rows at the next CP.
+		e.Evaluate(s.c.CPs, tot)
 	}
 	return st
 }

@@ -24,17 +24,23 @@ go test -run '^$' -fuzz '^FuzzLoadAgnostic$' -fuzztime 5s ./internal/topaa
 # Sharded-HBPS op-sequence fuzzer: random stage/pop/free/flush interleavings
 # must preserve the tracked-set and no-duplicate-pick invariants.
 go test -run '^$' -fuzz '^FuzzShardedOps$' -fuzztime 5s ./internal/hbps
+# SLO-spec parser fuzzer: any accepted spec string must round-trip through
+# its canonical formatting to an identical portfolio.
+go test -run '^$' -fuzz '^FuzzParseSLOSpec$' -fuzztime 5s ./internal/obs/slo
 
 # Observability smoke test: a small bench run must serve /metrics (the bench
 # self-checks the endpoint and exits nonzero if it cannot fetch it) and
-# produce non-empty CSV and trace files.
+# produce non-empty CSV and trace files. The default SLO portfolio rides
+# along: the clean figure run must fire no warn or page (-slo-expect none
+# exits nonzero otherwise).
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/waflbench" ./cmd/waflbench
 "$tmpdir/waflbench" -exp fig9 -scale 0.05 \
     -metrics-addr 127.0.0.1:0 \
     -csv-out "$tmpdir/bench.csv" \
-    -trace-out "$tmpdir/bench.jsonl" >/dev/null
+    -trace-out "$tmpdir/bench.jsonl" \
+    -slo default -slo-expect none >/dev/null
 test -s "$tmpdir/bench.csv"
 test -s "$tmpdir/bench.jsonl"
 
@@ -61,14 +67,19 @@ test -s "$latest"
 # Crash-recovery gate: crash at every CP phase × media fault at tiny scale;
 # the bench exits nonzero if any recovered AA cache silently disagrees with
 # the bitmap metafiles (see internal/faultinject and the mount-time scrub).
-"$tmpdir/waflbench" -faults matrix -scale 0.05 >/dev/null
+# The SLO portfolio must see the damage: -slo-expect alerts exits nonzero
+# unless at least one crash cell pages the recovery SLI.
+"$tmpdir/waflbench" -faults matrix -scale 0.05 \
+    -slo default -slo-expect alerts >/dev/null
 
 # Live-introspection smoke test: hold the live endpoints after a small run
-# and point wafltop -snapshot at them; it exits nonzero unless the embedded
-# time-series store serves nonzero per-CP series.
+# (with the SLO engine armed) and point wafltop -snapshot at them; it exits
+# nonzero unless the embedded time-series store serves nonzero per-CP series,
+# and also if any SLO instance is paging. The snapshot must include the SLO
+# panel, and /debug/slo itself must serve a populated status document.
 go build -o "$tmpdir/wafltop" ./cmd/wafltop
 "$tmpdir/waflbench" -exp fig9 -scale 0.05 \
-    -metrics-addr 127.0.0.1:0 -hold 60s >"$tmpdir/live.out" 2>&1 &
+    -metrics-addr 127.0.0.1:0 -slo default -hold 60s >"$tmpdir/live.out" 2>&1 &
 live_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -79,6 +90,10 @@ for _ in $(seq 1 100); do
     sleep 0.2
 done
 test -n "$addr"
-"$tmpdir/wafltop" -addr "$addr" -snapshot
+"$tmpdir/wafltop" -addr "$addr" -snapshot >"$tmpdir/snap.out"
+grep -q "SLO portfolio" "$tmpdir/snap.out"
+curl -fsS "http://$addr/debug/slo" >"$tmpdir/slo.json" 2>/dev/null \
+    || wget -qO "$tmpdir/slo.json" "http://$addr/debug/slo"
+grep -q '"evaluations"' "$tmpdir/slo.json"
 kill "$live_pid" 2>/dev/null || true
 wait "$live_pid" 2>/dev/null || true
