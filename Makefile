@@ -6,7 +6,7 @@ SCALE ?= 1.0
 # `make bench-artifact` never clobbers a committed baseline by accident.
 BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo
+.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo trace
 
 all: build
 
@@ -49,6 +49,15 @@ bench-diff:
 live:
 	go run ./cmd/waflbench -exp fig9 -scale 0.25 \
 	    -metrics-addr 127.0.0.1:9190 -slo default -hold 30m
+
+# Like `live`, but with request-scoped op tracing armed at a dense sampling
+# rate: /debug/optrace serves the span trees (filter with ?vol= ?min_lat=
+# ?id= ?limit=), wafltop shows the slowest-ops panel, and the run's critical
+# paths fold into trace.folded for flamegraph.pl.
+trace:
+	go run ./cmd/waflbench -exp fig9 -scale 0.25 \
+	    -metrics-addr 127.0.0.1:9190 -slo default -optrace rate=8 \
+	    -trace-collapse trace.folded -hold 30m
 
 # SLO gate both ways: a clean figure run must fire no alert, and the crash
 # matrix (always at small scale — it sweeps every phase × fault) must page

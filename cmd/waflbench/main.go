@@ -12,6 +12,7 @@
 //	          [-trace-collapse f.folded] [-bench-json BENCH_n.json]
 //	          [-faults matrix|<plan-spec>] [-pickbench]
 //	          [-slo default|<spec>] [-slo-expect none|alerts]
+//	          [-optrace default|rate=N[,slow=D][,cap=N]]
 //
 // -faults runs the crash-recovery harness instead of a figure: "matrix"
 // sweeps a crash at every CP phase × media fault kind and exits nonzero if
@@ -54,6 +55,18 @@
 // fired (clean-figure smoke), "alerts" fails unless at least one page
 // fired (crash-matrix smoke). See internal/obs/slo.
 //
+// -optrace arms request-scoped op tracing on every arm: 1-in-rate sampled
+// reads and writes (plus every op slower than the slow gate) record a span
+// tree on the modeled clock — allocator pick provenance, per-stage CP cost
+// attribution, device-busy leaves — into bounded per-volume rings. With
+// -metrics-addr the /debug/optrace endpoint serves the trace document
+// (filterable by ?vol=, ?min_lat=, ?id=, ?limit=); with -trace-collapse the
+// sampled ops' critical paths fold into the same collapsed-stack output as
+// the CP-phase spans. The spec is comma-separated key=value ("default" for
+// rate=16,slow=20ms,cap=256); trace IDs are derived from -seed, so the
+// sampled set and every ID are identical at any -parallel width. See
+// internal/obs/optrace.
+//
 // -pickbench runs the striped-vs-shared allocator pick-path microbenchmark
 // (see internal/experiments.RunAllocBench) and exits nonzero if the striped
 // arm's modeled pick wall-clock at 8 workers is not strictly faster than the
@@ -73,11 +86,13 @@ import (
 	"net"
 	"net/http"
 	hpprof "net/http/pprof"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -85,6 +100,7 @@ import (
 	"waflfs/internal/experiments"
 	"waflfs/internal/faultinject"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
@@ -129,6 +145,8 @@ func main() {
 		"arm the SLO engine on every arm with this spec string ('default' for the stock portfolio; see internal/obs/slo)")
 	sloExpect := flag.String("slo-expect", "",
 		"exit 1 unless the run's SLO alert totals match: 'none' (no warns or pages) or 'alerts' (at least one page); requires -slo")
+	optraceSpec := flag.String("optrace", "",
+		"arm request-scoped op tracing on every arm with this spec ('default' or 'rate=N[,slow=D][,cap=N]'; see internal/obs/optrace)")
 	flag.Parse()
 
 	switch *sloExpect {
@@ -198,8 +216,9 @@ func main() {
 		tsStore *tsdb.Store
 		pickRec *picks.Recorder
 		sloSet  *slo.Set
+		otRec   *optrace.Recorder
 	)
-	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" || *sloSpec != "" {
+	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" || *sloSpec != "" || *optraceSpec != "" {
 		export = obs.NewRegistry()
 		sink := &experiments.ObsSink{Export: export}
 		if *metricsAddr != "" || *sloSpec != "" {
@@ -233,6 +252,16 @@ func main() {
 			}
 			sloSet = slo.NewSet(specs)
 			sink.SLO = sloSet
+		}
+		if *optraceSpec != "" {
+			otCfg, err := optrace.ParseConfig(*optraceSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-optrace: %v\n", err)
+				os.Exit(2)
+			}
+			otCfg.Seed = *seed
+			otRec = optrace.NewRecorder(otCfg)
+			sink.OpTrace = otRec
 		}
 		if *traceOut != "" || *traceCollapse != "" {
 			tracer = obs.NewTracer()
@@ -283,6 +312,15 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = sloSet.WriteJSON(w) // nil-safe: empty document without -slo
 		})
+		mux.HandleFunc("/debug/optrace", func(w http.ResponseWriter, r *http.Request) {
+			f, err := optraceFilter(r.URL.Query())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = otRec.WriteJSON(w, f) // nil-safe: empty document without -optrace
+		})
 		mux.HandleFunc("/debug/pprof/", hpprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", hpprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
@@ -291,7 +329,7 @@ func main() {
 		srv = &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
-		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/slo /debug/pprof)\n\n", ln.Addr())
+		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/slo /debug/optrace /debug/pprof)\n\n", ln.Addr())
 	}
 
 	if *pickbench {
@@ -341,13 +379,16 @@ func main() {
 	if sloSet != nil {
 		printSLOSummary(sloSet)
 	}
+	if otRec != nil {
+		printOptraceSummary(otRec)
+	}
 
 	if srv != nil && *hold > 0 {
 		fmt.Printf("holding live endpoints for %v (interrupt to stop early)\n", *hold)
 		time.Sleep(*hold)
 	}
 
-	if err := finishObs(metricsURL, srv, tracer, *traceOut, *traceCollapse, csvRec, csvFile); err != nil {
+	if err := finishObs(metricsURL, srv, tracer, otRec, *traceOut, *traceCollapse, csvRec, csvFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -380,6 +421,52 @@ func printSLOSummary(set *slo.Set) {
 				sys.System, tr.Instance, tr.From, tr.To, tr.CP)
 		}
 	}
+}
+
+// printOptraceSummary renders the run's sampling posture plus each volume's
+// worst sampled op, so a scripted run surfaces its exemplar trace IDs
+// without anyone curling the live endpoint.
+func printOptraceSummary(rec *optrace.Recorder) {
+	fmt.Printf("optrace: %d ops sampled (%d slow-gated, %d evicted) across %d volumes [%s]\n",
+		rec.TotalSampled(), rec.TotalSlowSampled(), rec.TotalDropped(),
+		len(rec.Spaces()), rec.Config())
+	for _, sp := range rec.Spaces() {
+		if id, lat, ok := rec.Exemplar(sp); ok {
+			fmt.Printf("  %s: worst sampled op %s at %v\n",
+				sp, optrace.FormatTraceID(id), time.Duration(lat))
+		}
+	}
+}
+
+// optraceFilter translates /debug/optrace query parameters into a trace
+// filter: ?vol= substring-matches the volume space, ?min_lat= is a
+// time.ParseDuration floor, ?id= fetches one trace by ID (hex or decimal),
+// ?limit= keeps the newest N per space.
+func optraceFilter(q url.Values) (optrace.Filter, error) {
+	var f optrace.Filter
+	f.Space = q.Get("vol")
+	if v := q.Get("min_lat"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return f, fmt.Errorf("min_lat %q: want a non-negative duration", v)
+		}
+		f.MinLatNS = uint64(d)
+	}
+	if v := q.Get("id"); v != "" {
+		id, err := optrace.ParseTraceID(v)
+		if err != nil {
+			return f, fmt.Errorf("id %q: %v", v, err)
+		}
+		f.ID = id
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("limit %q: want a non-negative integer", v)
+		}
+		f.Limit = n
+	}
+	return f, nil
 }
 
 // checkSLOExpect turns the portfolio's final alert totals into an exit
@@ -441,7 +528,7 @@ func runFaults(cfg experiments.Config, mode string) error {
 // it self-checks the metrics endpoint (so scripted runs need no external
 // HTTP client), flushes the trace file with a phase-duration digest, and
 // closes the CSV stream. Any failure is reported as a run failure.
-func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
+func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer, otRec *optrace.Recorder,
 	traceOut, traceCollapse string, csvRec *obs.CSVRecorder, csvFile *os.File) error {
 	if srv != nil {
 		resp, err := http.Get(metricsURL)
@@ -484,12 +571,20 @@ func finishObs(metricsURL string, srv *http.Server, tracer *obs.Tracer,
 			time.Duration(sum.Percentile(50)).Round(time.Microsecond),
 			time.Duration(sum.Percentile(95)).Round(time.Microsecond))
 	}
-	if tracer != nil && traceCollapse != "" {
+	if (tracer != nil || otRec != nil) && traceCollapse != "" {
 		f, err := os.Create(traceCollapse)
 		if err != nil {
 			return err
 		}
-		stacks, err := obs.WriteCollapsed(f, tracer.Events())
+		// The CP-phase spans and the sampled ops' critical paths fold into
+		// one collapsed-stack file; the op stacks are rooted at op.read /
+		// op.write so flamegraphs keep the two families apart.
+		var evs []obs.Event
+		if tracer != nil {
+			evs = tracer.Events()
+		}
+		evs = append(evs, otRec.CollapsedEvents()...)
+		stacks, err := obs.WriteCollapsed(f, evs)
 		if err != nil {
 			f.Close()
 			return err

@@ -1,28 +1,34 @@
 // Command wafltop is a terminal viewer for a running waflbench's live
 // introspection endpoints (-metrics-addr). It polls /debug/timeseries,
-// /debug/picks, and /debug/slo and renders, per experiment arm: the per-CP
-// allocation-quality deciles from the embedded time-series store, the
-// pick-provenance reason mix (cache hit / refill / fallback rates), the
-// CP-phase modeled-clock breakdown with historical sparklines drawn from the
-// series rings, the watchdog counters, and the SLO portfolio (per-instance
-// alert state, burn rates, budget used, and a slow-burn sparkline).
+// /debug/picks, /debug/slo, and /debug/optrace and renders, per experiment
+// arm: the per-CP allocation-quality deciles from the embedded time-series
+// store, the pick-provenance reason mix (cache hit / refill / fallback
+// rates), the CP-phase modeled-clock breakdown with historical sparklines
+// drawn from the series rings, the watchdog counters, the SLO portfolio
+// (per-instance alert state, burn rates, budget used, and a slow-burn
+// sparkline), and the slowest sampled ops with their per-stage latency
+// breakdown bars (base CPU / device / metafile / scan / cache).
 //
 // Usage:
 //
-//	wafltop [-addr host:port] [-interval 2s] [-count N] [-snapshot]
+//	wafltop [-addr host:port] [-interval 2s] [-count N] [-snapshot] [-json]
 //
 // -snapshot fetches once, prints one report, and exits — nonzero when the
 // store holds no nonzero per-CP series yet, or when any SLO instance is in
-// the page state (the CI smoke-test mode). Without it, wafltop clears the
-// screen and refreshes every -interval until interrupted (or N refreshes
-// with -count). A bench built before the SLO engine simply has no
-// /debug/slo endpoint; the panel is skipped in that case.
+// the page state (the CI smoke-test mode). -json fetches once and emits the
+// raw endpoint documents as one combined JSON object
+// {"timeseries":…,"picks":…,"slo":…,"optrace":…} with the same exit
+// semantics, for scripting. Without either, wafltop clears the screen and
+// refreshes every -interval until interrupted (or N refreshes with -count).
+// A bench built before the SLO engine or op tracer simply has no /debug/slo
+// or /debug/optrace endpoint; those panels (and JSON keys) are skipped.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -80,6 +86,31 @@ type sloDoc struct {
 	} `json:"systems"`
 }
 
+type otSpan struct {
+	Name     string   `json:"name"`
+	DurNS    uint64   `json:"dur_ns"`
+	Children []otSpan `json:"children,omitempty"`
+}
+
+type otDoc struct {
+	Sampled     uint64 `json:"sampled"`
+	SlowSampled uint64 `json:"slow_sampled"`
+	Dropped     uint64 `json:"dropped"`
+	Spaces      []struct {
+		Space  string `json:"space"`
+		Traces []struct {
+			ID     uint64   `json:"id"`
+			Space  string   `json:"space"`
+			Kind   string   `json:"kind"`
+			CP     uint64   `json:"cp"`
+			LatNS  uint64   `json:"lat_ns"`
+			Blocks uint64   `json:"blocks"`
+			Slow   bool     `json:"slow"`
+			Spans  []otSpan `json:"spans"`
+		} `json:"traces"`
+	} `json:"spaces"`
+}
+
 type picksDoc struct {
 	Spaces []struct {
 		Space    string            `json:"space"`
@@ -89,16 +120,18 @@ type picksDoc struct {
 	} `json:"spaces"`
 }
 
-func fetchJSON(client *http.Client, url string, v interface{}) error {
+// fetchRaw returns an endpoint's body bytes, so one fetch can feed both the
+// typed panels and the -json passthrough document.
+func fetchRaw(client *http.Client, url string) ([]byte, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return io.ReadAll(resp.Body)
 }
 
 // last returns the newest point of a series, if any.
@@ -143,7 +176,7 @@ func spark(pts []point, width int) string {
 // least one nonzero sample (the -snapshot liveness criterion) and the number
 // of SLO instances currently in the page state (the -snapshot health
 // criterion).
-func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool) (nonzero, paging int) {
+func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool, ot otDoc, haveOT bool) (nonzero, paging int) {
 	bySeries := make(map[string][]point, len(ts.Series))
 	maxCP := uint64(0)
 	for _, se := range ts.Series {
@@ -322,7 +355,79 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool) 
 			fmt.Fprintf(w, "  … and %d more instances (all %s)\n", len(rows)-len(shown), shown[len(shown)-1].st)
 		}
 	}
+
+	// Slowest sampled ops: every surviving trace ranked by modeled latency,
+	// with a per-stage breakdown bar built from the top-level span durations
+	// (the spans sum exactly to lat_ns, so the bar is the whole story).
+	if haveOT && ot.Sampled > 0 {
+		type otRow struct {
+			id            uint64
+			space, kind   string
+			cp, lat, blks uint64
+			slow          bool
+			stages        map[string]uint64
+		}
+		var rows []otRow
+		for _, sp := range ot.Spaces {
+			for _, t := range sp.Traces {
+				st := make(map[string]uint64, len(t.Spans))
+				for _, s := range t.Spans {
+					st[s.Name] += s.DurNS
+				}
+				rows = append(rows, otRow{t.ID, t.Space, t.Kind, t.CP, t.LatNS, t.Blocks, t.Slow, st})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].lat != rows[j].lat {
+				return rows[i].lat > rows[j].lat
+			}
+			return rows[i].id < rows[j].id
+		})
+		fmt.Fprintf(w, "\nslowest sampled ops — %d sampled (%d slow-gated, %d evicted)   [b=base_cpu d=device m=metafile s=scan c=cache]\n",
+			ot.Sampled, ot.SlowSampled, ot.Dropped)
+		fmt.Fprintf(w, "%-18s %-28s %-5s %6s %9s %7s  %s\n",
+			"trace", "volume", "kind", "cp", "lat_ms", "blocks", "stage breakdown")
+		shown := rows
+		if len(shown) > 8 {
+			shown = shown[:8]
+		}
+		for _, r := range shown {
+			mark := ""
+			if r.slow {
+				mark = "  <-- SLOW"
+			}
+			fmt.Fprintf(w, "0x%016x %-28s %-5s %6d %9.2f %7d  |%s|%s\n",
+				r.id, r.space, r.kind, r.cp, float64(r.lat)/1e6, r.blks,
+				stageBar(r.stages, r.lat, 24), mark)
+		}
+		if len(rows) > len(shown) {
+			fmt.Fprintf(w, "  … and %d more sampled ops in the rings\n", len(rows)-len(shown))
+		}
+	}
 	return nonzero, paging
+}
+
+// stageBar renders a width-character bar whose segments are the attribution
+// stages' shares of the op latency, each drawn with the stage's letter.
+func stageBar(stages map[string]uint64, lat uint64, width int) string {
+	if lat == 0 {
+		return strings.Repeat(" ", width)
+	}
+	order := []struct {
+		name string
+		ch   byte
+	}{{"base_cpu", 'b'}, {"device", 'd'}, {"metafile", 'm'}, {"scan", 's'}, {"cache", 'c'}}
+	b := make([]byte, 0, width)
+	for _, s := range order {
+		n := int(float64(stages[s.name])/float64(lat)*float64(width) + 0.5)
+		for i := 0; i < n && len(b) < width; i++ {
+			b = append(b, s.ch)
+		}
+	}
+	for len(b) < width {
+		b = append(b, ' ')
+	}
+	return string(b)
 }
 
 func main() {
@@ -331,6 +436,8 @@ func main() {
 	count := flag.Int("count", 0, "number of refreshes before exiting (0 = until interrupted)")
 	snapshot := flag.Bool("snapshot", false,
 		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet or any SLO instance is paging")
+	jsonOut := flag.Bool("json", false,
+		"fetch once, emit the raw endpoint documents as one combined JSON object on stdout, and exit with -snapshot's status semantics")
 	flag.Parse()
 
 	base := *addr
@@ -343,21 +450,53 @@ func main() {
 		var ts tsDoc
 		var pk picksDoc
 		var sl sloDoc
-		if err := fetchJSON(client, base+"/debug/timeseries", &ts); err != nil {
+		var ot otDoc
+		tsRaw, err := fetchRaw(client, base+"/debug/timeseries")
+		if err == nil {
+			err = json.Unmarshal(tsRaw, &ts)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := fetchJSON(client, base+"/debug/picks", &pk); err != nil {
+		pkRaw, err := fetchRaw(client, base+"/debug/picks")
+		if err == nil {
+			err = json.Unmarshal(pkRaw, &pk)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		// Benches built before the SLO engine have no /debug/slo; skip the
-		// panel rather than failing the whole viewer.
-		haveSLO := fetchJSON(client, base+"/debug/slo", &sl) == nil
+		// Benches built before the SLO engine or op tracer have no
+		// /debug/slo or /debug/optrace; skip those panels rather than
+		// failing the whole viewer.
+		slRaw, slErr := fetchRaw(client, base+"/debug/slo")
+		haveSLO := slErr == nil && json.Unmarshal(slRaw, &sl) == nil
+		otRaw, otErr := fetchRaw(client, base+"/debug/optrace")
+		haveOT := otErr == nil && json.Unmarshal(otRaw, &ot) == nil
 		var b strings.Builder
-		nonzero, paging := report(&b, ts, pk, sl, haveSLO)
-		if *snapshot {
-			fmt.Print(b.String())
+		nonzero, paging := report(&b, ts, pk, sl, haveSLO, ot, haveOT)
+		if *snapshot || *jsonOut {
+			if *jsonOut {
+				doc := map[string]json.RawMessage{
+					"timeseries": tsRaw,
+					"picks":      pkRaw,
+				}
+				if haveSLO {
+					doc["slo"] = slRaw
+				}
+				if haveOT {
+					doc["optrace"] = otRaw
+				}
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(doc); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Print(b.String())
+			}
 			if nonzero == 0 {
 				fmt.Fprintln(os.Stderr, "wafltop: no nonzero per-CP series yet")
 				os.Exit(1)

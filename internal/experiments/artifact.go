@@ -12,6 +12,7 @@ import (
 	"waflfs/internal/benchfmt"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
 	"waflfs/internal/parallel"
@@ -52,6 +53,12 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	}
 	if cfg.Obs.SLO == nil {
 		cfg.Obs.SLO = slo.NewSet(slo.DefaultSpecs())
+	}
+	// Op tracing rides every arm: sampled span trees feed SLO exemplars and
+	// the attr.* stage counters they reconcile against. Default rate keeps
+	// the rings cheap; the coverage gate below audits the attribution math.
+	if cfg.Obs.OpTrace == nil {
+		cfg.Obs.OpTrace = optrace.NewRecorder(optrace.Config{Rate: 16, Seed: cfg.Seed})
 	}
 
 	art := benchfmt.Artifact{
@@ -224,6 +231,35 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	}
 	if crashTot.Pages == 0 {
 		return art, fmt.Errorf("experiments: crash matrix fired no SLO pages — the recovery SLI is dead")
+	}
+
+	// Op-trace audit: sampling must have fired, and the per-stage attribution
+	// counters must reconcile with the latency histograms they decompose —
+	// sum(vol.*.attr.*_ns) == sum(vol.*.lat_ns histogram Sum) across every
+	// arm. Coverage is pinned at 1.0 with a 0.001 band; drift means a write
+	// path charged latency without attributing it (or vice versa).
+	var attrNS, latNS uint64
+	for _, m := range cfg.Obs.Export.StableSnapshot().Metrics {
+		switch {
+		case m.Kind == obs.KindCounter && strings.Contains(m.Name, ".attr.") && strings.HasSuffix(m.Name, "_ns"):
+			attrNS += m.Value
+		case m.Kind == obs.KindHistogram && strings.HasSuffix(m.Name, ".lat_ns"):
+			latNS += m.Hist.Sum
+		}
+	}
+	sampled := cfg.Obs.OpTrace.TotalSampled()
+	art.Add("optrace.sampled_ops", float64(sampled), "count", 0.25)
+	art.Add("optrace.slow_sampled", float64(cfg.Obs.OpTrace.TotalSlowSampled()), "count", 0.50)
+	coverage := 0.0
+	if latNS > 0 {
+		coverage = float64(attrNS) / float64(latNS)
+	}
+	art.Add("optrace.attr_coverage", coverage, "frac", 0.001)
+	if sampled == 0 {
+		return art, fmt.Errorf("experiments: op tracing armed but sampled no ops")
+	}
+	if coverage < 0.999 || coverage > 1.001 {
+		return art, fmt.Errorf("experiments: attribution coverage %.6f — attr.*_ns counters do not reconcile with lat_ns histograms", coverage)
 	}
 
 	art.Sort()

@@ -18,6 +18,7 @@ import (
 
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
@@ -88,6 +89,10 @@ type ObsSink struct {
 	// on every arm at each CP boundary; per-arm engines register under the
 	// arm name so alert totals can be split by prefix (clean vs crash.*).
 	SLO *slo.Set
+	// OpTrace receives sampled request-scoped span trees from every arm
+	// (rings are keyed by arm-prefixed volume names); per-stage latency
+	// attribution surfaces as <arm>.vol.<v>.attr.<stage>_ns metrics.
+	OpTrace *optrace.Recorder
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -124,6 +129,7 @@ func (c Config) tunablesNamed(name string) wafl.Tunables {
 			Watchdogs:        c.Obs.Watchdogs,
 			Live:             c.Obs.Live,
 			SLO:              c.Obs.SLO,
+			OpTrace:          c.Obs.OpTrace,
 		}
 	}
 	return tun

@@ -22,7 +22,7 @@ func TestLiveSinkDisabledPathBudget(t *testing.T) {
 		{"nil-ring-record", func(b *testing.B) {
 			var r *picks.Ring
 			for i := 0; i < b.N; i++ {
-				r.Record(uint64(i), 1, 100, 90, 8, picks.HeapTop)
+				r.Record(uint64(i), 1, 100, 90, 8, picks.HeapTop, 0)
 			}
 		}},
 		{"nil-store-observe", func(b *testing.B) {

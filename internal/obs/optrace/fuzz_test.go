@@ -1,0 +1,36 @@
+package optrace
+
+import "testing"
+
+// FuzzParseOptrace drives both user-facing parsers (trace IDs from
+// /debug/optrace query strings, -optrace flag specs) with arbitrary input:
+// no panics, and every accepted value must round-trip through its canonical
+// formatter.
+func FuzzParseOptrace(f *testing.F) {
+	f.Add("0xdeadbeef")
+	f.Add("12345")
+	f.Add("rate=8,slow=5ms,cap=64,seed=42")
+	f.Add("default")
+	f.Add("rate=1")
+	f.Add("slow=20ms")
+	f.Fuzz(func(t *testing.T, s string) {
+		if id, err := ParseTraceID(s); err == nil {
+			if id == 0 {
+				t.Fatalf("ParseTraceID(%q) accepted the reserved zero id", s)
+			}
+			rt, err := ParseTraceID(FormatTraceID(id))
+			if err != nil || rt != id {
+				t.Fatalf("trace id %q -> %#x did not round trip (got %#x, %v)", s, id, rt, err)
+			}
+		}
+		if cfg, err := ParseConfig(s); err == nil {
+			if cfg.Rate <= 0 || cfg.Capacity <= 0 || cfg.SlowNS == 0 {
+				t.Fatalf("ParseConfig(%q) accepted a non-positive field: %+v", s, cfg)
+			}
+			rt, err := ParseConfig(cfg.String())
+			if err != nil || rt != cfg {
+				t.Fatalf("config %q -> %+v did not round trip (got %+v, %v)", s, cfg, rt, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package optrace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FormatTraceID renders a trace ID the way every surface prints it:
+// zero-padded lowercase hex with an 0x prefix, e.g. 0x00c0ffee00c0ffee.
+func FormatTraceID(id uint64) string {
+	return fmt.Sprintf("0x%016x", id)
+}
+
+// ParseTraceID parses a trace ID as printed by FormatTraceID (0x hex, any
+// width) or as the plain decimal JSON encoding. The zero ID is rejected —
+// recorded traces are never 0, so 0 only ever means "no filter".
+func ParseTraceID(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	base := 10
+	if rest, ok := strings.CutPrefix(s, "0x"); ok {
+		s, base = rest, 16
+	} else if rest, ok := strings.CutPrefix(s, "0X"); ok {
+		s, base = rest, 16
+	}
+	id, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("optrace: bad trace id %q: %v", s, err)
+	}
+	if id == 0 {
+		return 0, fmt.Errorf("optrace: trace id 0 is reserved")
+	}
+	return id, nil
+}
+
+// ParseConfig parses the -optrace flag spec: comma-separated key=value
+// pairs "rate=N[,slow=D][,cap=N][,seed=N]", where slow takes a
+// time.ParseDuration string. Omitted keys keep their Config defaults; the
+// bare spec "default" (or "") selects DefaultConfig.
+func ParseConfig(spec string) (Config, error) {
+	cfg := DefaultConfig()
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "default" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("optrace: bad spec element %q (want key=value)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "rate":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("optrace: bad rate %q (want positive integer)", val)
+			}
+			cfg.Rate = n
+		case "slow":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("optrace: bad slow threshold %q (want positive duration)", val)
+			}
+			cfg.SlowNS = uint64(d)
+		case "cap":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("optrace: bad cap %q (want positive integer)", val)
+			}
+			cfg.Capacity = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("optrace: bad seed %q (want integer)", val)
+			}
+			cfg.Seed = n
+		default:
+			return Config{}, fmt.Errorf("optrace: unknown spec key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the config in canonical spec form, parseable by
+// ParseConfig: ParseConfig(c.String()) round-trips any normalized config.
+func (c Config) String() string {
+	c = c.normalized()
+	return fmt.Sprintf("rate=%d,slow=%s,cap=%d,seed=%d",
+		c.Rate, time.Duration(c.SlowNS), c.Capacity, c.Seed)
+}

@@ -72,6 +72,10 @@ type PickRecord struct {
 	// HBPS list length. 0 for fallback picks.
 	Depth  int    `json:"depth"`
 	Reason Reason `json:"reason"`
+	// TraceID is the optrace ID of the op the pick served, when that op was
+	// sampled; 0 otherwise. Lets /debug/picks and /debug/optrace
+	// cross-reference the same allocation decision.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // Config parameterizes a Recorder.
@@ -234,7 +238,9 @@ func reasonIndex(reason Reason) int {
 
 // Record appends one pick. No-op on a nil ring — the disabled-path cost at
 // every pick site is this one branch.
-func (g *Ring) Record(cp uint64, id uint32, score, runnerUp int64, depth int, reason Reason) {
+// tid is the optrace ID of the sampled op being served (0 when unsampled or
+// tracing is off).
+func (g *Ring) Record(cp uint64, id uint32, score, runnerUp int64, depth int, reason Reason, tid uint64) {
 	if g == nil {
 		return
 	}
@@ -243,6 +249,7 @@ func (g *Ring) Record(cp uint64, id uint32, score, runnerUp int64, depth int, re
 	rec := PickRecord{
 		Space: g.space, CP: cp, Seq: g.seq,
 		AA: id, Score: score, RunnerUp: runnerUp, Depth: depth, Reason: reason,
+		TraceID: tid,
 	}
 	g.reasons[reasonIndex(reason)]++
 	if len(g.buf) < cap(g.buf) {

@@ -10,7 +10,7 @@ func TestRingBoundAndCanonicalOrder(t *testing.T) {
 	r := NewRecorder(Config{Capacity: 4})
 	g := r.Space("arm.rg0")
 	for i := 0; i < 10; i++ {
-		g.Record(uint64(i/3+1), uint32(i), int64(100-i), int64(99-i), 4, HeapTop)
+		g.Record(uint64(i/3+1), uint32(i), int64(100-i), int64(99-i), 4, HeapTop, 0)
 	}
 	recs := g.Records()
 	if len(recs) != 4 {
@@ -36,9 +36,9 @@ func TestRingBoundAndCanonicalOrder(t *testing.T) {
 
 func TestRecorderAllSortsBySpaceThenSeq(t *testing.T) {
 	r := NewRecorder(Config{Capacity: 8})
-	r.Space("b").Record(1, 1, 10, -1, 0, BitmapFallback)
-	r.Space("a").Record(1, 2, 20, 15, 3, HBPSBin)
-	r.Space("a").Record(2, 3, 30, 25, 2, Refill)
+	r.Space("b").Record(1, 1, 10, -1, 0, BitmapFallback, 0)
+	r.Space("a").Record(1, 2, 20, 15, 3, HBPSBin, 0)
+	r.Space("a").Record(2, 3, 30, 25, 2, Refill, 0)
 	all := r.All()
 	if len(all) != 3 {
 		t.Fatalf("All returned %d records", len(all))
@@ -66,7 +66,7 @@ func TestNilRecorderAndRingAreSafe(t *testing.T) {
 	if g != nil {
 		t.Fatal("nil recorder returned a live ring")
 	}
-	g.Record(1, 1, 1, 1, 1, HeapTop) // must not panic
+	g.Record(1, 1, 1, 1, 1, HeapTop, 0) // must not panic
 	if g.Records() != nil || g.Recorded() != 0 || g.Dropped() != 0 || g.ReasonCount(HeapTop) != 0 {
 		t.Fatal("nil ring leaked state")
 	}
@@ -77,7 +77,7 @@ func TestNilRecorderAndRingAreSafe(t *testing.T) {
 
 func TestWriteJSONShape(t *testing.T) {
 	r := NewRecorder(Config{Capacity: 2})
-	r.Space("arm.vol.va").Record(3, 7, 1000, 900, 5, HBPSBin)
+	r.Space("arm.vol.va").Record(3, 7, 1000, 900, 5, HBPSBin, 77)
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
@@ -95,7 +95,11 @@ func TestWriteJSONShape(t *testing.T) {
 	}
 	if len(doc.Spaces) != 1 || doc.Spaces[0].Space != "arm.vol.va" ||
 		doc.Spaces[0].Recorded != 1 || doc.Spaces[0].Reasons["hbps_bin"] != 1 ||
-		len(doc.Spaces[0].Records) != 1 || doc.Spaces[0].Records[0].Score != 1000 {
+		len(doc.Spaces[0].Records) != 1 || doc.Spaces[0].Records[0].Score != 1000 ||
+		doc.Spaces[0].Records[0].TraceID != 77 {
 		t.Fatalf("unexpected document: %s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"trace_id":77`)) {
+		t.Fatalf("trace_id missing from JSON: %s", buf.String())
 	}
 }

@@ -44,6 +44,19 @@ type Transition struct {
 	Instance string        `json:"instance"`
 	From     State         `json:"from"`
 	To       State         `json:"to"`
+	// ExemplarTrace/ExemplarLatNS reference a representative sampled op
+	// trace from the instance's space (the worst-bucket exemplar at
+	// transition time), when an ExemplarSource is wired; 0 otherwise. A page
+	// in /debug/slo then links directly to a trace in /debug/optrace.
+	ExemplarTrace uint64 `json:"exemplar_trace,omitempty"`
+	ExemplarLatNS uint64 `json:"exemplar_lat_ns,omitempty"`
+}
+
+// ExemplarSource resolves a space name ("<sys>.vol.<name>") to a
+// representative trace: ID and modeled latency of the space's current
+// worst-bucket sampled op. internal/obs/optrace's Recorder implements it.
+type ExemplarSource interface {
+	Exemplar(space string) (id, latNS uint64, ok bool)
 }
 
 // maxTransitions bounds the per-engine transition log.
@@ -98,6 +111,18 @@ type Engine struct {
 
 	evals, warns, pages, trans uint64
 	translog                   []Transition
+	exem                       ExemplarSource
+}
+
+// SetExemplarSource wires a trace exemplar source: subsequent transitions
+// on space-scoped instances carry a representative trace ID. Nil-safe.
+func (e *Engine) SetExemplarSource(src ExemplarSource) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.exem = src
+	e.mu.Unlock()
 }
 
 // NewEngine builds an engine for one system. Returns nil when there is
@@ -420,6 +445,11 @@ func (e *Engine) windowQuantile(in *instance, cp uint64, at time.Duration) float
 
 func (e *Engine) transition(in *instance, cp uint64, at time.Duration, to State) {
 	tr := Transition{CP: cp, At: at, Instance: in.name, From: in.state, To: to}
+	if e.exem != nil && in.space != "" {
+		if id, lat, ok := e.exem.Exemplar(e.sys + "." + in.space); ok {
+			tr.ExemplarTrace, tr.ExemplarLatNS = id, lat
+		}
+	}
 	if len(e.translog) >= maxTransitions {
 		copy(e.translog, e.translog[1:])
 		e.translog = e.translog[:maxTransitions-1]

@@ -122,6 +122,86 @@ func TestValueAtAndCounterDelta(t *testing.T) {
 	}
 }
 
+// Zero-length windows (fromCP == toCP) are legal: at full resolution they
+// cover exactly one CP; inside a folded range they widen to the whole fold;
+// before the series' first sample they are empty.
+func TestWindowStatsZeroLength(t *testing.T) {
+	s := NewStore(Config{Capacity: 16})
+	monotone(s, "x", 8)
+	w, ok := s.WindowStats("x", 5, 5)
+	if !ok || w.Points != 1 || w.CPFirst != 5 || w.CPLast != 5 {
+		t.Fatalf("full-res [5,5] = ok %v, %d points [%d,%d], want 1 point [5,5]",
+			ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Sum != 50 || w.Count != 1 || w.Min != 50 || w.Max != 50 {
+		t.Fatalf("full-res [5,5] stats = min %v max %v sum %v count %d", w.Min, w.Max, w.Sum, w.Count)
+	}
+
+	f := NewStore(Config{Capacity: 4})
+	monotone(f, "x", 8) // ring: [1..4][5..6][7][8]
+	w, ok = f.WindowStats("x", 2, 2)
+	if !ok || w.Points != 1 || w.CPFirst != 1 || w.CPLast != 4 {
+		t.Fatalf("folded [2,2] = ok %v, %d points [%d,%d], want the whole [1,4] fold",
+			ok, w.Points, w.CPFirst, w.CPLast)
+	}
+
+	if _, ok := f.WindowStats("x", 0, 0); ok {
+		t.Fatal("[0,0] before the first sample should be empty")
+	}
+}
+
+// Window edges landing exactly on fold boundaries: a start on a fold's last
+// CP pulls that fold in whole (CPLast >= fromCP matches it), while a start
+// on the next fold's first CP is exact.
+func TestWindowStatsStartOnFoldBoundary(t *testing.T) {
+	s := NewStore(Config{Capacity: 4})
+	monotone(s, "x", 8) // ring: [1..4][5..6][7][8]
+
+	w, ok := s.WindowStats("x", 4, 7)
+	if !ok || w.Points != 3 || w.CPFirst != 1 || w.CPLast != 7 {
+		t.Fatalf("[4,7] = ok %v, %d points [%d,%d], want 3 points [1,7] ([1..4] included whole)",
+			ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Count != 7 || w.Sum != 10+20+30+40+50+60+70 {
+		t.Fatalf("[4,7] count/sum = %d/%v", w.Count, w.Sum)
+	}
+
+	w, ok = s.WindowStats("x", 5, 7)
+	if !ok || w.Points != 2 || w.CPFirst != 5 || w.CPLast != 7 {
+		t.Fatalf("[5,7] = ok %v, %d points [%d,%d], want exact 2 points [5,7]",
+			ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Count != 3 || w.Sum != 50+60+70 {
+		t.Fatalf("[5,7] count/sum = %d/%v", w.Count, w.Sum)
+	}
+}
+
+// CounterDelta across a counter reset: the series drops, the delta clamps
+// to zero rather than going negative — a reset reads as "no increase", not
+// an error, so burn-rate math never sees negative rates.
+func TestCounterDeltaAcrossReset(t *testing.T) {
+	s := NewStore(Config{Capacity: 16})
+	s.Observe("x", 1, time.Duration(1), 100)
+	s.Observe("x", 2, time.Duration(2), 200)
+	s.Observe("x", 3, time.Duration(3), 5) // reset: process restarted
+	s.Observe("x", 4, time.Duration(4), 30)
+
+	if d, ok := s.CounterDelta("x", 2, 3); !ok || d != 0 {
+		t.Errorf("delta across reset = %v,%v, want 0,true (clamped)", d, ok)
+	}
+	if d, ok := s.CounterDelta("x", 1, 4); !ok || d != 0 {
+		t.Errorf("delta spanning reset = %v,%v, want 0,true (30 < 100 clamps)", d, ok)
+	}
+	// After the reset the series is monotone again; deltas resume.
+	if d, ok := s.CounterDelta("x", 3, 4); !ok || d != 25 {
+		t.Errorf("post-reset delta = %v,%v, want 25", d, ok)
+	}
+	// Zero-length delta is always zero.
+	if d, ok := s.CounterDelta("x", 2, 2); !ok || d != 0 {
+		t.Errorf("zero-length delta = %v,%v, want 0,true", d, ok)
+	}
+}
+
 // Histogram bucket series: with a HistBuckets filter the store keeps one
 // cumulative counter series per finite bound, enabling windowed
 // threshold-exceed queries by delta.

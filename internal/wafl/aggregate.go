@@ -12,6 +12,7 @@ import (
 	"waflfs/internal/faultinject"
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/parallel"
@@ -52,6 +53,9 @@ type Aggregate struct {
 	// pickRings collects every provenance ring this aggregate's spaces
 	// record into, in registration order, for the picks.* metric views.
 	pickRings []*picks.Ring
+	// otRings likewise collects every op-trace ring (one per volume) for
+	// the optrace.* metric views.
+	otRings []*optrace.Ring
 	// wd is the online-watchdog state (watchdog.go). The counters always
 	// exist; the monitors run only when ObsOptions.Watchdogs is set.
 	wd watchdogState

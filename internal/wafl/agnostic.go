@@ -11,6 +11,7 @@ import (
 	"waflfs/internal/block"
 	"waflfs/internal/hbps"
 	"waflfs/internal/obs"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/parallel"
 )
@@ -77,6 +78,25 @@ type agnosticSpace struct {
 	cpNow    *uint64
 	wd       *watchdogState
 	wdCursor int
+
+	// Op tracing (nil/zero when off; set by Aggregate.registerSpaceObs).
+	// tr is the volume's optrace ring; curTID is the trace ID of the
+	// sampled op currently allocating (0 otherwise), stamped into pick
+	// provenance records; lastPick snapshots the most recent pick decision
+	// for the trace's alloc annotation span; attr accumulates per-stage
+	// attributed nanoseconds that reconcile exactly with lat's total.
+	tr       *optrace.Ring
+	curTID   uint64
+	lastPick pickNote
+	attr     [optrace.NumStages]uint64
+}
+
+// pickNote is the last pick decision, kept for optrace span annotation.
+type pickNote struct {
+	aa     uint32
+	score  int64
+	runner int64
+	reason picks.Reason
 }
 
 func newAgnosticSpace(name string, space block.Range, bm *bitmap.Bitmap, tun Tunables, enabled bool, rng *rand.Rand) *agnosticSpace {
@@ -160,14 +180,18 @@ func (s *agnosticSpace) pick() bool {
 		if wdOn {
 			s.wd.pickCheckSpace(s, id, frontBin)
 		}
-		if s.pr != nil {
+		if s.pr != nil || s.tr != nil {
 			runner := int64(-1)
 			if _, bin, ok := s.cache.PeekBestBin(); ok {
 				// HBPS has no runner-up score; record the next listed AA's
 				// bin floor as the guaranteed lower bound.
 				runner = int64(s.cache.BinFloor(bin))
 			}
-			s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), runner, s.cache.ListLen(), reason)
+			score := int64(s.aaScore(id))
+			s.lastPick = pickNote{aa: uint32(id), score: score, runner: runner, reason: reason}
+			if s.pr != nil {
+				s.pr.Record(*s.cpNow, uint32(id), score, runner, s.cache.ListLen(), reason, s.curTID)
+			}
 		}
 	} else {
 		n := s.topo.NumAAs()
@@ -192,8 +216,12 @@ func (s *agnosticSpace) pick() bool {
 		if s.st != nil {
 			s.st.Emit("alloc.virt", s.shard, "random_pick", 0, int64(s.aaScore(id)))
 		}
-		if s.pr != nil {
-			s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), -1, 0, picks.BitmapFallback)
+		if s.pr != nil || s.tr != nil {
+			score := int64(s.aaScore(id))
+			s.lastPick = pickNote{aa: uint32(id), score: score, runner: -1, reason: picks.BitmapFallback}
+			if s.pr != nil {
+				s.pr.Record(*s.cpNow, uint32(id), score, -1, 0, picks.BitmapFallback, s.curTID)
+			}
 		}
 	}
 	s.curAA = id
@@ -253,8 +281,12 @@ func (s *agnosticSpace) pickSharded() bool {
 		// floor still holds (claimed < 0 skips the bin comparison).
 		s.wd.pickCheckSpace(s, id, -1)
 	}
-	if s.pr != nil {
-		s.pr.Record(*s.cpNow, uint32(id), int64(s.aaScore(id)), -1, s.sh.Len(shard)+s.cache.ListLen(), reason)
+	if s.pr != nil || s.tr != nil {
+		score := int64(s.aaScore(id))
+		s.lastPick = pickNote{aa: uint32(id), score: score, runner: -1, reason: reason}
+		if s.pr != nil {
+			s.pr.Record(*s.cpNow, uint32(id), score, -1, s.sh.Len(shard)+s.cache.ListLen(), reason, s.curTID)
+		}
 	}
 	// Pipelined refill: stage the next batch while the current one still
 	// serves picks, so the eventual drain swaps in without stalling.

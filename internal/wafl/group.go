@@ -337,7 +337,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 			if e2, ok := g.cache.Best(); ok { // best remaining after the pop
 				runner = int64(e2.Score)
 			}
-			g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.cache.Len(), picks.HeapTop)
+			g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.cache.Len(), picks.HeapTop, 0)
 		}
 	} else {
 		// Random selection; retry a bounded number of times to find an AA
@@ -367,7 +367,7 @@ func (g *Group) pickAA(bm *bitmap.Bitmap) bool {
 		}
 		g.st.Emit("alloc.phys", g.Index, "random_pick", 0, int64(score))
 		if g.pr != nil {
-			g.pr.Record(*g.cpNow, uint32(id), int64(score), -1, 0, picks.BitmapFallback)
+			g.pr.Record(*g.cpNow, uint32(id), int64(score), -1, 0, picks.BitmapFallback, 0)
 		}
 	}
 	g.curAA = id
@@ -454,7 +454,7 @@ func (g *Group) pickAASharded(bm *bitmap.Bitmap) bool {
 		} else if e2, ok := g.cache.Best(); ok {
 			runner = int64(e2.Score)
 		}
-		g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.sh.Len(shard)+g.cache.Len(), reason)
+		g.pr.Record(*g.cpNow, uint32(id), int64(score), runner, g.sh.Len(shard)+g.cache.Len(), reason, 0)
 	}
 	// Pipelined refill: the shard is running low, so stage the next batch
 	// now — the eventual drain swaps a ready batch in instead of stalling.

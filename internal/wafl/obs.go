@@ -7,6 +7,7 @@ import (
 
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
@@ -85,6 +86,14 @@ type ObsOptions struct {
 	// StrictWatchdogs promotes any watchdog violation to a panic — tests
 	// use it to turn the monitors into hard failures.
 	StrictWatchdogs bool
+	// OpTrace, when non-nil, samples read/write ops into request-scoped
+	// span trees: deterministic trace IDs, allocator-pick annotations, and
+	// per-stage CP cost attribution that reconciles exactly with the
+	// vol.<name>.lat_ns histograms. Rings are named like the pick streams
+	// ("<Name>.vol.<v>"); per-stage accumulators surface as
+	// vol.<name>.attr.<stage>_ns counters (and hence tsdb series). When SLO
+	// is also armed, transitions carry worst-bucket trace exemplars.
+	OpTrace *optrace.Recorder
 	// SLO, when non-nil together with TSDB, evaluates the set's spec
 	// portfolio for this system at every CP boundary: error budgets and
 	// burn rates are computed from the TSDB series over modeled-clock
@@ -237,6 +246,31 @@ func (ag *Aggregate) initObs() {
 		})
 	}
 
+	// Op-trace views: read through this arm's rings (filled by
+	// registerSpaceObs), registered unconditionally like slo.* so the
+	// metric set does not depend on arming.
+	ag.reg.CounterFunc("optrace.sampled_ops", func() uint64 {
+		var n uint64
+		for _, r := range ag.otRings {
+			n += r.Sampled()
+		}
+		return n
+	})
+	ag.reg.CounterFunc("optrace.slow_sampled", func() uint64 {
+		var n uint64
+		for _, r := range ag.otRings {
+			n += r.SlowSampled()
+		}
+		return n
+	})
+	ag.reg.CounterFunc("optrace.dropped", func() uint64 {
+		var n uint64
+		for _, r := range ag.otRings {
+			n += r.Dropped()
+		}
+		return n
+	})
+
 	ag.reg.CounterFunc("scrub.count", func() uint64 { return ag.scrubTot.scrubs })
 	ag.reg.CounterFunc("scrub.spaces_checked", func() uint64 { return ag.scrubTot.checked })
 	ag.reg.CounterFunc("scrub.divergent", func() uint64 { return ag.scrubTot.divergent })
@@ -263,6 +297,11 @@ func (ag *Aggregate) initObs() {
 	// the metric set does not depend on arming.
 	if o.SLO != nil && o.TSDB != nil {
 		ag.sloEng = o.SLO.Engine(o.Name, o.TSDB)
+		if o.OpTrace != nil {
+			// SLO transitions link to a representative sampled trace from
+			// the transitioning space's worst latency bucket.
+			ag.sloEng.SetExemplarSource(o.OpTrace)
+		}
 	}
 	ag.reg.CounterFunc("slo.evaluations", func() uint64 { return ag.sloEng.Evaluations() })
 	ag.reg.CounterFunc("slo.warns", func() uint64 { return ag.sloEng.Warns() })
@@ -343,6 +382,20 @@ func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard in
 		// 1-2-5 buckets so the tsdb can keep cumulative per-bucket counter
 		// series (Config.HistBuckets) for windowed burn-rate queries.
 		sp.lat = ag.reg.Histogram(prefix+"lat_ns", obs.LatencyBuckets)
+		// Per-stage latency attribution: always-on accumulators whose sum
+		// equals the histogram's observed total exactly (see System.CP and
+		// System.Read), surfaced as vol.<name>.attr.<stage>_ns counters and
+		// hence tsdb series — the "where do the nanoseconds go" profile.
+		for _, stage := range optrace.Stages() {
+			stage := stage
+			ag.reg.CounterFunc(prefix+"attr."+stage.String()+"_ns", func() uint64 {
+				return sp.attr[stage]
+			})
+		}
+		if rec := ag.obsOpts.OpTrace; rec != nil {
+			sp.tr = rec.Space(ag.obsOpts.Name + "." + strings.TrimSuffix(prefix, "."))
+			ag.otRings = append(ag.otRings, sp.tr)
+		}
 	}
 	ag.reg.CounterFunc(prefix+"picks", func() uint64 { return sp.pickedCount })
 	ag.reg.CounterFunc(prefix+"cache_ops", func() uint64 { return sp.cacheOps })

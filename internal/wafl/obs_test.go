@@ -9,6 +9,7 @@ import (
 	"waflfs/internal/aa"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
+	"waflfs/internal/obs/optrace"
 	"waflfs/internal/obs/picks"
 	"waflfs/internal/obs/slo"
 	"waflfs/internal/obs/tsdb"
@@ -38,6 +39,7 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 		Picks:     picks.NewRecorder(picks.DefaultConfig()),
 		Watchdogs: true,
 		SLO:       slo.NewSet(slo.DefaultSpecs()),
+		OpTrace:   optrace.NewRecorder(optrace.Config{Rate: 4, Capacity: 128, Seed: 11}),
 	}
 	s := NewSystem(testSpecs(),
 		[]VolSpec{
@@ -272,6 +274,40 @@ func TestObsSerialEquivalence(t *testing.T) {
 		t.Fatal("pick JSON diverged across worker counts")
 	}
 
+	// The op-trace stream is part of the contract: sampling decisions, trace
+	// IDs, span trees (including pick annotations and device leaf spans),
+	// and exemplars are byte-identical at any worker width.
+	ot1, ot8 := s1.Agg.obsOpts.OpTrace, s8.Agg.obsOpts.OpTrace
+	if ot1.TotalSampled() == 0 {
+		t.Fatal("optrace sampled no ops")
+	}
+	var oj1, oj8 strings.Builder
+	if err := ot1.WriteJSON(&oj1, optrace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ot8.WriteJSON(&oj8, optrace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if oj1.String() != oj8.String() {
+		t.Fatal("optrace JSON diverged across worker counts")
+	}
+	// Sampled write traces stamp their IDs into the volume's pick records,
+	// cross-referencing the two provenance streams.
+	sawTID := false
+	for _, r := range p1.All() {
+		if r.TraceID != 0 {
+			sawTID = true
+			if _, ok := ot1.Find(r.TraceID); !ok {
+				// The trace ring may have evicted it; the ID itself must
+				// still be well-formed (nonzero is the only invariant).
+				continue
+			}
+		}
+	}
+	if !sawTID {
+		t.Error("no pick record carries a sampled trace ID")
+	}
+
 	// The watchdogs checked real invariants on every CP and found nothing.
 	for i, s := range []*System{s1, s8} {
 		reg := s.Registry()
@@ -284,6 +320,77 @@ func TestObsSerialEquivalence(t *testing.T) {
 		if n, _ := reg.Value("watchdog.violations"); n != 0 {
 			t.Errorf("system %d: watchdog.violations = %d: %v", i, n, s.Agg.WatchdogViolations())
 		}
+	}
+}
+
+// The attribution contract: for every volume, the per-stage attributed
+// nanoseconds sum to the lat_ns histogram's observed total exactly — not
+// within tolerance, to the nanosecond — on both the read path (base +
+// device) and the write path (the CP stage split, where the device stage
+// absorbs the integer rounding remainder).
+func TestAttributionReconciles(t *testing.T) {
+	s, _, _, _, _, _ := obsRun(t, 0)
+	for _, v := range s.Agg.Vols() {
+		sp := v.space
+		var attrSum uint64
+		for _, stage := range optrace.Stages() {
+			attrSum += sp.attr[stage]
+		}
+		hist := sp.lat.Value()
+		if hist.Count == 0 {
+			t.Fatalf("vol %s: latency histogram is empty", v.Name)
+		}
+		if attrSum != hist.Sum {
+			t.Errorf("vol %s: attributed %d ns != histogram-observed %d ns (diff %d)",
+				v.Name, attrSum, hist.Sum, int64(attrSum)-int64(hist.Sum))
+		}
+	}
+	// The same totals surface as vol.<name>.attr.<stage>_ns metrics.
+	snap := s.Registry().StableSnapshot()
+	var attrVA, histVA uint64
+	for _, m := range snap.Metrics {
+		if strings.HasPrefix(m.Name, "vol.va.attr.") && strings.HasSuffix(m.Name, "_ns") {
+			attrVA += m.Value
+		}
+		if m.Name == "vol.va.lat_ns" && m.Hist != nil {
+			histVA = m.Hist.Sum
+		}
+	}
+	if attrVA == 0 || attrVA != histVA {
+		t.Errorf("registry attr sum %d != histogram sum %d", attrVA, histVA)
+	}
+}
+
+// Sampled traces decompose into the documented span stages, and every
+// recorded write trace's top-level stage durations sum to its latency.
+func TestTraceSpansSumToLatency(t *testing.T) {
+	s, _, _, _, _, _ := obsRun(t, 0)
+	rec := s.Agg.obsOpts.OpTrace
+	checked := 0
+	for _, space := range rec.Spaces() {
+		for _, tr := range rec.Traces(space) {
+			var sum uint64
+			for _, sp := range tr.Spans {
+				sum += sp.DurNS
+			}
+			if sum != tr.LatNS {
+				t.Errorf("trace %#x (%s %s seq %d): span sum %d != latency %d",
+					tr.ID, tr.Space, tr.Kind, tr.Seq, sum, tr.LatNS)
+			}
+			if tr.ID == 0 {
+				t.Errorf("trace with zero ID in %s", space)
+			}
+			if len(tr.CriticalPath()) == 0 && tr.LatNS > 0 {
+				t.Errorf("trace %#x: empty critical path", tr.ID)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no traces recorded")
+	}
+	if rec.TotalSampled() == 0 {
+		t.Fatal("TotalSampled = 0")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"waflfs/internal/block"
 	"waflfs/internal/device"
 	"waflfs/internal/faultinject"
+	"waflfs/internal/obs/optrace"
 )
 
 // System is the client-facing facade: it accepts LUN reads and writes,
@@ -141,6 +142,16 @@ func (s *System) Read(l *LUN, lba uint64, nblocks int) {
 	s.c.Ops++
 	s.c.CPUTime += s.tun.CPUBasePerOp
 	busyBefore := s.c.DeviceBusy
+	// Op tracing: every read draws its deterministic per-volume sequence
+	// number (nil-safe no-op when tracing is off). Device-leaf durations are
+	// collected only when tracing is armed — pure observation, no modeled
+	// cost.
+	sp := l.vol.space
+	tid, seq, sampled := sp.tr.Begin(optrace.KindRead)
+	var leafBusy map[string]time.Duration
+	if sp.tr != nil {
+		leafBusy = make(map[string]time.Duration)
+	}
 	// Gather the op's physical blocks and coalesce per device, exactly as a
 	// RAID read engine does: striped sequential data becomes one contiguous
 	// DBN chain per device.
@@ -166,7 +177,11 @@ func (s *System) Read(l *LUN, lba uint64, nblocks int) {
 		for j < len(poolRun) && poolRun[j] == poolRun[j-1]+1 {
 			j++
 		}
-		s.c.DeviceBusy += s.Agg.pool.read(uint64(j - i))
+		d := s.Agg.pool.read(uint64(j - i))
+		s.c.DeviceBusy += d
+		if leafBusy != nil {
+			leafBusy["pool"] += d
+		}
 		i = j
 	}
 	for key, dbns := range perDev {
@@ -177,19 +192,52 @@ func (s *System) Read(l *LUN, lba uint64, nblocks int) {
 				j++
 			}
 			start, n := dbns[i], uint64(j-i)
+			var d time.Duration
 			if key.g.azcs {
 				diskStart := device.DataToDiskDBN(start)
 				diskLen := device.DataToDiskDBN(start+n-1) - diskStart + 1
-				s.c.DeviceBusy += key.g.devices[key.d].Read(diskLen)
+				d = key.g.devices[key.d].Read(diskLen)
 			} else {
-				s.c.DeviceBusy += key.g.devices[key.d].Read(n)
+				d = key.g.devices[key.d].Read(n)
+			}
+			s.c.DeviceBusy += d
+			if leafBusy != nil {
+				leafBusy[fmt.Sprintf("rg%d.dev%d", key.g.Index, key.d)] += d
 			}
 			i = j
 		}
 	}
 	// Latency SLI: a read op's modeled latency is its base CPU charge plus
-	// the device time it just accrued — both worker-invariant.
-	l.vol.space.lat.Observe(uint64(s.tun.CPUBasePerOp + (s.c.DeviceBusy - busyBefore)))
+	// the device time it just accrued — both worker-invariant. The same two
+	// quantities feed the attribution accumulators, so per-stage attributed
+	// time reconciles with the histogram total exactly.
+	delta := s.c.DeviceBusy - busyBefore
+	lat := uint64(s.tun.CPUBasePerOp + delta)
+	sp.lat.Observe(lat)
+	sp.attr[optrace.StageBase] += uint64(s.tun.CPUBasePerOp)
+	sp.attr[optrace.StageDevice] += uint64(delta)
+	if rec, slow := sp.tr.Decide(sampled, lat); rec {
+		// perDev map iteration above is order-free (per-device totals are
+		// independent); the trace's leaf spans sort by label so the recorded
+		// tree is deterministic.
+		labels := make([]string, 0, len(leafBusy))
+		for lb := range leafBusy {
+			labels = append(labels, lb)
+		}
+		sort.Strings(labels)
+		leaves := make([]optrace.Span, 0, len(labels))
+		for _, lb := range labels {
+			leaves = append(leaves, optrace.Span{Name: lb, DurNS: uint64(leafBusy[lb])})
+		}
+		sp.tr.Add(optrace.Trace{
+			ID: tid, Kind: optrace.KindRead.String(), Seq: seq, CP: s.c.CPs,
+			AtNS: int64(s.c.DeviceBusy + s.c.CPUTime), LatNS: lat, Slow: slow,
+			Spans: []optrace.Span{
+				{Name: optrace.StageBase.String(), DurNS: uint64(s.tun.CPUBasePerOp)},
+				{Name: optrace.StageDevice.String(), DurNS: uint64(delta), Children: leaves},
+			},
+		})
+	}
 }
 
 // devKey identifies one data device for read coalescing.
@@ -230,6 +278,21 @@ func (s *System) CP() CPStats {
 	})
 	volBlocks := make(map[*FlexVol]uint64, len(s.Agg.vols))
 	var totalBlocks uint64
+	// Op tracing, write side: the blocks a volume commits this CP share one
+	// modeled latency (the SLI below), so one trace candidate per (volume,
+	// CP) stands for the whole batch. Begin draws the volume's deterministic
+	// write sequence number before its first allocation; while the volume
+	// allocates, the sampled trace ID rides along in curTID so its
+	// pick-provenance records cross-reference the trace.
+	type writeCand struct {
+		id, seq      uint64
+		sampled      bool
+		stalls0      uint64
+		replenishes0 uint64
+		stallBusy0   time.Duration
+		refillBusy0  time.Duration
+	}
+	cands := make(map[*FlexVol]*writeCand)
 	for _, l := range luns {
 		dirty := s.pending[l]
 		n := len(dirty)
@@ -237,6 +300,19 @@ func (s *System) CP() CPStats {
 			continue
 		}
 		vol := l.vol
+		if sp := vol.space; sp.tr != nil {
+			if _, ok := cands[vol]; !ok {
+				id, seq, smp := sp.tr.Begin(optrace.KindWrite)
+				cands[vol] = &writeCand{
+					id: id, seq: seq, sampled: smp,
+					stalls0: sp.as.stalls, replenishes0: sp.replenishes,
+					stallBusy0: sp.as.stallBusy, refillBusy0: sp.as.refillBusy,
+				}
+				if smp {
+					sp.curTID = id
+				}
+			}
+		}
 		volBlocks[vol] += uint64(n)
 		totalBlocks += uint64(n)
 		virt := vol.space.allocate(n)
@@ -273,6 +349,9 @@ func (s *System) CP() CPStats {
 	}
 	s.pendingBlocks = 0
 	s.opsSinceCP = 0
+	for vol := range cands {
+		vol.space.curTID = 0
+	}
 
 	// Phase 1.5: apply queued delayed frees, most-pending-AA-first.
 	s.Agg.faults.EnterPhase(faultinject.PhaseDelayedFree)
@@ -284,7 +363,15 @@ func (s *System) CP() CPStats {
 		}
 	}
 
-	// Phase 2: flush.
+	// Phase 2: flush. When traces are pending, snapshot per-group device
+	// busy so their flush-time deltas can become device leaf spans.
+	var gBusy []time.Duration
+	if len(cands) > 0 {
+		gBusy = make([]time.Duration, len(s.Agg.groups))
+		for i, g := range s.Agg.groups {
+			gBusy[i] = g.deviceBusy
+		}
+	}
 	st := s.Agg.CommitCP()
 	s.c.CPs++
 	s.c.DeviceBusy += st.DeviceBusy
@@ -304,13 +391,97 @@ func (s *System) CP() CPStats {
 	// virtual-scan CPU, cache CPU) evenly, on top of the per-op base CPU
 	// charge. FlushWall is deliberately excluded: it varies with worker
 	// width, and the SLO engine requires invariant inputs.
+	//
+	// The per-block share is split by stage in the same proportions as the
+	// CP cost it came from, with the device stage absorbing the integer
+	// rounding remainder: the stages then sum to perBlock exactly, so the
+	// attribution accumulators reconcile with the histogram total to the
+	// nanosecond (optrace.attr_coverage == 1.0). The float64 scaling is
+	// deterministic — IEEE ops on worker-invariant integers.
+	var perBlock uint64
 	if totalBlocks > 0 {
-		cpCost := st.DeviceBusy + time.Duration(pages)*s.tun.CPUPerMetafilePage + scanCPU + cacheCPU
-		perBlock := uint64(s.tun.CPUBasePerOp) + uint64(cpCost)/totalBlocks
+		metaNS := time.Duration(pages) * s.tun.CPUPerMetafilePage
+		cpCost := st.DeviceBusy + metaNS + scanCPU + cacheCPU
+		cpPer := uint64(cpCost) / totalBlocks
+		base := uint64(s.tun.CPUBasePerOp)
+		perBlock = base + cpPer
+		var metaPer, scanPer, cachePer, devPer uint64
+		if cpCost > 0 {
+			fc := float64(cpPer) / float64(cpCost)
+			metaPer = uint64(fc * float64(metaNS))
+			scanPer = uint64(fc * float64(scanCPU))
+			cachePer = uint64(fc * float64(cacheCPU))
+			devPer = cpPer - metaPer - scanPer - cachePer
+		}
 		for _, v := range s.Agg.vols {
 			if n := volBlocks[v]; n > 0 {
-				v.space.lat.ObserveN(perBlock, n)
+				sp := v.space
+				sp.lat.ObserveN(perBlock, n)
+				sp.attr[optrace.StageBase] += n * base
+				sp.attr[optrace.StageDevice] += n * devPer
+				sp.attr[optrace.StageMetafile] += n * metaPer
+				sp.attr[optrace.StageScan] += n * scanPer
+				sp.attr[optrace.StageCache] += n * cachePer
 			}
+		}
+		// Record the pending write traces: one per sampled (volume, CP)
+		// batch, span durations from the same stage split the accumulators
+		// used, plus a zero-duration allocator annotation (pick provenance,
+		// stall/refill activity) and per-group flush leaf spans scaled to
+		// the op's device share.
+		for _, v := range s.Agg.vols {
+			c := cands[v]
+			if c == nil || volBlocks[v] == 0 {
+				continue
+			}
+			sp := v.space
+			rec, slow := sp.tr.Decide(c.sampled, perBlock)
+			if !rec {
+				continue
+			}
+			var flushTotal time.Duration
+			for gi, g := range s.Agg.groups {
+				flushTotal += g.deviceBusy - gBusy[gi]
+			}
+			var leaves []optrace.Span
+			if devPer > 0 && flushTotal > 0 {
+				for gi, g := range s.Agg.groups {
+					if d := g.deviceBusy - gBusy[gi]; d > 0 {
+						leaves = append(leaves, optrace.Span{
+							Name:  fmt.Sprintf("rg%d", g.Index),
+							DurNS: uint64(float64(devPer) * float64(d) / float64(flushTotal)),
+						})
+					}
+				}
+			}
+			pk := sp.lastPick
+			alloc := optrace.Span{
+				Name: "alloc",
+				Detail: fmt.Sprintf("aa=%d score=%d runner_up=%d reason=%s stalls=%d refills=%d",
+					pk.aa, pk.score, pk.runner, pk.reason,
+					sp.as.stalls-c.stalls0, sp.replenishes-c.replenishes0),
+			}
+			if d := sp.as.stallBusy - c.stallBusy0; d > 0 {
+				alloc.Children = append(alloc.Children, optrace.Span{
+					Name: "stall", Detail: fmt.Sprintf("busy_ns=%d", d)})
+			}
+			if d := sp.as.refillBusy - c.refillBusy0; d > 0 {
+				alloc.Children = append(alloc.Children, optrace.Span{
+					Name: "refill", Detail: fmt.Sprintf("busy_ns=%d", d)})
+			}
+			sp.tr.Add(optrace.Trace{
+				ID: c.id, Kind: optrace.KindWrite.String(), Seq: c.seq, CP: s.c.CPs,
+				AtNS:  int64(s.c.DeviceBusy + s.c.CPUTime),
+				LatNS: perBlock, Blocks: volBlocks[v], Slow: slow,
+				Spans: []optrace.Span{
+					{Name: optrace.StageBase.String(), DurNS: base},
+					alloc,
+					{Name: optrace.StageDevice.String(), DurNS: devPer, Children: leaves},
+					{Name: optrace.StageMetafile.String(), DurNS: metaPer},
+					{Name: optrace.StageScan.String(), DurNS: scanPer},
+					{Name: optrace.StageCache.String(), DurNS: cachePer},
+				},
+			})
 		}
 	}
 

@@ -27,6 +27,9 @@ go test -run '^$' -fuzz '^FuzzShardedOps$' -fuzztime 5s ./internal/hbps
 # SLO-spec parser fuzzer: any accepted spec string must round-trip through
 # its canonical formatting to an identical portfolio.
 go test -run '^$' -fuzz '^FuzzParseSLOSpec$' -fuzztime 5s ./internal/obs/slo
+# Optrace trace-ID / config-spec parser fuzzer: anything accepted must
+# round-trip through its canonical formatting.
+go test -run '^$' -fuzz '^FuzzParseOptrace$' -fuzztime 5s ./internal/obs/optrace
 
 # Observability smoke test: a small bench run must serve /metrics (the bench
 # self-checks the endpoint and exits nonzero if it cannot fetch it) and
@@ -34,7 +37,25 @@ go test -run '^$' -fuzz '^FuzzParseSLOSpec$' -fuzztime 5s ./internal/obs/slo
 # along: the clean figure run must fire no warn or page (-slo-expect none
 # exits nonzero otherwise).
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+live_pid=""
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "=== verify.sh failed (exit $status) ===" >&2
+        for f in live.out snap.out; do
+            if [ -f "$tmpdir/$f" ]; then
+                echo "--- $f ---" >&2
+                cat "$tmpdir/$f" >&2
+            fi
+        done
+    fi
+    if [ -n "$live_pid" ]; then
+        kill "$live_pid" 2>/dev/null || true
+        wait "$live_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
 go build -o "$tmpdir/waflbench" ./cmd/waflbench
 "$tmpdir/waflbench" -exp fig9 -scale 0.05 \
     -metrics-addr 127.0.0.1:0 \
@@ -73,13 +94,16 @@ test -s "$latest"
     -slo default -slo-expect alerts >/dev/null
 
 # Live-introspection smoke test: hold the live endpoints after a small run
-# (with the SLO engine armed) and point wafltop -snapshot at them; it exits
-# nonzero unless the embedded time-series store serves nonzero per-CP series,
-# and also if any SLO instance is paging. The snapshot must include the SLO
-# panel, and /debug/slo itself must serve a populated status document.
+# (with the SLO engine and op tracer armed) and point wafltop -snapshot at
+# them; it exits nonzero unless the embedded time-series store serves nonzero
+# per-CP series, and also if any SLO instance is paging. The snapshot must
+# include the SLO and slowest-ops panels, /debug/slo must serve a populated
+# status document, and /debug/optrace must serve a sampled trace that can be
+# fetched back individually by its ID (the "explain this exemplar" path).
 go build -o "$tmpdir/wafltop" ./cmd/wafltop
 "$tmpdir/waflbench" -exp fig9 -scale 0.05 \
-    -metrics-addr 127.0.0.1:0 -slo default -hold 60s >"$tmpdir/live.out" 2>&1 &
+    -metrics-addr 127.0.0.1:0 -slo default -optrace rate=2 \
+    -hold 60s >"$tmpdir/live.out" 2>&1 &
 live_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -90,10 +114,25 @@ for _ in $(seq 1 100); do
     sleep 0.2
 done
 test -n "$addr"
+fetch() {
+    curl -fsS "$1" 2>/dev/null || wget -qO - "$1"
+}
 "$tmpdir/wafltop" -addr "$addr" -snapshot >"$tmpdir/snap.out"
 grep -q "SLO portfolio" "$tmpdir/snap.out"
-curl -fsS "http://$addr/debug/slo" >"$tmpdir/slo.json" 2>/dev/null \
-    || wget -qO "$tmpdir/slo.json" "http://$addr/debug/slo"
+grep -q "slowest sampled ops" "$tmpdir/snap.out"
+"$tmpdir/wafltop" -addr "$addr" -json >"$tmpdir/top.json"
+grep -q '"optrace"' "$tmpdir/top.json"
+fetch "http://$addr/debug/slo" >"$tmpdir/slo.json"
 grep -q '"evaluations"' "$tmpdir/slo.json"
+fetch "http://$addr/debug/optrace?limit=3" >"$tmpdir/optrace.json"
+grep -q '"sampled"' "$tmpdir/optrace.json"
+# Newest surviving trace ID in the document (trace arrays follow the
+# exemplar lists, so the last "id" belongs to a live ring entry)...
+tid=$(sed -n 's/^ *"id": \([0-9][0-9]*\),*$/\1/p' "$tmpdir/optrace.json" | tail -n 1)
+test -n "$tid"
+# ...must be fetchable on its own, the way an SLO exemplar is chased down.
+fetch "http://$addr/debug/optrace?id=$tid" >"$tmpdir/trace.json"
+grep -q "\"id\": $tid" "$tmpdir/trace.json"
 kill "$live_pid" 2>/dev/null || true
 wait "$live_pid" 2>/dev/null || true
+live_pid=""
