@@ -6,7 +6,7 @@ SCALE ?= 1.0
 # `make bench-artifact` never clobbers a committed baseline by accident.
 BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo trace
+.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo trace pipeline
 
 all: build
 
@@ -32,15 +32,26 @@ benchpick:
 
 # Regenerate the benchmark artifact at full scale into the next unused
 # BENCH_<n>.json and gate it against the newest previously committed one.
+# -pipeline keeps the cp.pipeline.* / crash.pipeline.* families in every
+# artifact from BENCH_9 on: dropping them would read as missing metrics
+# against the committed baseline.
 bench-artifact:
-	go run ./cmd/waflbench -bench-json $(BENCH) -scale $(SCALE)
+	go run ./cmd/waflbench -bench-json $(BENCH) -pipeline -scale $(SCALE)
 	go run ./cmd/benchdiff -dir . $(BENCH)
 
 # Compare a fresh full-scale artifact against the committed baseline without
 # overwriting it.
 bench-diff:
-	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -scale $(SCALE)
+	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -pipeline -scale $(SCALE)
 	go run ./cmd/benchdiff -dir . /tmp/BENCH_new.json
+
+# Pipelined-CP gate both ways: the overlap benchmark must clear its 1.3x
+# floor with byte-identical final states (and fire no SLO alert), and a
+# crash in the overlap window must page the recovery SLI while recovering
+# without silent divergence.
+pipeline:
+	go run ./cmd/waflbench -pipeline -scale $(SCALE) -slo default -slo-expect none
+	go run ./cmd/waflbench -faults pipeline -scale 0.1 -slo default -slo-expect alerts
 
 # Run a quarter-scale fig9 with the live introspection endpoints up and hold
 # them for half an hour — point cmd/wafltop (or a browser) at the address.

@@ -10,15 +10,19 @@
 //	          [-parallel N] [-cpuprofile f] [-memprofile f]
 //	          [-metrics-addr host:port] [-csv-out f.csv] [-trace-out f.jsonl]
 //	          [-trace-collapse f.folded] [-bench-json BENCH_n.json]
-//	          [-faults matrix|<plan-spec>] [-pickbench]
+//	          [-faults matrix|pipeline|<plan-spec>] [-pickbench] [-pipeline]
 //	          [-slo default|<spec>] [-slo-expect none|alerts]
 //	          [-optrace default|rate=N[,slow=D][,cap=N]]
 //
 // -faults runs the crash-recovery harness instead of a figure: "matrix"
 // sweeps a crash at every CP phase × media fault kind and exits nonzero if
-// any recovered cache silently disagrees with the bitmap metafiles; any
-// other value is a fault-plan spec (e.g. "phase=flush,fault=torn,cp=2")
-// running a single crash-and-recover scenario. See internal/faultinject.
+// any recovered cache silently disagrees with the bitmap metafiles;
+// "pipeline" sweeps the pipelined-CP overlap window (overlap_alloc /
+// overlap_flush) × every fault kind the same way; any other value is a
+// fault-plan spec (e.g. "phase=flush,fault=torn,cp=2") running a single
+// crash-and-recover scenario — plans naming an overlap phase run the
+// pipelined scenario, whose overlap window is boundary 4 (cp=4). See
+// internal/faultinject.
 //
 // -bench-json runs the canonical fig6–fig10 + microbench suite and writes a
 // schema-versioned benchmark artifact (headline metrics, fragscan
@@ -72,6 +76,13 @@
 // arm's modeled pick wall-clock at 8 workers is not strictly faster than the
 // shared arm's — a cheap CI guard that the sharded hot path keeps paying for
 // itself.
+//
+// -pipeline runs the pipelined-CP overlap benchmark (see
+// internal/experiments.RunPipelineBench): the same sustained-write workload
+// stop-the-world and pipelined, exiting nonzero if the modeled overlap gain
+// at 8 workers is below 1.3x or the two arms' final states diverge. With
+// -bench-json it instead gates the pipelined families (cp.pipeline.* and
+// the crash.pipeline.* overlap crash matrix) into the collected artifact.
 //
 // Absolute numbers are simulation-scale; the comparisons (who wins, by what
 // factor, where curves sit) are what reproduce the paper. See EXPERIMENTS.md
@@ -137,6 +148,8 @@ func main() {
 		"fold the CP-phase trace spans into collapsed-stack format (sys;phase;name count) and write them to this file (flamegraph.pl-compatible)")
 	pickbench := flag.Bool("pickbench", false,
 		"run the striped-vs-shared allocator pick-path microbenchmark and exit 1 if the striped arm is not faster at 8 workers (modeled); overrides -exp")
+	pipeline := flag.Bool("pipeline", false,
+		"run the pipelined-CP overlap benchmark and exit 1 if the overlap gain at 8 workers is below 1.3x or the arms' final states diverge (overrides -exp); with -bench-json, gates the cp.pipeline.* and crash.pipeline.* families into the artifact")
 	benchJSON := flag.String("bench-json", "",
 		"run the canonical fig6-fig10 + microbench suite and write a schema-versioned benchmark artifact (BENCH_<n>.json) to this file; overrides -exp")
 	faults := flag.String("faults", "",
@@ -203,6 +216,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Cores = *cores
 	cfg.Workers = *workers
+	cfg.Pipeline = *pipeline
 
 	// Observability sinks. One export registry / tracer / CSV stream is
 	// shared by every experiment arm; each arm registers its metrics under
@@ -359,6 +373,20 @@ func main() {
 		}
 		fmt.Printf("artifact: %d metrics to %s (rev %s, scale %.2f, %v)\n",
 			len(art.Metrics), *benchJSON, art.GitRev, art.Scale, time.Since(start).Round(time.Millisecond))
+	} else if *pipeline {
+		pb := experiments.RunPipelineBench(cfg, os.Stdout)
+		if pb.OverlapGain < 1.3 {
+			fmt.Fprintf(os.Stderr,
+				"pipeline: overlap gain %.3fx below the 1.3x floor at 8 workers (serial %v, pipelined %v)\n",
+				pb.OverlapGain, pb.SerialWall, pb.PipelinedWall)
+			os.Exit(1)
+		}
+		if !pb.Identical() {
+			fmt.Fprintf(os.Stderr,
+				"pipeline: arms diverged (used %d vs %d, written %d vs %d) — pipelining must not change the final state\n",
+				pb.UsedPipelined, pb.UsedClassic, pb.WrittenPipelined, pb.WrittenClassic)
+			os.Exit(1)
+		}
 	} else if *exp == "all" {
 		if err := experiments.RunAllContext(context.Background(), cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -502,6 +530,13 @@ func runFaults(cfg experiments.Config, mode string) error {
 		}
 		return nil
 	}
+	if mode == "pipeline" {
+		res := experiments.RunPipelineCrashMatrix(cfg, os.Stdout)
+		if div := res.Divergent(); len(div) > 0 {
+			return fmt.Errorf("pipelined crash matrix: silent divergence in %d of %d cells", len(div), len(res.Cells))
+		}
+		return nil
+	}
 	plan, err := faultinject.ParsePlan(mode)
 	if err != nil {
 		return err
@@ -509,7 +544,15 @@ func runFaults(cfg experiments.Config, mode string) error {
 	if plan.Seed == 0 {
 		plan.Seed = cfg.Seed
 	}
-	cell := experiments.RunFaultScenario(cfg, plan, "faults")
+	// Overlap phases only occur with pipelined CPs; route their plans to the
+	// pipelined scenario (whose overlap window is boundary 4).
+	scenario, name := experiments.RunFaultScenario, "faults"
+	for _, p := range faultinject.OverlapPhases() {
+		if plan.CrashPhase == p {
+			scenario, name = experiments.RunPipelineFaultScenario, "faults.pipeline"
+		}
+	}
+	cell := scenario(cfg, plan, name)
 	fmt.Printf("fault scenario: phase=%q fault=%s crashed=%v\n", cell.Phase, cell.Fault, cell.Crashed)
 	if cell.Damage != "" {
 		fmt.Printf("  media damage: %s\n", cell.Damage)

@@ -127,6 +127,42 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	art.Add("crash.torn_fallbacks", float64(ct.Torn), "count", 0.001)
 	art.Add("crash.damage_fallbacks", float64(ct.Damaged), "count", 0.001)
 
+	// Pipelined-CP families (gated: legacy artifacts keep their metric set).
+	// The overlap benchmark carries a hard acceptance floor — pipelining
+	// that stops paying for itself or diverges from the classic final state
+	// fails collection outright — and the overlap-window crash matrix gets
+	// the same zero-tolerance counts as the classic one.
+	if cfg.Pipeline {
+		pb := RunPipelineBench(cfg, w)
+		art.Add("cp.pipeline.overlap_gain", pb.OverlapGain, "x", 0.15)
+		art.Add("cp.pipeline.generations", float64(pb.Generations), "count", 0.001)
+		art.Add("cp.pipeline.alloc_wall_ns", float64(pb.AllocWall), "ns", 0.15)
+		art.Add("cp.pipeline.flush_wall_ns", float64(pb.FlushWall), "ns", 0.15)
+		art.Add("cp.pipeline.pipelined_wall_ns", float64(pb.PipelinedWall), "ns", 0.15)
+		art.Add("cp.pipeline.serial_wall_ns", float64(pb.SerialWall), "ns", 0.15)
+		if pb.OverlapGain < 1.3 {
+			return art, fmt.Errorf("experiments: pipeline overlap gain %.3f below the 1.3x floor", pb.OverlapGain)
+		}
+		if !pb.Identical() {
+			return art, fmt.Errorf("experiments: pipelined arm diverged from classic (used %d vs %d, written %d vs %d)",
+				pb.UsedPipelined, pb.UsedClassic, pb.WrittenPipelined, pb.WrittenClassic)
+		}
+
+		rp := RunPipelineCrashMatrix(cfg, w)
+		pt := rp.Totals()
+		art.Add("crash.pipeline.cells", float64(len(rp.Cells)), "count", 0.001)
+		art.Add("crash.pipeline.divergent", float64(pt.Divergent), "count", 0.001)
+		art.Add("crash.pipeline.clean_loads", float64(pt.CleanLoads), "count", 0.001)
+		art.Add("crash.pipeline.reconstructed", float64(pt.Reconstructed), "count", 0.001)
+		art.Add("crash.pipeline.fallbacks", float64(pt.Fallbacks), "count", 0.001)
+		art.Add("crash.pipeline.stale_fallbacks", float64(pt.Stale), "count", 0.001)
+		art.Add("crash.pipeline.torn_fallbacks", float64(pt.Torn), "count", 0.001)
+		art.Add("crash.pipeline.damage_fallbacks", float64(pt.Damaged), "count", 0.001)
+		if pt.Divergent > 0 {
+			return art, fmt.Errorf("experiments: %d silently divergent caches in the pipelined crash matrix", pt.Divergent)
+		}
+	}
+
 	microMetrics(cfg, &art, w)
 
 	// Striped-allocator pick throughput (modeled): the shared arm gains
@@ -186,21 +222,31 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// baseline's tolerance band wins during comparison, so folding newly
 	// added arms into the legacy sum would read as drift against every
 	// previously committed artifact. Violations stay global.
-	var wdChecks, allocChecks, wdViolations uint64
+	var wdChecks, allocChecks, pipeChecks, wdViolations uint64
 	for _, m := range cfg.Obs.Export.StableSnapshot().Metrics {
 		switch {
 		case strings.HasSuffix(m.Name, ".watchdog.checks"):
-			if strings.HasPrefix(m.Name, "alloc_") {
+			switch {
+			case strings.HasPrefix(m.Name, "alloc_"):
 				allocChecks += m.Value
-			} else {
+			case strings.HasPrefix(m.Name, "pipe.") || strings.HasPrefix(m.Name, "crash.pipeline."):
+				// The pipelined arms (bench + overlap crash matrix) count
+				// under their own metric for the same reason allocbench's
+				// do: folding new arms into the legacy sum would read as
+				// drift against every previously committed artifact.
+				pipeChecks += m.Value
+			default:
 				wdChecks += m.Value
 			}
 		case strings.HasSuffix(m.Name, ".watchdog.violations"):
+			// The global counter already includes every class counter
+			// (gen/dfgen included), so this is the only suffix to sum.
 			wdViolations += m.Value
 		}
 	}
 	art.Add("watchdog.checks", float64(wdChecks), "count", 0.25)
 	art.Add("watchdog.alloc_checks", float64(allocChecks), "count", 0.25)
+	art.Add("watchdog.pipeline_checks", float64(pipeChecks), "count", 0.25)
 	art.Add("watchdog.violations", float64(wdViolations), "count", 0.001)
 	if wdChecks == 0 {
 		return art, fmt.Errorf("experiments: watchdogs armed but performed no checks")
@@ -213,15 +259,21 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// (like watchdog.alloc_checks) so the new rows read as additions, not
 	// drift, against pre-SLO baselines. Zero-tolerance gates: any alert on
 	// a clean arm or a silent crash matrix fails collection outright.
-	isCrash := func(sys string) bool { return strings.HasPrefix(sys, "crash.") }
+	isPipeCrash := func(sys string) bool { return strings.HasPrefix(sys, "crash.pipeline.") }
+	isCrash := func(sys string) bool { return strings.HasPrefix(sys, "crash.") && !isPipeCrash(sys) }
 	crashTot := cfg.Obs.SLO.TotalsWhere(isCrash)
-	cleanTot := cfg.Obs.SLO.TotalsWhere(func(sys string) bool { return !isCrash(sys) })
-	art.Add("slo.evaluations", float64(cleanTot.Evaluations+crashTot.Evaluations), "count", 0.25)
-	art.Add("slo.instances", float64(cleanTot.Instances+crashTot.Instances), "count", 0.25)
+	// The pipelined crash matrix counts under its own metric (like
+	// watchdog.pipeline_checks): its pages would read as drift against
+	// pre-pipeline baselines if folded into slo.pages_crash.
+	pipeCrashTot := cfg.Obs.SLO.TotalsWhere(isPipeCrash)
+	cleanTot := cfg.Obs.SLO.TotalsWhere(func(sys string) bool { return !strings.HasPrefix(sys, "crash.") })
+	art.Add("slo.evaluations", float64(cleanTot.Evaluations+crashTot.Evaluations+pipeCrashTot.Evaluations), "count", 0.25)
+	art.Add("slo.instances", float64(cleanTot.Instances+crashTot.Instances+pipeCrashTot.Instances), "count", 0.25)
 	art.Add("slo.pages_clean", float64(cleanTot.Pages), "count", 0.001)
 	art.Add("slo.warns_clean", float64(cleanTot.Warns), "count", 0.001)
 	art.Add("slo.pages_crash", float64(crashTot.Pages), "count", 0.25)
 	art.Add("slo.transitions_crash", float64(crashTot.Transitions), "count", 0.25)
+	art.Add("slo.pages_crash_pipeline", float64(pipeCrashTot.Pages), "count", 0.25)
 	if cleanTot.Evaluations == 0 {
 		return art, fmt.Errorf("experiments: SLO engine armed but never evaluated")
 	}
@@ -231,6 +283,9 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	}
 	if crashTot.Pages == 0 {
 		return art, fmt.Errorf("experiments: crash matrix fired no SLO pages — the recovery SLI is dead")
+	}
+	if cfg.Pipeline && pipeCrashTot.Pages == 0 {
+		return art, fmt.Errorf("experiments: pipelined crash matrix fired no SLO pages — the overlap-window recovery SLI is dead")
 	}
 
 	// Op-trace audit: sampling must have fired, and the per-stage attribution

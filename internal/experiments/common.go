@@ -53,6 +53,11 @@ type Config struct {
 	// Obs, when non-nil, routes every System the experiments build into the
 	// shared observability sinks (metric export, tracing, per-CP CSV).
 	Obs *ObsSink
+	// Pipeline gates the pipelined-CP families into artifact collection:
+	// the overlap benchmark (cp.pipeline.*) and the overlap-window crash
+	// matrix (crash.pipeline.*). Off by default so legacy artifacts keep
+	// their exact metric set; waflbench -pipeline turns it on.
+	Pipeline bool
 }
 
 // ObsSink is the shared observability plumbing for an experiment run. Every

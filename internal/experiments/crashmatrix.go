@@ -210,8 +210,18 @@ func RunCrashMatrix(cfg Config, w io.Writer) *CrashMatrixResult {
 		return RunFaultScenario(cfg, plan, fmt.Sprintf("crash.%s.%s", j.phase, j.fault))
 	})
 
+	printCrashMatrix(w,
+		"Crash matrix: mount outcomes after a crash at each CP phase × media fault (Nc clean, Nr reconstructed, Nf fallback)",
+		res)
+	return res
+}
+
+// printCrashMatrix renders a phase × fault sweep: the per-cell outcome
+// table, the totals line, and the divergence report (shared by the classic
+// and pipelined matrices).
+func printCrashMatrix(w io.Writer, title string, res *CrashMatrixResult) {
 	tb := stats.Table{
-		Title:   "Crash matrix: mount outcomes after a crash at each CP phase × media fault (Nc clean, Nr reconstructed, Nf fallback)",
+		Title:   title,
 		Columns: append([]string{"crash phase"}, res.Faults...),
 	}
 	for pi, p := range res.Phases {
@@ -238,5 +248,4 @@ func RunCrashMatrix(cfg Config, w io.Writer) *CrashMatrixResult {
 		fmt.Fprintln(w, "silent divergence: none — every cache either loaded clean, reconstructed, or fell back to the bitmap")
 	}
 	fmt.Fprintln(w)
-	return res
 }

@@ -43,6 +43,23 @@ const (
 	PhaseCommit      = "commit"       // CP superblock commit (crash = clean CP)
 )
 
+// Pipelined-CP phases (Tunables.Pipeline). Under overlapped checkpoints a
+// boundary allocates the open generation while the sealed one flushes, so
+// the overlap window has its own crash points: a crash during overlap_alloc
+// fires before the in-flight generation commits, one during overlap_flush
+// fires mid-commit of the sealed banks. Kept out of CPPhases so the classic
+// crash matrix — and its pinned reference bands — are unchanged.
+const (
+	PhaseOverlapAlloc = "overlap_alloc" // open-gen allocation, sealed gen in flight
+	PhaseOverlapFlush = "overlap_flush" // sealed-gen flush, overlapping the alloc
+)
+
+// OverlapPhases returns the pipelined-CP crash points — the rows of the
+// pipeline crash-matrix experiment.
+func OverlapPhases() []string {
+	return []string{PhaseOverlapAlloc, PhaseOverlapFlush}
+}
+
 // CPPhases returns the named crash points in execution order — the rows of
 // the crash-matrix experiment.
 func CPPhases() []string {
@@ -157,14 +174,15 @@ func ParsePlan(spec string) (Plan, error) {
 		switch key {
 		case "phase":
 			found := false
-			for _, ph := range CPPhases() {
+			for _, ph := range append(CPPhases(), OverlapPhases()...) {
 				if ph == val {
 					found = true
 					break
 				}
 			}
 			if !found {
-				return p, fmt.Errorf("faultinject: unknown phase %q (have %v)", val, CPPhases())
+				return p, fmt.Errorf("faultinject: unknown phase %q (have %v and %v)",
+					val, CPPhases(), OverlapPhases())
 			}
 			p.CrashPhase = val
 		case "fault":

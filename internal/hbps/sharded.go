@@ -33,6 +33,14 @@ type Sharded struct {
 	staged [][]aa.ID
 	held   map[aa.ID]bool
 
+	// gen is the current CP generation; queueGen/stagedGen record the
+	// generation each shard's batch was staged under. Pipelined CPs advance
+	// gen at each seal so the watchdog can assert held batches never carry
+	// a stamp ahead of the current generation.
+	gen       uint64
+	queueGen  []uint64
+	stagedGen []uint64
+
 	m ShardedMetrics
 }
 
@@ -65,13 +73,15 @@ func NewSharded(shared *HBPS, n, batch int) *Sharded {
 		batch = 1
 	}
 	s := &Sharded{
-		shared: shared,
-		shards: n,
-		batch:  batch,
-		low:    batch / 2,
-		queues: make([][]aa.ID, n),
-		staged: make([][]aa.ID, n),
-		held:   make(map[aa.ID]bool),
+		shared:    shared,
+		shards:    n,
+		batch:     batch,
+		low:       batch / 2,
+		queues:    make([][]aa.ID, n),
+		staged:    make([][]aa.ID, n),
+		held:      make(map[aa.ID]bool),
+		queueGen:  make([]uint64, n),
+		stagedGen: make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
 		for len(s.queues[i]) < batch {
@@ -115,6 +125,7 @@ func (s *Sharded) Metrics() ShardedMetrics { return s.m }
 func (s *Sharded) Pop(shard int) (aa.ID, bool) {
 	if len(s.queues[shard]) == 0 && len(s.staged[shard]) > 0 {
 		s.queues[shard], s.staged[shard] = s.staged[shard], nil
+		s.queueGen[shard] = s.stagedGen[shard]
 		s.m.Swaps++
 	}
 	q := s.queues[shard]
@@ -147,9 +158,48 @@ func (s *Sharded) Stage(shard int, skip func(aa.ID) bool) int {
 		s.staged[shard] = append(s.staged[shard], id)
 		n++
 	}
+	if n > 0 {
+		s.stagedGen[shard] = s.gen
+	}
 	s.m.StageCalls++
 	s.m.Staged += uint64(n)
 	return n
+}
+
+// AdvanceGen bumps the generation stamp pipelined CPs seal under.
+func (s *Sharded) AdvanceGen() { s.gen++ }
+
+// Gen returns the current staging generation.
+func (s *Sharded) Gen() uint64 { return s.gen }
+
+// HeldGens visits the generation stamp of every non-empty held batch in
+// shard order, queue before standby.
+func (s *Sharded) HeldGens(yield func(shard int, gen uint64)) {
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > 0 {
+			yield(i, s.queueGen[i])
+		}
+		if len(s.staged[i]) > 0 {
+			yield(i, s.stagedGen[i])
+		}
+	}
+}
+
+// TamperHeldGen is a fault-injection hook for watchdog tests: it stamps the
+// first non-empty held batch with a generation ahead of the current one and
+// reports whether a batch was found. Production code never calls it.
+func (s *Sharded) TamperHeldGen() bool {
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > 0 {
+			s.queueGen[i] = s.gen + 1
+			return true
+		}
+		if len(s.staged[i]) > 0 {
+			s.stagedGen[i] = s.gen + 1
+			return true
+		}
+	}
+	return false
 }
 
 // FlushAll empties every queue and the held set, returning each held ID to

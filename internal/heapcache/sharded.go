@@ -30,6 +30,15 @@ type Sharded struct {
 	queues [][]Entry
 	staged [][]Entry
 
+	// gen is the current CP generation; queueGen/stagedGen record the
+	// generation each shard's batch was staged under. Pipelined CPs advance
+	// gen at each seal so the watchdog can assert no held batch predates
+	// the sealed generation (holds must never survive a full CP cycle
+	// without either being consumed or flushed shared-ward).
+	gen       uint64
+	queueGen  []uint64
+	stagedGen []uint64
+
 	m ShardedMetrics
 }
 
@@ -60,12 +69,14 @@ func NewSharded(shared *Cache, n, batch int) *Sharded {
 		batch = 1
 	}
 	s := &Sharded{
-		shared: shared,
-		shards: n,
-		batch:  batch,
-		low:    batch / 2,
-		queues: make([][]Entry, n),
-		staged: make([][]Entry, n),
+		shared:    shared,
+		shards:    n,
+		batch:     batch,
+		low:       batch / 2,
+		queues:    make([][]Entry, n),
+		staged:    make([][]Entry, n),
+		queueGen:  make([]uint64, n),
+		stagedGen: make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
 		s.queues[i] = s.popBatch()
@@ -99,6 +110,7 @@ func (s *Sharded) Metrics() ShardedMetrics { return s.m }
 func (s *Sharded) Pop(shard int) (Entry, bool) {
 	if len(s.queues[shard]) == 0 && len(s.staged[shard]) > 0 {
 		s.queues[shard], s.staged[shard] = s.staged[shard], nil
+		s.queueGen[shard] = s.stagedGen[shard]
 		s.m.Swaps++
 	}
 	q := s.queues[shard]
@@ -141,9 +153,51 @@ func (s *Sharded) Stage(shard int) int {
 		s.staged[shard] = append(s.staged[shard], e)
 		n++
 	}
+	if n > 0 {
+		s.stagedGen[shard] = s.gen
+	}
 	s.m.StageCalls++
 	s.m.Staged += uint64(n)
 	return n
+}
+
+// AdvanceGen bumps the generation stamp pipelined CPs seal under. Held
+// batches keep the generation they were staged at; the watchdog asserts
+// held gen ≤ current gen and, in pipelined mode, that no batch lags more
+// than one generation behind.
+func (s *Sharded) AdvanceGen() { s.gen++ }
+
+// Gen returns the current staging generation.
+func (s *Sharded) Gen() uint64 { return s.gen }
+
+// HeldGens visits the generation stamp of every non-empty held batch in
+// shard order, queue before standby.
+func (s *Sharded) HeldGens(yield func(shard int, gen uint64)) {
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > 0 {
+			yield(i, s.queueGen[i])
+		}
+		if len(s.staged[i]) > 0 {
+			yield(i, s.stagedGen[i])
+		}
+	}
+}
+
+// TamperHeldGen is a fault-injection hook for watchdog tests: it stamps the
+// first non-empty held batch with a generation ahead of the current one and
+// reports whether a batch was found. Production code never calls it.
+func (s *Sharded) TamperHeldGen() bool {
+	for i := 0; i < s.shards; i++ {
+		if len(s.queues[i]) > 0 {
+			s.queueGen[i] = s.gen + 1
+			return true
+		}
+		if len(s.staged[i]) > 0 {
+			s.stagedGen[i] = s.gen + 1
+			return true
+		}
+	}
+	return false
 }
 
 // FlushShard returns every entry the shard holds to the shared heap at its

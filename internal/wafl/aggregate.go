@@ -321,6 +321,71 @@ func (ag *Aggregate) CommitCP() CPStats {
 	return st
 }
 
+// CommitPipelinedCP commits the SEALED generation of a pipelined CP: the
+// flush banks sealCP captured one generation ago are flushed and folded
+// with exactly the classic phase structure (so the crash matrix's phase
+// hooks cover the pipelined path too), while the open generation's deltas,
+// writes, and queues stay untouched and the allocator keeps running.
+func (ag *Aggregate) CommitPipelinedCP() CPStats {
+	var st CPStats
+	workers := ag.workers()
+
+	ag.store.BeginGeneration()
+
+	ag.faults.EnterPhase(faultinject.PhaseFlush)
+	busy := make([]time.Duration, len(ag.groups))
+	parallel.ForEachObs(workers, len(ag.groups), ag.pobs, func(i int) {
+		g := ag.groups[i]
+		busy[i] = g.flushSealedCP()
+		ag.st.Emit("cp.flush", i, "group", busy[i], 0)
+		g.applyFlushDeltas()
+	})
+	ag.faults.EnterPhase(faultinject.PhaseTopAAGroups)
+	for i, g := range ag.groups {
+		st.DeviceBusy += busy[i]
+		if err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache); err != nil {
+			ag.st.Emit("cp.topaa", g.Index, "save_error", 0, 0)
+			continue
+		}
+		st.TopAABlocks++
+		ag.st.Emit("cp.topaa", g.Index, "group", 0, 1)
+	}
+	if ag.pool != nil {
+		ag.faults.EnterPhase(faultinject.PhasePool)
+		poolBusy := ag.pool.flushSealedCP()
+		st.DeviceBusy += poolBusy
+		busy = append(busy, poolBusy)
+		ag.st.Emit("cp.flush", poolShard, "pool", poolBusy, 0)
+		ag.pool.space.applyFlushDeltas()
+		ag.store.SaveAgnostic(poolTopAAKey, ag.pool.space.cache)
+		st.TopAABlocks += 2
+		ag.st.Emit("cp.topaa", poolShard, "pool", 0, 2)
+	}
+	st.FlushWall = parallel.Makespan(busy, workers)
+	ag.faults.EnterPhase(faultinject.PhaseBitmapAgg)
+	st.MetafilePagesAggregate = ag.bm.Flush()
+	ag.st.Emit("cp.metafile", -1, "aggregate", 0, int64(st.MetafilePagesAggregate))
+
+	ag.faults.EnterPhase(faultinject.PhaseVolFold)
+	volPages := make([]int, len(ag.vols))
+	parallel.ForEachObs(workers, len(ag.vols), ag.pobs, func(i int) {
+		v := ag.vols[i]
+		v.space.applyFlushDeltas()
+		volPages[i] = v.bm.Flush()
+	})
+	ag.faults.EnterPhase(faultinject.PhaseTopAAVols)
+	for i, v := range ag.vols {
+		ag.store.SaveAgnostic(v.Name, v.space.cache)
+		st.TopAABlocks += 2
+		st.MetafilePagesVols += volPages[i]
+		ag.st.Emit("cp.metafile", i, "volume", 0, int64(volPages[i]))
+		ag.st.Emit("cp.topaa", i, "volume", 0, 2)
+	}
+	ag.faults.EnterPhase(faultinject.PhaseCommit)
+	ag.cpTot.add(st)
+	return st
+}
+
 func topaaGroupKey(index int) string { return fmt.Sprintf("rg%d", index) }
 
 // MountOutcome classifies how one space's AA cache came back at mount.
@@ -479,6 +544,9 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		g.curValid = false
 		g.cpWrites = g.cpWrites[:0]
 		g.deltas = make(map[aa.ID]int64)
+		g.flushDeltas = nil
+		g.flushWrites = nil
+		g.flushCS = nil
 		outcome := MountBitmapWalk
 		rebuilt := false
 		if useTopAA {
@@ -546,6 +614,7 @@ func (ag *Aggregate) Remount(useTopAA bool) MountStats {
 		sp := spaces[i]
 		sp.curValid = false
 		sp.deltas = make(map[aa.ID]int64)
+		sp.flushDeltas = nil
 		outcome := MountBitmapWalk
 		rebuilt := false
 		if useTopAA {
@@ -631,6 +700,7 @@ func (ag *Aggregate) RepairTopAA() int {
 		g.cache = heapcache.NewFromScores(scores)
 		g.seedOnly = false
 		g.deltas = make(map[aa.ID]int64)
+		g.flushDeltas = nil
 		err := ag.store.SaveRAIDAware(topaaGroupKey(g.Index), g.cache)
 		// Rebuild the shard queues around the repaired cache after the save,
 		// so the metafile holds the complete score set.

@@ -43,9 +43,21 @@ type agnosticSpace struct {
 	deltas map[aa.ID]int64
 	rng    *rand.Rand
 
+	// flushDeltas is the sealed generation's delta bank when CPs are
+	// pipelined: sealCPDeltas swaps the open map here, new writes keep
+	// accumulating into a fresh deltas map, and applyFlushDeltas folds the
+	// sealed bank into the HBPS when the in-flight generation commits. Nil
+	// or empty on the classic path.
+	flushDeltas map[aa.ID]int64
+
 	// delayed, when non-nil, queues frees per AA with HBPS-tracked scores
-	// instead of applying them immediately; see delayedfree.go.
-	delayed *delayedFrees
+	// instead of applying them immediately; see delayedfree.go. Under
+	// pipelined CPs delayedSealed holds the previous generation's queue:
+	// frees landing mid-flush go to delayed (the open generation) while the
+	// in-flight flush reclaims only from delayedSealed, crediting each free
+	// to the CP it logically belongs to.
+	delayed       *delayedFrees
+	delayedSealed *delayedFrees
 
 	// Measurement counters.
 	pickedScoreSum float64
@@ -132,8 +144,13 @@ func (s *agnosticSpace) resetShardCache() {
 }
 
 // pendingDelta is the total pending score delta for id: the shared map
-// plus every shard ledger (the quantity the scrub invariant subtracts).
-func (s *agnosticSpace) pendingDelta(id aa.ID) int64 { return s.as.pending(id, s.deltas) }
+// plus every shard ledger plus the sealed flush bank (the quantity the
+// scrub invariant subtracts). Including the sealed bank keeps the scrub
+// and watchdog invariants valid mid-pipeline: a sealed delta is still a
+// bitmap mutation the cache has not yet seen.
+func (s *agnosticSpace) pendingDelta(id aa.ID) int64 {
+	return s.as.pending(id, s.deltas) + s.flushDeltas[id]
+}
 
 func (s *agnosticSpace) aaScore(id aa.ID) uint32 {
 	return uint32(aa.Score(s.topo, s.bm, id))
@@ -339,6 +356,9 @@ func (s *agnosticSpace) replenish() {
 	for id := range s.deltas {
 		delete(s.deltas, id)
 	}
+	for id := range s.flushDeltas {
+		delete(s.flushDeltas, id)
+	}
 	s.as.clearLedgers()
 	scores := aa.ScoresObs(s.topo, s.bm, s.workers, s.pobs, s.scored)
 	s.cache.Replenish(func(yield func(aa.ID, uint32)) {
@@ -428,6 +448,53 @@ func (s *agnosticSpace) applyCPDeltas() {
 		s.cacheOps++
 		folds++
 		delete(s.deltas, id)
+	}
+	s.st.Emit("cp.fold.virt", s.shard, "hbps_updates", 0, folds)
+}
+
+// sealCPDeltas closes the open generation's ledger for a pipelined CP:
+// shard ledgers fold into the shared map (same deterministic order as the
+// classic fold), then the whole map swaps into the flush bank and a fresh
+// open map takes its place. New writes accumulate into the fresh map while
+// the sealed bank waits for applyFlushDeltas at the generation's commit.
+func (s *agnosticSpace) sealCPDeltas() {
+	s.as.fold(s.deltas)
+	s.flushDeltas = s.deltas
+	s.deltas = make(map[aa.ID]int64)
+}
+
+// applyFlushDeltas folds the sealed generation's delta bank into the HBPS
+// when its flush commits. The HBPS stores no per-AA scores, so the current
+// listed score is derived from the authoritative bitmap count minus every
+// delta the cache has not seen (open ledgers + open map); subtracting the
+// sealed delta from that gives the score the entry was listed at. Both are
+// provably non-negative — a violation means ledger corruption.
+func (s *agnosticSpace) applyFlushDeltas() {
+	if len(s.flushDeltas) == 0 {
+		return
+	}
+	if !s.cacheEnabled {
+		for id := range s.flushDeltas {
+			delete(s.flushDeltas, id)
+		}
+		return
+	}
+	var folds int64
+	for _, id := range sortedIDs(s.flushDeltas) {
+		d := s.flushDeltas[id]
+		delete(s.flushDeltas, id)
+		if d == 0 {
+			continue
+		}
+		open := s.as.pending(id, s.deltas)
+		cur := int64(s.aaScore(id)) - open
+		old := cur - d
+		if cur < 0 || old < 0 {
+			panic(fmt.Sprintf("wafl: %s AA %d sealed delta %d implies negative score (cur %d)", s.name, id, d, cur))
+		}
+		s.cache.Update(id, uint32(old), uint32(cur))
+		s.cacheOps++
+		folds++
 	}
 	s.st.Emit("cp.fold.virt", s.shard, "hbps_updates", 0, folds)
 }

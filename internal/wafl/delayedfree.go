@@ -81,13 +81,68 @@ func (d *delayedFrees) pop() (aa.ID, []block.VBN, bool) {
 	}
 }
 
-// PendingFrees returns the number of queued (not yet applied) virtual-VBN
-// frees in the volume.
-func (v *FlexVol) PendingFrees() int {
-	if v.space.delayed == nil {
-		return 0
+// absorb moves every queued free from o into d, in AA order so HBPS
+// insertion sequence — and hence reclamation order — stays deterministic.
+// Used at pipelined generation handoff: the sealed queue absorbs whatever
+// the previous sealed generation's budget left behind (the carryover), and
+// scores stay HBPS-consistent because each AA updates by its whole bulk.
+func (d *delayedFrees) absorb(o *delayedFrees) {
+	for _, id := range sortedIDs(o.pending) {
+		vs := o.pending[id]
+		old := len(d.pending[id])
+		d.pending[id] = append(d.pending[id], vs...)
+		d.count += len(vs)
+		if old == 0 {
+			d.cache.Track(id, uint32(len(vs)))
+		} else {
+			d.cache.Update(id, uint32(old), uint32(old+len(vs)))
+		}
+		delete(o.pending, id)
+		o.cache.Untrack(id, uint32(len(vs)))
 	}
-	return v.space.delayed.count
+	o.count = 0
+}
+
+// PendingFrees returns the number of queued (not yet applied) virtual-VBN
+// frees in the volume, across both the open and (pipelined) sealed
+// generations.
+func (v *FlexVol) PendingFrees() int {
+	n := 0
+	if v.space.delayed != nil {
+		n += v.space.delayed.count
+	}
+	if v.space.delayedSealed != nil {
+		n += v.space.delayedSealed.count
+	}
+	return n
+}
+
+// reclaimSealedFrees applies queued frees from the SEALED generation's
+// queue, best-AA-first, until the budget is exhausted (budget <= 0 means
+// unlimited). Unlike reclaimDelayedFrees it credits the score drops to the
+// sealed flushDeltas bank — the frees belong to the committing CP, not the
+// open one — so the flush-time cache fold settles them with the rest of the
+// generation. Whatever the budget leaves behind stays in the sealed queue
+// and is carried into the next generation at the following seal (absorb).
+func (s *agnosticSpace) reclaimSealedFrees(budget int) (freed, aas int) {
+	if s.delayedSealed == nil {
+		return 0, 0
+	}
+	for s.delayedSealed.count > 0 && (budget <= 0 || freed < budget) {
+		id, vs, ok := s.delayedSealed.pop()
+		if !ok {
+			break
+		}
+		for _, v := range vs {
+			if !s.bm.Clear(v) {
+				panic(fmt.Sprintf("wafl: delayed free of unallocated %v in %s", v, s.name))
+			}
+			s.flushDeltas[id]++
+			freed++
+		}
+		aas++
+	}
+	return freed, aas
 }
 
 // reclaimDelayedFrees applies queued frees, best-AA-first, until the budget

@@ -46,9 +46,9 @@ func TestDelayedFreesRespectBudget(t *testing.T) {
 	s, lun := delayedSystem(t, 512)
 	vol := s.Agg.Vols()[0]
 	// Generate a burst of frees far above the per-CP budget.
-	freed := s.PunchHoles(lun, func(lba uint64) bool { return lba < 10000 })
-	if freed != 10000 {
-		t.Fatalf("punched %d", freed)
+	freed, err := s.PunchHoles(lun, func(lba uint64) bool { return lba < 10000 })
+	if err != nil || freed != 10000 {
+		t.Fatalf("punched %d, err %v", freed, err)
 	}
 	if vol.PendingFrees() != 10000 {
 		t.Fatalf("pending = %d", vol.PendingFrees())

@@ -65,6 +65,15 @@ type Group struct {
 	// cpWrites collects the physical VBNs allocated since the last CP.
 	cpWrites []block.VBN
 
+	// Pipelined-CP double buffering (see system.go cpPipelined): at seal,
+	// deltas/cpWrites/pendingCS swap into these banks while the open
+	// generation keeps accumulating into fresh ones; the banks flush and
+	// fold when the sealed generation commits. Nil/empty on the classic
+	// path.
+	flushDeltas map[aa.ID]int64
+	flushWrites []block.VBN
+	flushCS     []uint64
+
 	raidStats *raid.Stats
 	rng       *rand.Rand
 
@@ -194,8 +203,12 @@ func (g *Group) restageShards() {
 }
 
 // pendingDelta is the total pending score delta for id: the shared map
-// plus every shard ledger (the quantity the scrub invariant subtracts).
-func (g *Group) pendingDelta(id aa.ID) int64 { return g.as.pending(id, g.deltas) }
+// plus every shard ledger plus the sealed flush bank (the quantity the
+// scrub invariant subtracts). Including the sealed bank keeps the scrub
+// and watchdog invariants valid mid-pipeline.
+func (g *Group) pendingDelta(id aa.ID) int64 {
+	return g.as.pending(id, g.deltas) + g.flushDeltas[id]
+}
 
 func (g *Group) buildDevices() {
 	spec := g.Spec
@@ -491,6 +504,7 @@ func (g *Group) finishAA(bm *bitmap.Bitmap) {
 		g.scored.Inc()
 		g.cacheOps++
 		g.as.clearPending(g.curAA, g.deltas) // the fresh score already reflects them
+		delete(g.flushDeltas, g.curAA)       // ditto for a sealed delta mid-pipeline
 	}
 	g.curValid = false
 }
@@ -591,6 +605,54 @@ func (g *Group) flushCP() time.Duration {
 	return busy
 }
 
+// sealCP closes the open generation for a pipelined CP: shard ledgers fold
+// into the shared delta map (the classic deterministic order), then the
+// delta map, the CP's write set, and the queued AZCS checksum positions all
+// swap into the flush banks while fresh open structures take their place.
+func (g *Group) sealCP() {
+	g.as.fold(g.deltas)
+	g.flushDeltas = g.deltas
+	g.deltas = make(map[aa.ID]int64)
+	g.flushWrites = g.cpWrites
+	g.cpWrites = nil
+	g.flushCS = g.pendingCS
+	g.pendingCS = nil
+}
+
+// flushSealedCP is flushCP over the sealed generation's banks: it charges
+// the device models for the writes sealed one generation ago while the open
+// generation keeps allocating.
+func (g *Group) flushSealedCP() time.Duration {
+	if len(g.flushWrites) == 0 && len(g.flushCS) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	tetrises := raid.BuildTetrises(g.geo, g.flushWrites)
+	g.flushWrites = g.flushWrites[:0]
+	for i := range tetrises {
+		t := &tetrises[i]
+		g.raidStats.Add(t)
+		for _, c := range t.Chains {
+			busy += g.chargeChain(c)
+		}
+		if g.geo.ParityDevices > 0 && t.StripesTouched > 0 {
+			busy += g.parity.WriteChain(t.Tetris*block.StripesPerTetris, uint64(t.ParityWriteBlocks))
+			if t.ParityReadBlocks > 0 {
+				busy += g.parity.Read(uint64(t.ParityReadBlocks))
+			}
+		}
+	}
+	for _, cs := range g.flushCS {
+		for d := range g.devices {
+			g.azcsRandomWrites++
+			busy += g.devices[d].WriteChain(cs, 1)
+		}
+	}
+	g.flushCS = g.flushCS[:0]
+	g.deviceBusy += busy
+	return busy
+}
+
 // chargeChain costs one data-device write chain. Under AZCS the chain is
 // mapped to its on-disk span, which naturally includes the interior
 // checksum blocks: they are written as part of the sequential sweep
@@ -666,6 +728,40 @@ func (g *Group) applyCPDeltas() {
 		g.cacheOps++
 		folds++
 		delete(g.deltas, id)
+	}
+	g.st.Emit("cp.fold.phys", g.Index, "heap_updates", 0, folds)
+}
+
+// applyFlushDeltas folds the sealed generation's delta bank into the AA
+// cache when its flush commits. Deltas the fold cannot apply yet — the
+// allocator's in-flight AA, or an AA a seed-only cache does not track —
+// merge back into the open map, so finishAA / the background fill settle
+// them exactly as they settle classic deltas.
+func (g *Group) applyFlushDeltas() {
+	if len(g.flushDeltas) == 0 {
+		return
+	}
+	if !g.cacheEnabled {
+		for id := range g.flushDeltas {
+			delete(g.flushDeltas, id)
+		}
+		return
+	}
+	var folds int64
+	for _, id := range sortedIDs(g.flushDeltas) {
+		d := g.flushDeltas[id]
+		delete(g.flushDeltas, id)
+		if (g.curValid && id == g.curAA) || !g.cache.Tracked(id) {
+			g.deltas[id] += d
+			continue
+		}
+		s := int64(g.cache.Score(id)) + d
+		if s < 0 {
+			s = 0
+		}
+		g.cache.Update(id, uint64(s))
+		g.cacheOps++
+		folds++
 	}
 	g.st.Emit("cp.fold.phys", g.Index, "heap_updates", 0, folds)
 }

@@ -408,7 +408,15 @@ func (ag *Aggregate) registerSpaceObs(sp *agnosticSpace, prefix string, shard in
 	ag.reg.CounterFunc(prefix+"hbps.pops", func() uint64 { return sp.cache.Metrics().Pops })
 	ag.registerAllocObs(prefix, sp.as)
 	if sp.delayed != nil {
-		ag.reg.GaugeFunc(prefix+"delayed.pending", func() int64 { return int64(sp.delayed.count) })
+		// Pending spans both generations under pipelined CPs: the open queue
+		// plus whatever the sealed queue's budget has not yet reclaimed.
+		ag.reg.GaugeFunc(prefix+"delayed.pending", func() int64 {
+			n := int64(sp.delayed.count)
+			if sp.delayedSealed != nil {
+				n += int64(sp.delayedSealed.count)
+			}
+			return n
+		})
 		ag.reg.CounterFunc(prefix+"delayed.hbps_pops", func() uint64 { return sp.delayed.cache.Metrics().Pops })
 		ag.reg.CounterFunc(prefix+"delayed.hbps_replenishes", func() uint64 { return sp.delayed.cache.Metrics().Replenishes })
 	}
@@ -445,6 +453,14 @@ func (s *System) registerSystemObs() {
 	reg.CounterFunc("wafl.blocks_written", func() uint64 { return s.c.BlocksWritten })
 	reg.CounterFunc("wafl.blocks_freed", func() uint64 { return s.c.BlocksFreed })
 	reg.VolatileCounterFunc("wafl.cp_flush_wall_ns", func() uint64 { return uint64(s.cpWall) })
+	// Pipelined-CP accounting. Generations is worker-invariant; the wall
+	// accumulators are modeled makespans and vary with Workers, so they are
+	// volatile (excluded from StableSnapshot) like cp_flush_wall_ns.
+	reg.CounterFunc("cp.pipeline.generations", func() uint64 { return s.pipe.generations })
+	reg.VolatileCounterFunc("cp.pipeline.alloc_wall_ns", func() uint64 { return uint64(s.pipe.allocWall) })
+	reg.VolatileCounterFunc("cp.pipeline.flush_wall_ns", func() uint64 { return uint64(s.pipe.flushWall) })
+	reg.VolatileCounterFunc("cp.pipeline.pipelined_wall_ns", func() uint64 { return uint64(s.pipe.pipedWall) })
+	reg.VolatileCounterFunc("cp.pipeline.serial_wall_ns", func() uint64 { return uint64(s.pipe.serialWall) })
 }
 
 // CountersFromSnapshot reconstructs the cumulative Counters from a registry

@@ -19,6 +19,10 @@ import (
 // seeded remount, and a fallback remount — with every observability sink
 // enabled, and returns the system plus the sinks.
 func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *strings.Builder, *fragscan.Recorder, []CPStats) {
+	return obsRunMode(t, workers, false)
+}
+
+func obsRunMode(t *testing.T, workers int, pipeline bool) (*System, *obs.Registry, *obs.Tracer, *strings.Builder, *fragscan.Recorder, []CPStats) {
 	t.Helper()
 	export := obs.NewRegistry()
 	tracer := obs.NewTracer()
@@ -29,6 +33,7 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 	tun.Workers = workers
 	tun.CPEveryOps = 1 << 30 // CP only when the test says so, so all CPStats are captured
 	tun.DelayedVirtFrees = true
+	tun.Pipeline = pipeline
 	tun.Obs = &ObsOptions{
 		Name:      "arm",
 		Export:    export,
@@ -67,6 +72,7 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 		}
 	}
 	record()
+	s.Drain() // no-op classic; commits the in-flight generation pipelined
 	s.Agg.Remount(true)
 	for i := 0; i < 3000; i++ {
 		s.Write(lunA, uint64(rng.Intn(60000)), 1)
@@ -75,6 +81,7 @@ func obsRun(t *testing.T, workers int) (*System, *obs.Registry, *obs.Tracer, *st
 		s.Read(lunA, uint64(rng.Intn(59000)), 4)
 	}
 	record()
+	s.Drain()
 	s.Agg.Remount(false)
 	if err := rec.Flush(); err != nil {
 		t.Fatalf("csv flush: %v", err)

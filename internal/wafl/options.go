@@ -120,6 +120,16 @@ type Tunables struct {
 	// Larger batches stage less often but widen the near-best window.
 	AllocBatch int
 
+	// Pipeline overlaps consecutive consistency points the way production
+	// WAFL does: writes allocate into CP n+1 while CP n flushes, so the
+	// modeled sustained-write wall per generation is max(alloc, flush)
+	// instead of their sum. Delta ledgers are double-buffered (sealed
+	// generation vs open generation) and delayed frees carry a second,
+	// sealed queue so frees landing mid-flush credit the correct CP (see
+	// system.go cpPipelined and DESIGN.md §12). False keeps the classic
+	// stop-the-world CP byte-for-byte.
+	Pipeline bool
+
 	// Obs configures the observability layer (metric export, CP-phase
 	// tracing, per-CP CSV). Nil keeps every sink off; the hot paths then pay
 	// only nil-checks. See obs.go.

@@ -1,0 +1,466 @@
+package wafl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"waflfs/internal/aa"
+	"waflfs/internal/block"
+	"waflfs/internal/faultinject"
+	"waflfs/internal/obs/optrace"
+	"waflfs/internal/parallel"
+)
+
+// Pipelined consistency points (Tunables.Pipeline). Production WAFL never
+// stops the world for a CP: while CP n's dirty data drains to disk, the
+// frontend keeps accepting writes that allocate into CP n+1. This file
+// models that overlap on the deterministic clock. Each CP boundary:
+//
+//  1. allocates the pending writes into the OPEN generation (the classic
+//     phase-1 mechanics, byte for byte),
+//  2. if a generation is in flight, commits it — flush, cache fold,
+//     metafile write-back — from the SEALED banks (CommitPipelinedCP),
+//  3. seals the open generation: delta ledgers, write sets, AZCS queues,
+//     pool banks, and delayed-free queues all swap into the flush banks
+//     while fresh open structures take their place,
+//  4. charges the modeled wall max(alloc_open, flush_sealed) instead of
+//     their sum — the overlap win the cp.pipeline.* metrics expose.
+//
+// Every measured counter stays worker-count invariant; only the modeled
+// walls (alloc via parallel.Makespan, flush via CPStats.FlushWall) vary
+// with Tunables.Workers, exactly like the classic FlushWall. The final
+// generation stays in flight until the next boundary — callers reading
+// artifacts (snapshots, refcount checks, benches) must Drain() first.
+
+// pipeCand is a pending write-trace candidate carried from a generation's
+// alloc phase to its flush — the pipelined analogue of CP()'s writeCand.
+type pipeCand struct {
+	id, seq      uint64
+	sampled      bool
+	stalls0      uint64
+	replenishes0 uint64
+	stallBusy0   time.Duration
+	refillBusy0  time.Duration
+}
+
+// pipeGen is the metadata of a sealed generation, captured at seal so its
+// flush can attribute latency and traces to the CP the writes belong to.
+type pipeGen struct {
+	// ord is the CP ordinal this generation commits as.
+	ord         uint64
+	volBlocks   map[*FlexVol]uint64
+	totalBlocks uint64
+	cands       map[*FlexVol]*pipeCand
+	// allocScan/allocCache are the CPU charges of the generation's alloc
+	// phase, carried here so the flush-time latency SLI covers the whole
+	// generation cost.
+	allocScan  time.Duration
+	allocCache time.Duration
+	// allocWall is the modeled wall-clock of the alloc phase.
+	allocWall time.Duration
+}
+
+// cpPipeline is the System's pipelined-CP state plus the cp.pipeline.*
+// accumulators. Zero-valued (and untouched) when Pipeline is off.
+type cpPipeline struct {
+	inFlight bool
+	gen      pipeGen
+
+	// generations counts sealed generations (worker-invariant).
+	generations uint64
+	// Wall accumulators (worker-sensitive, exported as volatile metrics):
+	// serialWall is what a stop-the-world schedule would have cost
+	// (alloc + flush per generation), pipedWall what the overlap costs
+	// (max per generation). Their ratio is the overlap gain.
+	allocWall  time.Duration
+	flushWall  time.Duration
+	pipedWall  time.Duration
+	serialWall time.Duration
+}
+
+// PipelineStats is a snapshot of the pipelined-CP accounting.
+type PipelineStats struct {
+	// Generations counts sealed generations.
+	Generations uint64
+	// AllocWall/FlushWall are the summed per-generation modeled walls.
+	AllocWall time.Duration
+	FlushWall time.Duration
+	// PipelinedWall is Σ max(alloc, flush) — the modeled sustained-write
+	// wall with the overlap. SerialWall is Σ (alloc + flush) — what the
+	// stop-the-world schedule would have cost.
+	PipelinedWall time.Duration
+	SerialWall    time.Duration
+}
+
+// OverlapGain returns SerialWall / PipelinedWall (0 when nothing ran):
+// ≥ 1 always, 2 at perfect alloc/flush balance.
+func (p PipelineStats) OverlapGain() float64 {
+	if p.PipelinedWall == 0 {
+		return 0
+	}
+	return float64(p.SerialWall) / float64(p.PipelinedWall)
+}
+
+// PipelineStats returns the pipelined-CP accounting.
+func (s *System) PipelineStats() PipelineStats {
+	return PipelineStats{
+		Generations:   s.pipe.generations,
+		AllocWall:     s.pipe.allocWall,
+		FlushWall:     s.pipe.flushWall,
+		PipelinedWall: s.pipe.pipedWall,
+		SerialWall:    s.pipe.serialWall,
+	}
+}
+
+// InFlight reports whether a sealed generation is still awaiting its flush
+// (Drain commits it).
+func (s *System) InFlight() bool { return s.pipe.inFlight }
+
+// cpPipelined is the pipelined CP boundary (see the file comment for the
+// stage order). It returns the CPStats of the generation that COMMITTED at
+// this boundary — zero at the first boundary, when nothing was in flight.
+func (s *System) cpPipelined() CPStats {
+	cacheOpsBefore := s.cacheOps()
+	scanBefore := s.virtScanBlocks()
+	ord := s.c.CPs + 1
+	if s.pipe.inFlight {
+		ord = s.c.CPs + 2 // the in-flight generation commits first
+	}
+	s.Agg.cpOrd = ord
+	s.Agg.st.BeginCP()
+	s.Agg.faults.BeginCP()
+	if s.pipe.inFlight {
+		s.Agg.faults.EnterPhase(faultinject.PhaseOverlapAlloc)
+	} else {
+		s.Agg.faults.EnterPhase(faultinject.PhaseAlloc)
+	}
+
+	// Open-generation allocation: identical mechanics to classic phase 1
+	// (sorted LUN order, trace candidates, dual-VBN assignment, COW frees).
+	luns := make([]*LUN, 0, len(s.pending))
+	for l := range s.pending {
+		luns = append(luns, l)
+	}
+	sort.Slice(luns, func(i, j int) bool {
+		if luns[i].vol.Name != luns[j].vol.Name {
+			return luns[i].vol.Name < luns[j].vol.Name
+		}
+		return luns[i].Name < luns[j].Name
+	})
+	volBlocks := make(map[*FlexVol]uint64, len(s.Agg.vols))
+	var totalBlocks uint64
+	cands := make(map[*FlexVol]*pipeCand)
+	for _, l := range luns {
+		dirty := s.pending[l]
+		n := len(dirty)
+		if n == 0 {
+			continue
+		}
+		vol := l.vol
+		if sp := vol.space; sp.tr != nil {
+			if _, ok := cands[vol]; !ok {
+				id, seq, smp := sp.tr.Begin(optrace.KindWrite)
+				cands[vol] = &pipeCand{
+					id: id, seq: seq, sampled: smp,
+					stalls0: sp.as.stalls, replenishes0: sp.replenishes,
+					stallBusy0: sp.as.stallBusy, refillBusy0: sp.as.refillBusy,
+				}
+				if smp {
+					sp.curTID = id
+				}
+			}
+		}
+		volBlocks[vol] += uint64(n)
+		totalBlocks += uint64(n)
+		virt := vol.space.allocate(n)
+		var phys []block.VBN
+		if s.tun.FlashPool {
+			phys = s.Agg.AllocatePhysicalPreferring(aa.MediaSSD, n)
+		} else {
+			phys = s.Agg.AllocatePhysical(n)
+		}
+		if len(virt) < n {
+			panic(fmt.Sprintf("wafl: volume %q out of virtual space", vol.Name))
+		}
+		if len(phys) < n {
+			panic("wafl: aggregate out of physical space")
+		}
+		lbas := make([]uint64, 0, n)
+		for lba := range dirty {
+			lbas = append(lbas, lba)
+		}
+		sortUint64s(lbas)
+		for i, lba := range lbas {
+			vol.refNew(virt[i])
+			old, wasWritten := l.install(lba, blockPtr{virt: virt[i], phys: phys[i]})
+			if wasWritten {
+				s.unref(vol, old)
+			}
+		}
+		s.c.BlocksWritten += uint64(n)
+		s.Agg.st.Emit("cp.alloc", vol.space.shard, l.Name, 0, int64(n))
+		delete(s.pending, l)
+	}
+	s.pendingBlocks = 0
+	s.opsSinceCP = 0
+	for vol := range cands {
+		vol.space.curTID = 0
+	}
+
+	// Charge the alloc phase's CPU now (worker-invariant), but carry the
+	// amounts in the generation so its flush-time SLI covers them.
+	allocScan := time.Duration(s.virtScanBlocks()-scanBefore) * s.tun.CPUPerVirtAllocScan
+	allocCache := time.Duration(s.cacheOps()-cacheOpsBefore) * s.tun.CPUPerCacheOp
+	s.c.CPUTime += allocScan + allocCache
+	s.c.CacheCPUTime += allocCache
+
+	// Modeled alloc wall: each volume's allocation work (its blocks at the
+	// base per-op cost) is volume-local, so it fans out over the work pool
+	// the way the flush fans out over groups.
+	volBusy := make([]time.Duration, 0, len(s.Agg.vols))
+	for _, v := range s.Agg.vols {
+		if n := volBlocks[v]; n > 0 {
+			volBusy = append(volBusy, time.Duration(n)*s.tun.CPUBasePerOp)
+		}
+	}
+	allocWall := parallel.Makespan(volBusy, s.Agg.workers())
+
+	// Commit the in-flight generation while (logically) the allocation
+	// above was running — the overlap the wall accounting below models.
+	var st CPStats
+	var flushWall time.Duration
+	committed := s.pipe.inFlight
+	if committed {
+		st = s.flushGeneration()
+		flushWall = st.FlushWall
+	}
+
+	// Seal the generation just allocated; it flushes at the next boundary.
+	s.sealGeneration(pipeGen{
+		ord: s.c.CPs + 1, volBlocks: volBlocks, totalBlocks: totalBlocks,
+		cands: cands, allocScan: allocScan, allocCache: allocCache,
+		allocWall: allocWall,
+	})
+
+	// The boundary's modeled wall is max(alloc, flush), not their sum.
+	wall := allocWall
+	if flushWall > wall {
+		wall = flushWall
+	}
+	s.cpWall += wall
+	s.pipe.allocWall += allocWall
+	s.pipe.flushWall += flushWall
+	s.pipe.pipedWall += wall
+	s.pipe.serialWall += allocWall + flushWall
+
+	if committed {
+		s.pipeTail()
+	}
+	return st
+}
+
+// sealGeneration swaps every open bank into the flush banks: group and
+// space delta ledgers (shard ledgers folded first, classic order), write
+// sets, AZCS queues, the pool's tiered-block bank, and the delayed-free
+// queues (the sealed queue absorbs the open one — including any budget
+// carryover already waiting there). Shard staging generations advance so
+// the watchdog can pin held batches to the generation they predate.
+func (s *System) sealGeneration(gen pipeGen) {
+	for _, g := range s.Agg.groups {
+		g.sealCP()
+		if g.sh != nil {
+			g.sh.AdvanceGen()
+		}
+	}
+	for _, v := range s.Agg.vols {
+		sp := v.space
+		sp.sealCPDeltas()
+		if sp.delayed != nil {
+			if sp.delayedSealed == nil {
+				sp.delayedSealed = newDelayedFrees()
+			}
+			sp.delayedSealed.absorb(sp.delayed)
+		}
+		if sp.sh != nil {
+			sp.sh.AdvanceGen()
+		}
+	}
+	if p := s.Agg.pool; p != nil {
+		p.sealCP()
+		p.space.sealCPDeltas()
+		if p.space.sh != nil {
+			p.space.sh.AdvanceGen()
+		}
+	}
+	s.pipe.gen = gen
+	s.pipe.inFlight = true
+	s.pipe.generations++
+}
+
+// flushGeneration commits the sealed generation: sealed delayed frees are
+// reclaimed into the flush banks, the banks flush and fold with the classic
+// phase structure, and the generation's latency SLI and write traces are
+// attributed using the metadata captured at seal plus the flush-measured
+// costs — so attr coverage reconciles exactly, as on the classic path.
+func (s *System) flushGeneration() CPStats {
+	gen := s.pipe.gen
+	s.Agg.faults.EnterPhase(faultinject.PhaseOverlapFlush)
+	for _, v := range s.Agg.vols {
+		freed, aas := v.space.reclaimSealedFrees(s.tun.DelayedFreeBudgetPerCP)
+		if freed > 0 {
+			s.Agg.st.Emit("cp.delayed_free", v.space.shard, "reclaim", 0, int64(freed))
+			s.Agg.st.Emit("cp.delayed_free", v.space.shard, "aas_processed", 0, int64(aas))
+		}
+	}
+
+	var gBusy []time.Duration
+	if len(gen.cands) > 0 {
+		gBusy = make([]time.Duration, len(s.Agg.groups))
+		for i, g := range s.Agg.groups {
+			gBusy[i] = g.deviceBusy
+		}
+	}
+	cacheOpsBefore := s.cacheOps()
+	st := s.Agg.CommitPipelinedCP()
+	s.c.CPs++
+	s.c.DeviceBusy += st.DeviceBusy
+	pages := uint64(st.MetafilePagesAggregate + st.MetafilePagesVols)
+	s.c.MetafilePages += pages
+	s.c.TopAABlocks += uint64(st.TopAABlocks)
+	metaNS := time.Duration(pages) * s.tun.CPUPerMetafilePage
+	s.c.CPUTime += metaNS
+	foldCache := time.Duration(s.cacheOps()-cacheOpsBefore) * s.tun.CPUPerCacheOp
+	s.c.CPUTime += foldCache
+	s.c.CacheCPUTime += foldCache
+
+	// Latency SLI for the committed generation: same worker-invariant cost
+	// split as the classic CP, with the alloc-phase CPU carried over from
+	// seal time and the fold CPU measured here.
+	if gen.totalBlocks > 0 {
+		cpCost := st.DeviceBusy + metaNS + gen.allocScan + gen.allocCache + foldCache
+		cpPer := uint64(cpCost) / gen.totalBlocks
+		base := uint64(s.tun.CPUBasePerOp)
+		perBlock := base + cpPer
+		var metaPer, scanPer, cachePer, devPer uint64
+		if cpCost > 0 {
+			fc := float64(cpPer) / float64(cpCost)
+			metaPer = uint64(fc * float64(metaNS))
+			scanPer = uint64(fc * float64(gen.allocScan))
+			cachePer = uint64(fc * float64(gen.allocCache+foldCache))
+			devPer = cpPer - metaPer - scanPer - cachePer
+		}
+		for _, v := range s.Agg.vols {
+			if n := gen.volBlocks[v]; n > 0 {
+				sp := v.space
+				sp.lat.ObserveN(perBlock, n)
+				sp.attr[optrace.StageBase] += n * base
+				sp.attr[optrace.StageDevice] += n * devPer
+				sp.attr[optrace.StageMetafile] += n * metaPer
+				sp.attr[optrace.StageScan] += n * scanPer
+				sp.attr[optrace.StageCache] += n * cachePer
+			}
+		}
+		for _, v := range s.Agg.vols {
+			c := gen.cands[v]
+			if c == nil || gen.volBlocks[v] == 0 {
+				continue
+			}
+			sp := v.space
+			rec, slow := sp.tr.Decide(c.sampled, perBlock)
+			if !rec {
+				continue
+			}
+			var flushTotal time.Duration
+			for gi, g := range s.Agg.groups {
+				flushTotal += g.deviceBusy - gBusy[gi]
+			}
+			var leaves []optrace.Span
+			if devPer > 0 && flushTotal > 0 {
+				for gi, g := range s.Agg.groups {
+					if d := g.deviceBusy - gBusy[gi]; d > 0 {
+						leaves = append(leaves, optrace.Span{
+							Name:  fmt.Sprintf("rg%d", g.Index),
+							DurNS: uint64(float64(devPer) * float64(d) / float64(flushTotal)),
+						})
+					}
+				}
+			}
+			pk := sp.lastPick
+			alloc := optrace.Span{
+				Name: "alloc",
+				Detail: fmt.Sprintf("aa=%d score=%d runner_up=%d reason=%s stalls=%d refills=%d",
+					pk.aa, pk.score, pk.runner, pk.reason,
+					sp.as.stalls-c.stalls0, sp.replenishes-c.replenishes0),
+			}
+			if d := sp.as.stallBusy - c.stallBusy0; d > 0 {
+				alloc.Children = append(alloc.Children, optrace.Span{
+					Name: "stall", Detail: fmt.Sprintf("busy_ns=%d", d)})
+			}
+			if d := sp.as.refillBusy - c.refillBusy0; d > 0 {
+				alloc.Children = append(alloc.Children, optrace.Span{
+					Name: "refill", Detail: fmt.Sprintf("busy_ns=%d", d)})
+			}
+			sp.tr.Add(optrace.Trace{
+				ID: c.id, Kind: optrace.KindWrite.String(), Seq: c.seq, CP: s.c.CPs,
+				AtNS:  int64(s.c.DeviceBusy + s.c.CPUTime),
+				LatNS: perBlock, Blocks: gen.volBlocks[v], Slow: slow,
+				Spans: []optrace.Span{
+					{Name: optrace.StageBase.String(), DurNS: base},
+					alloc,
+					{Name: optrace.StageDevice.String(), DurNS: devPer, Children: leaves},
+					{Name: optrace.StageMetafile.String(), DurNS: metaPer},
+					{Name: optrace.StageScan.String(), DurNS: scanPer},
+					{Name: optrace.StageCache.String(), DurNS: cachePer},
+				},
+			})
+		}
+	}
+	s.pipe.gen = pipeGen{}
+	s.pipe.inFlight = false
+	return st
+}
+
+// Drain commits the in-flight generation of a pipelined System, with no
+// new allocation to overlap it — a quiesce point. No-op (zero CPStats)
+// when nothing is in flight, including on the classic path. Callers must
+// Drain before reading artifacts that assume all CPs have committed:
+// snapshots at a boundary, refcount checks, bench counters, remounts.
+func (s *System) Drain() CPStats {
+	if !s.pipe.inFlight {
+		return CPStats{}
+	}
+	s.Agg.cpOrd = s.c.CPs + 1
+	s.Agg.st.BeginCP()
+	s.Agg.faults.BeginCP()
+	st := s.flushGeneration()
+	s.cpWall += st.FlushWall
+	s.pipe.flushWall += st.FlushWall
+	s.pipe.pipedWall += st.FlushWall
+	s.pipe.serialWall += st.FlushWall
+	s.pipeTail()
+	return st
+}
+
+// pipeTail is the classic CP tail (modeled-clock advance, watchdogs, CSV,
+// live publish, frag scan, tsdb sample, SLO evaluation), run once per
+// COMMITTED generation so the per-CP streams stay one row per CP ordinal.
+func (s *System) pipeTail() {
+	tot := s.c.DeviceBusy + s.c.CPUTime
+	s.Agg.st.Advance(tot - s.obsMark)
+	s.obsMark = tot
+	s.runWatchdogs()
+	if rec := s.Agg.obsOpts.CSV; rec != nil {
+		rec.Record(s.Agg.obsOpts.Name, s.c.CPs, s.Agg.reg.Snapshot())
+	}
+	if l := s.Agg.obsOpts.Live; l != nil {
+		l.Publish(s.Agg.obsOpts.Name, s.Agg.reg.Snapshot())
+	}
+	s.maybeFragScan()
+	if ts := s.Agg.obsOpts.TSDB; ts != nil {
+		ts.Sample(s.Agg.obsOpts.Name, s.c.CPs, tot, s.Agg.reg.StableSnapshot())
+	}
+	if e := s.Agg.sloEng; e != nil {
+		e.Evaluate(s.c.CPs, tot)
+	}
+}

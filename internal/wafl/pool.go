@@ -54,6 +54,10 @@ type Pool struct {
 	space *agnosticSpace
 
 	cpBlocks int // blocks written (tiered out) since the last CP
+	// flushBlocks is the sealed generation's bank under pipelined CPs:
+	// sealCP swaps cpBlocks here and flushSealedCP ships it while the open
+	// generation keeps accumulating.
+	flushBlocks int
 
 	puts, gets    uint64
 	blocksTiered  uint64
@@ -137,6 +141,26 @@ func (p *Pool) flushCP() time.Duration {
 	return d
 }
 
+// sealCP moves the open generation's tiered blocks into the flush bank.
+func (p *Pool) sealCP() {
+	p.flushBlocks += p.cpBlocks
+	p.cpBlocks = 0
+}
+
+// flushSealedCP ships the sealed generation's tiered blocks as objects.
+func (p *Pool) flushSealedCP() time.Duration {
+	if p.flushBlocks == 0 {
+		return 0
+	}
+	objects := (uint64(p.flushBlocks) + p.spec.ObjectBlocks - 1) / p.spec.ObjectBlocks
+	d := time.Duration(objects)*p.spec.PutLatency + time.Duration(p.flushBlocks)*p.spec.PerBlock
+	p.puts += objects
+	p.blocksTiered += uint64(p.flushBlocks)
+	p.flushBlocks = 0
+	p.busy += d
+	return d
+}
+
 // TierOut moves every written LUN block selected by the predicate to the
 // object pool: pool VBNs are allocated (HBPS-guided, colocated in the
 // pool's number space), the RAID-group copies are read and freed, and all
@@ -148,7 +172,7 @@ func (s *System) TierOut(l *LUN, select_ func(lba uint64) bool) int {
 	if pool == nil {
 		panic("wafl: TierOut without an object pool")
 	}
-	if s.pendingBlocks > 0 {
+	if s.pendingBlocks > 0 || s.pipe.inFlight {
 		panic("wafl: TierOut must run at a CP boundary")
 	}
 	// Collect distinct physical blocks to move (a snapshot-shared block

@@ -1,11 +1,21 @@
 package wafl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"waflfs/internal/block"
 )
+
+// ErrCPInProgress reports that a boundary-only operation (snapshot create/
+// delete/restore, hole punch, tier-out) was attempted while dirty writes are
+// pending or — under pipelined CPs — while a sealed generation is still in
+// flight. Callers should CP() (and Drain(), when pipelining) and retry.
+// Before pipelining these mid-CP states were programming errors and panicked;
+// with overlapped CPs an in-flight generation is a normal steady state, so
+// the condition is a typed, recoverable error.
+var ErrCPInProgress = errors.New("wafl: operation requires a CP boundary")
 
 // Snapshots. WAFL's copy-on-write design makes snapshot creation cheap — a
 // snapshot is just a pinned copy of the block pointers (§1) — and snapshot
@@ -83,11 +93,12 @@ func (sn *Snapshot) Blocks() int {
 }
 
 // CreateSnapshot captures the LUN's current image under name. It must run
-// at a CP boundary (in WAFL a snapshot is a CP that is preserved). The
-// operation copies only pointers; no data blocks move.
-func (s *System) CreateSnapshot(l *LUN, name string) *Snapshot {
-	if s.pendingBlocks > 0 {
-		panic("wafl: CreateSnapshot must run at a CP boundary")
+// at a CP boundary (in WAFL a snapshot is a CP that is preserved): with
+// writes pending or a pipelined generation in flight it returns
+// ErrCPInProgress. The operation copies only pointers; no data blocks move.
+func (s *System) CreateSnapshot(l *LUN, name string) (*Snapshot, error) {
+	if s.pendingBlocks > 0 || s.pipe.inFlight {
+		return nil, ErrCPInProgress
 	}
 	if l.snaps == nil {
 		l.snaps = make(map[string]*Snapshot)
@@ -102,7 +113,7 @@ func (s *System) CreateSnapshot(l *LUN, name string) *Snapshot {
 		}
 	}
 	l.snaps[name] = sn
-	return sn
+	return sn, nil
 }
 
 // Snapshot returns the named snapshot, or nil.
@@ -121,10 +132,11 @@ func (l *LUN) SnapshotNames() []string {
 // DeleteSnapshot removes a snapshot, freeing every block whose last
 // reference it held — the bulk-free behaviour whose batched AA score
 // updates the caches absorb at the next CP. Returns the number of blocks
-// actually freed. Must run at a CP boundary.
-func (s *System) DeleteSnapshot(l *LUN, name string) int {
-	if s.pendingBlocks > 0 {
-		panic("wafl: DeleteSnapshot must run at a CP boundary")
+// actually freed. Must run at a CP boundary; returns ErrCPInProgress with
+// writes pending or a pipelined generation in flight.
+func (s *System) DeleteSnapshot(l *LUN, name string) (int, error) {
+	if s.pendingBlocks > 0 || s.pipe.inFlight {
+		return 0, ErrCPInProgress
 	}
 	sn, ok := l.snaps[name]
 	if !ok {
@@ -137,16 +149,17 @@ func (s *System) DeleteSnapshot(l *LUN, name string) int {
 		}
 	}
 	delete(l.snaps, name)
-	return freed
+	return freed, nil
 }
 
 // RestoreSnapshot rolls the LUN's active image back to the snapshot
 // (SnapRestore): the current image's references are dropped and the
 // snapshot's pointers become the active ones. The snapshot itself remains.
-// Must run at a CP boundary.
-func (s *System) RestoreSnapshot(l *LUN, name string) {
-	if s.pendingBlocks > 0 {
-		panic("wafl: RestoreSnapshot must run at a CP boundary")
+// Must run at a CP boundary; returns ErrCPInProgress with writes pending or
+// a pipelined generation in flight.
+func (s *System) RestoreSnapshot(l *LUN, name string) error {
+	if s.pendingBlocks > 0 || s.pipe.inFlight {
+		return ErrCPInProgress
 	}
 	sn, ok := l.snaps[name]
 	if !ok {
@@ -165,6 +178,7 @@ func (s *System) RestoreSnapshot(l *LUN, name string) {
 		}
 	}
 	copy(l.blocks, sn.blocks)
+	return nil
 }
 
 // CheckRefcounts verifies the volume-wide refcount invariant: every

@@ -1,6 +1,7 @@
 package wafl
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,10 @@ func TestSnapshotPinsBlocks(t *testing.T) {
 	vol := s.Agg.Vols()[0]
 	usedBefore := s.Agg.bm.Used()
 
-	sn := s.CreateSnapshot(lun, "snap1")
+	sn, err := s.CreateSnapshot(lun, "snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sn.Blocks() != 5000 {
 		t.Fatalf("snapshot holds %d blocks", sn.Blocks())
 	}
@@ -56,7 +60,10 @@ func TestSnapshotDeleteFreesBulk(t *testing.T) {
 		s.Write(lun, lba, 1)
 	}
 	s.CP()
-	freed := s.DeleteSnapshot(lun, "snap1")
+	freed, err := s.DeleteSnapshot(lun, "snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freed != 5000 {
 		t.Fatalf("delete freed %d, want 5000", freed)
 	}
@@ -79,7 +86,10 @@ func TestSnapshotDeleteRespectsSharedBlocks(t *testing.T) {
 		s.Write(lun, lba, 1)
 	}
 	s.CP()
-	freed := s.DeleteSnapshot(lun, "snap1")
+	freed, err := s.DeleteSnapshot(lun, "snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freed != 2500 {
 		t.Fatalf("delete freed %d, want 2500 (only the diverged half)", freed)
 	}
@@ -111,11 +121,17 @@ func TestMultipleSnapshotsRefcounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Deleting a frees only blocks unique to a (LBAs 0..1000 old copies).
-	freedA := s.DeleteSnapshot(lun, "a")
+	freedA, err := s.DeleteSnapshot(lun, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freedA != 1000 {
 		t.Fatalf("delete a freed %d, want 1000", freedA)
 	}
-	freedB := s.DeleteSnapshot(lun, "b")
+	freedB, err := s.DeleteSnapshot(lun, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freedB != 1000 {
 		t.Fatalf("delete b freed %d, want 1000", freedB)
 	}
@@ -177,21 +193,57 @@ func TestSnapshotPanics(t *testing.T) {
 			f()
 		}()
 	}
-	// Mid-CP operations panic.
+	// Mid-CP operations return the typed boundary error, not a panic.
 	s.Write(lun, 0, 1)
-	for name, f := range map[string]func(){
-		"create mid-CP":  func() { s.CreateSnapshot(lun, "y") },
-		"delete mid-CP":  func() { s.DeleteSnapshot(lun, "x") },
-		"restore mid-CP": func() { s.RestoreSnapshot(lun, "x") },
+	for name, f := range map[string]func() error{
+		"create mid-CP": func() error { _, err := s.CreateSnapshot(lun, "y"); return err },
+		"delete mid-CP": func() error { _, err := s.DeleteSnapshot(lun, "x"); return err },
+		"restore mid-CP": func() error {
+			return s.RestoreSnapshot(lun, "x")
+		},
+		"punch mid-CP": func() error {
+			_, err := s.PunchHoles(lun, func(uint64) bool { return true })
+			return err
+		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s did not panic", name)
-				}
-			}()
-			f()
-		}()
+		if err := f(); !errors.Is(err, ErrCPInProgress) {
+			t.Errorf("%s: err = %v, want ErrCPInProgress", name, err)
+		}
+	}
+	// The errors are recoverable: after a CP the operations proceed.
+	s.CP()
+	if _, err := s.CreateSnapshot(lun, "y"); err != nil {
+		t.Fatalf("create after CP: %v", err)
+	}
+}
+
+// TestSnapshotMidFlightRejected pins the pipelined half of the boundary
+// gate: with a sealed generation in flight (writes already allocated but
+// not yet committed), snapshot ops return ErrCPInProgress until Drain.
+func TestSnapshotMidFlightRejected(t *testing.T) {
+	tun := DefaultTunables()
+	tun.Pipeline = true
+	s := testSystem(t, tun)
+	lun := s.Agg.Vols()[0].CreateLUN("lun0", 20000)
+	for lba := uint64(0); lba < 2000; lba++ {
+		s.Write(lun, lba, 1)
+	}
+	s.CP() // seals gen 1; it stays in flight
+	if !s.InFlight() {
+		t.Fatal("no generation in flight after pipelined CP")
+	}
+	if _, err := s.CreateSnapshot(lun, "x"); !errors.Is(err, ErrCPInProgress) {
+		t.Fatalf("create in flight: err = %v, want ErrCPInProgress", err)
+	}
+	s.Drain()
+	if s.InFlight() {
+		t.Fatal("still in flight after Drain")
+	}
+	if _, err := s.CreateSnapshot(lun, "x"); err != nil {
+		t.Fatalf("create after Drain: %v", err)
+	}
+	if _, err := s.DeleteSnapshot(lun, "x"); err != nil {
+		t.Fatalf("delete after Drain: %v", err)
 	}
 }
 

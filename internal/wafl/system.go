@@ -31,8 +31,13 @@ type System struct {
 	// cpWall accumulates the modeled flush wall-clock (CPStats.FlushWall)
 	// across CPs. Kept out of Counters: it is the one quantity that is
 	// *supposed* to shrink with Tunables.Workers, while every Counters field
-	// stays worker-count invariant.
+	// stays worker-count invariant. Under Tunables.Pipeline each boundary
+	// contributes max(alloc wall, flush wall) instead of the flush wall
+	// alone (see pipeline.go).
 	cpWall time.Duration
+	// pipe is the pipelined-CP state (Tunables.Pipeline; see pipeline.go).
+	// Zero-valued and untouched on the classic path.
+	pipe cpPipeline
 	// obsMark is the (DeviceBusy + CPUTime) total already folded into the
 	// tracer's modeled clock; both terms are worker-count invariant, so
 	// trace timestamps are too.
@@ -255,6 +260,9 @@ func sortVBNs(xs []block.VBN) {
 // tetris round-robin over RAID groups), previous block versions are freed
 // (COW), tetrises are flushed, caches updated, metafiles written back.
 func (s *System) CP() CPStats {
+	if s.tun.Pipeline {
+		return s.cpPipelined()
+	}
 	cacheOpsBefore := s.cacheOps()
 	scanBefore := s.virtScanBlocks()
 	s.Agg.cpOrd = s.c.CPs + 1 // provenance records carry the CP being built
@@ -533,12 +541,13 @@ func (s *System) virtScanBlocks() uint64 {
 
 // PunchHoles deallocates every written LUN block whose LBA the predicate
 // selects, freeing both its virtual and physical VBNs (the effect of a SCSI
-// UNMAP or of deleting file ranges). It must be called between CPs; the
-// score updates batch into the next CP as usual. Returns the number of
-// blocks freed.
-func (s *System) PunchHoles(l *LUN, select_ func(lba uint64) bool) int {
-	if s.pendingBlocks > 0 {
-		panic("wafl: PunchHoles must run at a CP boundary")
+// UNMAP or of deleting file ranges). It must be called between CPs — with
+// dirty buffers pending or a pipelined generation still flushing it returns
+// ErrCPInProgress; the score updates batch into the next CP as usual.
+// Returns the number of blocks freed.
+func (s *System) PunchHoles(l *LUN, select_ func(lba uint64) bool) (int, error) {
+	if s.pendingBlocks > 0 || s.pipe.inFlight {
+		return 0, ErrCPInProgress
 	}
 	freed := 0
 	for lba := range l.blocks {
@@ -551,7 +560,7 @@ func (s *System) PunchHoles(l *LUN, select_ func(lba uint64) bool) int {
 		}
 		l.blocks[lba] = blockPtr{virt: block.InvalidVBN, phys: block.InvalidVBN}
 	}
-	return freed
+	return freed, nil
 }
 
 // cacheOps sums the cumulative AA-cache maintenance operations across all

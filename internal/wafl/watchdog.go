@@ -35,6 +35,20 @@ import (
 //     after the CP-boundary fold every ledger is empty — a stale merge
 //     leaves residue or a score mismatch, and this class catches both.
 //
+//   - Generation states (Pipeline): the double-buffered flush banks must
+//     be empty whenever no generation is in flight (a leftover sealed
+//     delta or write set means a generation was dropped mid-commit), an
+//     in-flight generation's sealed write set must still be allocated in
+//     the bitmap, and no shard queue may hold a batch stamped with a
+//     generation newer than the current one.
+//
+//   - Delayed-free generations (Pipeline + DelayedVirtFrees): each queue
+//     (open gen n+1 and sealed gen n) must self-agree — its count equals
+//     its per-AA lists and its HBPS tracks exactly its AAs — so scores
+//     stay consistent across the seal-time handoff, and the conservation
+//     check above extends to bitmap used = refcounts + delayed(gen n) +
+//     delayed(gen n+1).
+//
 // Violations bump watchdog.* counters (always registered, so metric
 // streams keep their shape whether or not the monitors run) and append to
 // a bounded description log; StrictWatchdogs promotes them to panics so
@@ -60,6 +74,10 @@ type watchdogState struct {
 	pickViol   *obs.Counter
 	ledgerChk  *obs.Counter
 	ledgerViol *obs.Counter
+	genChk     *obs.Counter
+	genViol    *obs.Counter
+	dfgenChk   *obs.Counter
+	dfgenViol  *obs.Counter
 
 	log []string
 }
@@ -82,6 +100,10 @@ func (ag *Aggregate) initWatchdogs(o ObsOptions) {
 		pickViol:   ag.reg.Counter("watchdog.pick_violations"),
 		ledgerChk:  ag.reg.Counter("watchdog.ledger_checks"),
 		ledgerViol: ag.reg.Counter("watchdog.ledger_violations"),
+		genChk:     ag.reg.Counter("watchdog.gen_checks"),
+		genViol:    ag.reg.Counter("watchdog.gen_violations"),
+		dfgenChk:   ag.reg.Counter("watchdog.dfgen_checks"),
+		dfgenViol:  ag.reg.Counter("watchdog.dfgen_violations"),
 	}
 	if ag.wd.sample <= 0 {
 		ag.wd.sample = 8
@@ -269,6 +291,95 @@ func (w *watchdogState) sampleShardsSpace(sp *agnosticSpace) {
 	}
 }
 
+// checkGenStates verifies the pipelined double-buffer invariants. With no
+// generation in flight every sealed bank must be empty (residue means a
+// generation was dropped mid-commit); with one in flight, a spot sample of
+// its sealed write set must still be allocated in the aggregate bitmap. In
+// both states no shard queue may hold a batch stamped with a generation
+// newer than the current one.
+func (w *watchdogState) checkGenStates(s *System) {
+	ag := s.Agg
+	inFlight := s.pipe.inFlight
+	heldCheck := func(name string, shard int, gen, cur uint64) {
+		w.checks.Inc()
+		w.genChk.Inc()
+		if gen > cur {
+			w.violate(w.genViol, "%s shard %d: held batch stamped gen %d, current gen %d — staging from the future",
+				name, shard, gen, cur)
+		}
+	}
+	for _, g := range ag.groups {
+		w.checks.Inc()
+		w.genChk.Inc()
+		if !inFlight && (len(g.flushDeltas) > 0 || len(g.flushWrites) > 0 || len(g.flushCS) > 0) {
+			w.violate(w.genViol,
+				"rg%d: sealed bank not empty with no generation in flight (%d deltas, %d writes, %d checksums)",
+				g.Index, len(g.flushDeltas), len(g.flushWrites), len(g.flushCS))
+		}
+		if inFlight && len(g.flushWrites) > 0 {
+			stride := len(g.flushWrites) / w.sample
+			if stride < 1 {
+				stride = 1
+			}
+			for i := 0; i < len(g.flushWrites); i += stride {
+				w.checks.Inc()
+				w.genChk.Inc()
+				if v := g.flushWrites[i]; !ag.bm.Test(v) {
+					w.violate(w.genViol, "rg%d: in-flight sealed write %v not allocated in bitmap", g.Index, v)
+				}
+			}
+		}
+		if g.sh != nil {
+			name := fmt.Sprintf("rg%d", g.Index)
+			cur := g.sh.Gen()
+			g.sh.HeldGens(func(shard int, gen uint64) { heldCheck(name, shard, gen, cur) })
+		}
+	}
+	spaces := make([]*agnosticSpace, 0, len(ag.vols)+1)
+	for _, v := range ag.vols {
+		spaces = append(spaces, v.space)
+	}
+	if ag.pool != nil {
+		spaces = append(spaces, ag.pool.space)
+	}
+	for _, sp := range spaces {
+		w.checks.Inc()
+		w.genChk.Inc()
+		if !inFlight && len(sp.flushDeltas) > 0 {
+			w.violate(w.genViol, "%s: %d sealed deltas with no generation in flight", sp.name, len(sp.flushDeltas))
+		}
+		if sp.sh != nil {
+			cur := sp.sh.Gen()
+			sp.sh.HeldGens(func(shard int, gen uint64) { heldCheck(sp.name, shard, gen, cur) })
+		}
+	}
+}
+
+// checkDFQueue verifies one delayed-free queue's self-consistency across
+// the generation handoff: its count must equal its queued blocks and its
+// HBPS must track exactly its AAs — absorb() moving whole per-AA bulks
+// preserves both, and any drift here means reclamation order (and hence
+// the budget's spending) has decoupled from the queue's truth.
+func (w *watchdogState) checkDFQueue(vol, gen string, d *delayedFrees) {
+	if d == nil {
+		return
+	}
+	w.checks.Inc()
+	w.dfgenChk.Inc()
+	queued := 0
+	for _, vs := range d.pending {
+		queued += len(vs)
+	}
+	if queued != d.count {
+		w.violate(w.dfgenViol, "volume %q delayed(%s): count %d, queued blocks %d", vol, gen, d.count, queued)
+	}
+	w.checks.Inc()
+	w.dfgenChk.Inc()
+	if got := d.cache.Total(); got != uint64(len(d.pending)) {
+		w.violate(w.dfgenViol, "volume %q delayed(%s): HBPS tracks %d AAs, queue holds %d", vol, gen, got, len(d.pending))
+	}
+}
+
 // runWatchdogs executes the per-CP monitors. Called at the end of
 // System.CP, after CommitCP has folded the pending deltas, so cached
 // scores are fresh except for the cursor-held AAs the checks skip.
@@ -285,8 +396,14 @@ func (s *System) runWatchdogs() {
 		delayed := uint64(0)
 		if v.space.delayed != nil {
 			delayed = uint64(v.space.delayed.count)
-			want += delayed
 		}
+		if v.space.delayedSealed != nil {
+			// Pipelined: frees queued in the sealed (flushing) generation
+			// also hold their bits — bitmap used = refcounts + delayed(n) +
+			// delayed(n+1).
+			delayed += uint64(v.space.delayedSealed.count)
+		}
+		want += delayed
 		if got := v.bm.Used(); got != want {
 			w.violate(w.consViol,
 				"volume %q: bitmap used %d, refcounted %d + delayed %d — free blocks not conserved",
@@ -304,5 +421,14 @@ func (s *System) runWatchdogs() {
 	if ag.pool != nil {
 		w.sampleSpace(ag.pool.space)
 		w.sampleShardsSpace(ag.pool.space)
+	}
+	// The generation monitors run only under pipelining so the classic
+	// path's watchdog.* streams keep their exact pre-pipeline shape.
+	if s.tun.Pipeline {
+		w.checkGenStates(s)
+		for _, v := range ag.vols {
+			w.checkDFQueue(v.Name, "open", v.space.delayed)
+			w.checkDFQueue(v.Name, "sealed", v.space.delayedSealed)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"waflfs/internal/wafl"
@@ -85,7 +86,10 @@ func Age(s *wafl.System, luns []*wafl.LUN, rng *rand.Rand, churnFactor float64) 
 // until a random 50% of its blocks were used"). It must be called at a CP
 // boundary and ends at one.
 func FreeRandomFraction(s *wafl.System, l *wafl.LUN, rng *rand.Rand, fraction float64) int {
-	freed := s.PunchHoles(l, func(lba uint64) bool { return rng.Float64() < fraction })
+	freed, err := s.PunchHoles(l, func(lba uint64) bool { return rng.Float64() < fraction })
+	if err != nil {
+		panic(fmt.Sprintf("workload: FreeRandomFraction off a CP boundary: %v", err))
+	}
 	s.CP()
 	return freed
 }

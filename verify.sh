@@ -78,7 +78,7 @@ test -s "$tmpdir/pick.folded"
 # auto-selected (highest-numbered BENCH_<n>.json) and must self-compare
 # clean too, proving the gate can read what the repo ships.
 go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
-"$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -scale 0.05 >/dev/null
+"$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -pipeline -scale 0.05 >/dev/null
 test -s "$tmpdir/BENCH_smoke.json"
 "$tmpdir/benchdiff" "$tmpdir/BENCH_smoke.json" "$tmpdir/BENCH_smoke.json"
 latest=$("$tmpdir/benchdiff" -print-latest)
@@ -91,6 +91,16 @@ test -s "$latest"
 # The SLO portfolio must see the damage: -slo-expect alerts exits nonzero
 # unless at least one crash cell pages the recovery SLI.
 "$tmpdir/waflbench" -faults matrix -scale 0.05 \
+    -slo default -slo-expect alerts >/dev/null
+
+# Pipelined-CP gate both ways: the clean overlap benchmark must clear its
+# 1.3x floor with byte-identical final states and fire no SLO alert, and a
+# crash in the overlap window (alloc of generation n+1 racing the flush of
+# generation n) must recover without silent divergence while paging the
+# recovery SLI.
+"$tmpdir/waflbench" -pipeline -scale 0.05 \
+    -slo default -slo-expect none >/dev/null
+"$tmpdir/waflbench" -faults pipeline -scale 0.05 \
     -slo default -slo-expect alerts >/dev/null
 
 # Live-introspection smoke test: hold the live endpoints after a small run

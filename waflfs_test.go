@@ -32,8 +32,8 @@ func TestPublicLifecycle(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	RandomOverwrite(sys, []*LUN{lun}, rng, 3000, 1)
 	sys.CP()
-	if n := sys.DeleteSnapshot(lun, "s"); n == 0 {
-		t.Fatal("snapshot delete freed nothing")
+	if n, err := sys.DeleteSnapshot(lun, "s"); err != nil || n == 0 {
+		t.Fatalf("snapshot delete freed %d, err %v", n, err)
 	}
 	sys.CP()
 
