@@ -6,7 +6,7 @@ SCALE ?= 1.0
 # `make bench-artifact` never clobbers a committed baseline by accident.
 BENCH ?= $(shell go run ./cmd/benchdiff -print-next)
 
-.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo trace pipeline
+.PHONY: all build test verify bench benchpick bench-artifact bench-diff live slo trace pipeline control
 
 all: build
 
@@ -33,16 +33,17 @@ benchpick:
 # Regenerate the benchmark artifact at full scale into the next unused
 # BENCH_<n>.json and gate it against the newest previously committed one.
 # -pipeline keeps the cp.pipeline.* / crash.pipeline.* families in every
-# artifact from BENCH_9 on: dropping them would read as missing metrics
-# against the committed baseline.
+# artifact from BENCH_9 on, and -control the control.* families from
+# BENCH_10 on: dropping either would read as missing metrics against the
+# committed baseline.
 bench-artifact:
-	go run ./cmd/waflbench -bench-json $(BENCH) -pipeline -scale $(SCALE)
+	go run ./cmd/waflbench -bench-json $(BENCH) -pipeline -control default -scale $(SCALE)
 	go run ./cmd/benchdiff -dir . $(BENCH)
 
 # Compare a fresh full-scale artifact against the committed baseline without
 # overwriting it.
 bench-diff:
-	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -pipeline -scale $(SCALE)
+	go run ./cmd/waflbench -bench-json /tmp/BENCH_new.json -pipeline -control default -scale $(SCALE)
 	go run ./cmd/benchdiff -dir . /tmp/BENCH_new.json
 
 # Pipelined-CP gate both ways: the overlap benchmark must clear its 1.3x
@@ -76,3 +77,10 @@ trace:
 slo:
 	go run ./cmd/waflbench -exp fig9 -scale $(SCALE) -slo default -slo-expect none
 	go run ./cmd/waflbench -faults matrix -scale 0.1 -slo default -slo-expect alerts
+
+# Closed-loop controller gate both ways: on a clean figure run the stock
+# portfolio must keep its hands off every knob (do no harm), and across the
+# crash matrix the recovery page must kick at least one scrub (do some good).
+control:
+	go run ./cmd/waflbench -exp fig9 -scale $(SCALE) -control default -control-expect none
+	go run ./cmd/waflbench -faults matrix -scale 0.1 -control default -control-expect actuations

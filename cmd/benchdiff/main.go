@@ -15,8 +15,10 @@
 // convention.
 //
 // Tolerances are relative bands carried per metric by the OLD artifact
-// (default 0.25). Exit status: 0 = within bands, 1 = drift or missing
-// metrics, 2 = usage or I/O error.
+// (default 0.25). Metrics present only in NEW are informational, and are
+// summarized per family (first dotted name component) so freshly landed
+// metric suites show up in the gate output by name. Exit status: 0 =
+// within bands, 1 = drift or missing metrics, 2 = usage or I/O error.
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"waflfs/internal/benchfmt"
 	"waflfs/internal/stats"
@@ -105,6 +109,29 @@ func run(out, errw io.Writer, dir string, verbose bool, args []string) int {
 	}
 	if shown > 0 {
 		fmt.Fprintln(out, tb.String())
+	}
+	// Metrics new since the baseline are informational, but a whole new
+	// family (first dotted component) usually means a subsystem landed and
+	// its gates are live for the first time — name them so the gate output
+	// records the suite growing, not just holding.
+	newByFamily := map[string]int{}
+	for _, d := range res.Diffs {
+		if d.Status == benchfmt.StatusNew {
+			fam, _, _ := strings.Cut(d.Name, ".")
+			newByFamily[fam]++
+		}
+	}
+	if len(newByFamily) > 0 {
+		fams := make([]string, 0, len(newByFamily))
+		for fam := range newByFamily {
+			fams = append(fams, fam)
+		}
+		sort.Strings(fams)
+		parts := make([]string, len(fams))
+		for i, fam := range fams {
+			parts[i] = fmt.Sprintf("%s (%d)", fam, newByFamily[fam])
+		}
+		fmt.Fprintf(out, "new since baseline: %s\n", strings.Join(parts, ", "))
 	}
 	if res.Violations > 0 {
 		fmt.Fprintf(out, "FAIL: %d of %d metrics drifted beyond tolerance\n",

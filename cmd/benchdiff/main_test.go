@@ -121,6 +121,30 @@ func TestRunErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// Metrics present only in the candidate are grouped per family in one
+// summary line — the gate output's record of a freshly landed suite — and
+// never count as violations.
+func TestRunNewFamilySummary(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeArtifact(t, oldP, baseArtifact())
+	grown := baseArtifact()
+	grown.Add("control.actuations_clean", 0, "", 0.001)
+	grown.Add("control.storm.wall_ratio", 0.99, "", 0.1)
+	grown.Add("control.storm.actuations", 4, "", 0.25)
+	grown.Add("micro.read.cpu_per_op_ns", 700, "ns", 0)
+	writeArtifact(t, newP, grown)
+
+	var out strings.Builder
+	if code := run(&out, io.Discard, dir, false, []string{oldP, newP}); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "new since baseline: control (3), micro (1)") {
+		t.Fatalf("missing family summary:\n%s", out.String())
+	}
+}
+
 // -v prints passing metrics too.
 func TestRunVerbose(t *testing.T) {
 	dir := t.TempDir()

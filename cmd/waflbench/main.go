@@ -13,6 +13,7 @@
 //	          [-faults matrix|pipeline|<plan-spec>] [-pickbench] [-pipeline]
 //	          [-slo default|<spec>] [-slo-expect none|alerts]
 //	          [-optrace default|rate=N[,slow=D][,cap=N]]
+//	          [-control default|<spec>] [-control-expect none|actuations]
 //
 // -faults runs the crash-recovery harness instead of a figure: "matrix"
 // sweeps a crash at every CP phase × media fault kind and exits nonzero if
@@ -71,6 +72,27 @@
 // sampled set and every ID are identical at any -parallel width. See
 // internal/obs/optrace.
 //
+// -control arms the closed-loop controller on every arm: the policy string
+// ("default" for the stock portfolio, or clauses like
+// "name=shed,signal=slo.latency.vol.*.state,op=>,value=0.5,hold=2,
+// action=delayed_budget,step=-50%,min=256") is evaluated once per CP
+// boundary on the modeled clock, reading its signals from the embedded
+// time-series store and actuating bounded tunables (delayed-free budget,
+// alloc batch, fragscan stride, scrub kicks) through the system's actuator.
+// Every decision — fired, clamped, rejected, or suppressed — lands in a
+// bounded provenance ring with the signal value, canonical policy clause,
+// old/new knob values, and the worst-op exemplar trace ID when -optrace is
+// armed. The stock portfolio's signals are the SLO engine's state series,
+// so -control arms the default SLO portfolio when -slo is absent. Final
+// decision totals print after the run; with -metrics-addr the
+// /debug/control endpoint serves the live status document. -control-expect
+// turns the outcome into an exit code: "none" fails the run if anything
+// actuated (clean-figure smoke), "actuations" fails unless at least one
+// actuation fired (crash-matrix smoke). With -bench-json, -control gates
+// the control.* families — the do-no-harm/does-act audit and the
+// adversarial snapshot-storm benchmark — into the artifact. See
+// internal/control.
+//
 // -pickbench runs the striped-vs-shared allocator pick-path microbenchmark
 // (see internal/experiments.RunAllocBench) and exits nonzero if the striped
 // arm's modeled pick wall-clock at 8 workers is not strictly faster than the
@@ -108,6 +130,7 @@ import (
 	"time"
 
 	"waflfs/internal/benchfmt"
+	"waflfs/internal/control"
 	"waflfs/internal/experiments"
 	"waflfs/internal/faultinject"
 	"waflfs/internal/obs"
@@ -160,6 +183,10 @@ func main() {
 		"exit 1 unless the run's SLO alert totals match: 'none' (no warns or pages) or 'alerts' (at least one page); requires -slo")
 	optraceSpec := flag.String("optrace", "",
 		"arm request-scoped op tracing on every arm with this spec ('default' or 'rate=N[,slow=D][,cap=N]'; see internal/obs/optrace)")
+	controlSpec := flag.String("control", "",
+		"arm the closed-loop controller on every arm with this policy string ('default' for the stock portfolio; see internal/control)")
+	controlExpect := flag.String("control-expect", "",
+		"exit 1 unless the run's actuation totals match: 'none' (nothing actuated) or 'actuations' (at least one fired); requires -control")
 	flag.Parse()
 
 	switch *sloExpect {
@@ -170,6 +197,16 @@ func main() {
 	}
 	if *sloExpect != "" && *sloSpec == "" {
 		fmt.Fprintln(os.Stderr, "-slo-expect requires -slo")
+		os.Exit(2)
+	}
+	switch *controlExpect {
+	case "", "none", "actuations":
+	default:
+		fmt.Fprintf(os.Stderr, "-control-expect %q: want 'none' or 'actuations'\n", *controlExpect)
+		os.Exit(2)
+	}
+	if *controlExpect != "" && *controlSpec == "" {
+		fmt.Fprintln(os.Stderr, "-control-expect requires -control")
 		os.Exit(2)
 	}
 
@@ -217,6 +254,7 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Workers = *workers
 	cfg.Pipeline = *pipeline
+	cfg.Control = *controlSpec != ""
 
 	// Observability sinks. One export registry / tracer / CSV stream is
 	// shared by every experiment arm; each arm registers its metrics under
@@ -231,17 +269,18 @@ func main() {
 		pickRec *picks.Recorder
 		sloSet  *slo.Set
 		otRec   *optrace.Recorder
+		ctlSet  *control.Set
 	)
-	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" || *sloSpec != "" || *optraceSpec != "" {
+	if *metricsAddr != "" || *csvOut != "" || *traceOut != "" || *traceCollapse != "" || *sloSpec != "" || *optraceSpec != "" || *controlSpec != "" {
 		export = obs.NewRegistry()
 		sink := &experiments.ObsSink{Export: export}
-		if *metricsAddr != "" || *sloSpec != "" {
+		if *metricsAddr != "" || *sloSpec != "" || *controlSpec != "" {
 			// The SLO engine reads its SLI windows out of the time-series
-			// store, so -slo arms the tsdb even without live serving; the
-			// latency SLIs additionally need the cumulative histogram-bucket
-			// series.
+			// store, so -slo arms the tsdb even without live serving — and the
+			// controller reads its signals the same way; the latency SLIs
+			// additionally need the cumulative histogram-bucket series.
 			tsCfg := tsdb.DefaultConfig()
-			if *sloSpec != "" {
+			if *sloSpec != "" || *controlSpec != "" {
 				tsCfg.HistBuckets = tsdb.SuffixFilter(".lat_ns")
 			}
 			tsStore = tsdb.NewStore(tsCfg)
@@ -266,6 +305,22 @@ func main() {
 			}
 			sloSet = slo.NewSet(specs)
 			sink.SLO = sloSet
+		}
+		if *controlSpec != "" {
+			pols, err := control.ParsePolicies(*controlSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-control: %v\n", err)
+				os.Exit(2)
+			}
+			ctlSet = control.NewSet(pols)
+			sink.Control = ctlSet
+			if sink.SLO == nil {
+				// The stock portfolio watches the SLO engine's state series,
+				// so a controller without -slo would see no signals at all:
+				// arm the default SLO portfolio alongside it.
+				sloSet = slo.NewSet(slo.DefaultSpecs())
+				sink.SLO = sloSet
+			}
 		}
 		if *optraceSpec != "" {
 			otCfg, err := optrace.ParseConfig(*optraceSpec)
@@ -326,6 +381,10 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = sloSet.WriteJSON(w) // nil-safe: empty document without -slo
 		})
+		mux.HandleFunc("/debug/control", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = ctlSet.WriteJSON(w) // nil-safe: empty document without -control
+		})
 		mux.HandleFunc("/debug/optrace", func(w http.ResponseWriter, r *http.Request) {
 			f, err := optraceFilter(r.URL.Query())
 			if err != nil {
@@ -343,7 +402,7 @@ func main() {
 		srv = &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
-		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/slo /debug/optrace /debug/pprof)\n\n", ln.Addr())
+		fmt.Printf("serving live endpoints at http://%s (/metrics /debug/timeseries /debug/picks /debug/slo /debug/control /debug/optrace /debug/pprof)\n\n", ln.Addr())
 	}
 
 	if *pickbench {
@@ -407,6 +466,9 @@ func main() {
 	if sloSet != nil {
 		printSLOSummary(sloSet)
 	}
+	if ctlSet != nil {
+		printControlSummary(ctlSet)
+	}
 	if otRec != nil {
 		printOptraceSummary(otRec)
 	}
@@ -425,6 +487,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := checkControlExpect(*controlExpect, ctlSet); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// printControlSummary renders the run's final control posture: portfolio-wide
+// decision totals, then every actuation record (the decision provenance), so a
+// scripted run surfaces what the controller did without anyone curling the
+// live endpoint. All-idle portfolios print just the totals line.
+func printControlSummary(set *control.Set) {
+	tot := set.Totals()
+	fmt.Printf("control: %d systems, %d instances, %d evaluations — %d actuations, %d suppressed (%d transitions; active: %d armed, %d acted)\n",
+		tot.Systems, tot.Instances, tot.Evaluations, tot.Actuations, tot.Suppressed,
+		tot.Transitions, tot.ActiveArmed, tot.ActiveActed)
+	for _, sys := range set.Status() {
+		for _, r := range sys.Records {
+			verdict := "suppressed:" + r.Reason
+			if r.Fired {
+				verdict = fmt.Sprintf("%s %.0f -> %.0f", r.Knob, r.Old, r.New)
+			}
+			fmt.Printf("  %s/%s at cp %d: signal %s = %.3f — %s\n",
+				sys.System, r.Instance, r.CP, r.Signal, r.Value, verdict)
+		}
+	}
+}
+
+// checkControlExpect turns the portfolio's final decision totals into an exit
+// status: "none" is the clean-figure contract (the stock portfolio must not
+// touch a healthy system), "actuations" the crash-smoke contract (the
+// recovery clause must have fired somewhere).
+func checkControlExpect(expect string, set *control.Set) error {
+	if expect == "" {
+		return nil
+	}
+	tot := set.Totals()
+	switch expect {
+	case "none":
+		if tot.Actuations != 0 || tot.Suppressed != 0 {
+			var sb strings.Builder
+			_ = set.WriteJSON(&sb)
+			return fmt.Errorf("control-expect none: %d actuations, %d suppressed decisions\n%s",
+				tot.Actuations, tot.Suppressed, sb.String())
+		}
+	case "actuations":
+		if tot.Actuations == 0 {
+			return fmt.Errorf("control-expect actuations: nothing actuated (%d evaluations, %d suppressed)",
+				tot.Evaluations, tot.Suppressed)
+		}
+	}
+	return nil
 }
 
 // printSLOSummary renders the run's final SLO posture: portfolio-wide alert

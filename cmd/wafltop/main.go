@@ -1,27 +1,32 @@
 // Command wafltop is a terminal viewer for a running waflbench's live
 // introspection endpoints (-metrics-addr). It polls /debug/timeseries,
-// /debug/picks, /debug/slo, and /debug/optrace and renders, per experiment
-// arm: the per-CP allocation-quality deciles from the embedded time-series
-// store, the pick-provenance reason mix (cache hit / refill / fallback
-// rates), the CP-phase modeled-clock breakdown with historical sparklines
-// drawn from the series rings, the watchdog counters, the SLO portfolio
-// (per-instance alert state, burn rates, budget used, and a slow-burn
-// sparkline), and the slowest sampled ops with their per-stage latency
-// breakdown bars (base CPU / device / metafile / scan / cache).
+// /debug/picks, /debug/slo, /debug/optrace, and /debug/control and renders,
+// per experiment arm: the per-CP allocation-quality deciles from the
+// embedded time-series store, the pick-provenance reason mix (cache hit /
+// refill / fallback rates), the CP-phase modeled-clock breakdown with
+// historical sparklines drawn from the series rings, the watchdog counters,
+// the SLO portfolio (per-instance alert state, burn rates, budget used, and
+// a slow-burn sparkline), the slowest sampled ops with their per-stage
+// latency breakdown bars (base CPU / device / metafile / scan / cache), and
+// the closed-loop controller (per-policy state machine, knob values with
+// their actuation history sparkline, and the newest decision records with
+// full provenance).
 //
 // Usage:
 //
 //	wafltop [-addr host:port] [-interval 2s] [-count N] [-snapshot] [-json]
 //
 // -snapshot fetches once, prints one report, and exits — nonzero when the
-// store holds no nonzero per-CP series yet, or when any SLO instance is in
-// the page state (the CI smoke-test mode). -json fetches once and emits the
-// raw endpoint documents as one combined JSON object
-// {"timeseries":…,"picks":…,"slo":…,"optrace":…} with the same exit
-// semantics, for scripting. Without either, wafltop clears the screen and
-// refreshes every -interval until interrupted (or N refreshes with -count).
-// A bench built before the SLO engine or op tracer simply has no /debug/slo
-// or /debug/optrace endpoint; those panels (and JSON keys) are skipped.
+// store holds no nonzero per-CP series yet, when any SLO instance is in
+// the page state, or when any controller policy is mid-flap (the CI
+// smoke-test mode). -json fetches once and emits the raw endpoint documents
+// as one combined JSON object
+// {"timeseries":…,"picks":…,"slo":…,"optrace":…,"control":…} with the same
+// exit semantics, for scripting. Without either, wafltop clears the screen
+// and refreshes every -interval until interrupted (or N refreshes with
+// -count). A bench built before the SLO engine, op tracer, or controller
+// simply has no /debug/slo, /debug/optrace, or /debug/control endpoint;
+// those panels (and JSON keys) are skipped.
 package main
 
 import (
@@ -111,6 +116,48 @@ type otDoc struct {
 	} `json:"spaces"`
 }
 
+type ctlDoc struct {
+	Totals struct {
+		Systems     int    `json:"systems"`
+		Instances   int    `json:"instances"`
+		Evaluations uint64 `json:"evaluations"`
+		Actuations  uint64 `json:"actuations"`
+		Suppressed  uint64 `json:"suppressed"`
+		Transitions uint64 `json:"transitions"`
+		ActiveArmed int    `json:"active_armed"`
+		ActiveActed int    `json:"active_acted"`
+	} `json:"totals"`
+	Systems []struct {
+		System     string `json:"system"`
+		Actuations uint64 `json:"actuations"`
+		Suppressed uint64 `json:"suppressed"`
+		Knobs      []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"knobs"`
+		Instances []struct {
+			Name     string  `json:"name"`
+			Signal   string  `json:"signal"`
+			State    string  `json:"state"`
+			SinceCP  uint64  `json:"since_cp"`
+			Value    float64 `json:"value"`
+			Streak   int     `json:"streak"`
+			Flapping bool    `json:"flapping"`
+		} `json:"instances"`
+		Records []struct {
+			CP       uint64  `json:"cp"`
+			Instance string  `json:"instance"`
+			Signal   string  `json:"signal"`
+			Value    float64 `json:"value"`
+			Knob     string  `json:"knob"`
+			Old      float64 `json:"old"`
+			New      float64 `json:"new"`
+			Fired    bool    `json:"fired"`
+			Reason   string  `json:"reason"`
+		} `json:"records"`
+	} `json:"systems"`
+}
+
 type picksDoc struct {
 	Spaces []struct {
 		Space    string            `json:"space"`
@@ -173,10 +220,10 @@ func spark(pts []point, width int) string {
 }
 
 // report renders one refresh. It returns the number of series that carry at
-// least one nonzero sample (the -snapshot liveness criterion) and the number
-// of SLO instances currently in the page state (the -snapshot health
-// criterion).
-func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool, ot otDoc, haveOT bool) (nonzero, paging int) {
+// least one nonzero sample (the -snapshot liveness criterion), the number
+// of SLO instances currently in the page state, and the number of
+// controller policies mid-flap (the -snapshot health criteria).
+func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool, ot otDoc, haveOT bool, ct ctlDoc, haveCTL bool) (nonzero, paging, flapping int) {
 	bySeries := make(map[string][]point, len(ts.Series))
 	maxCP := uint64(0)
 	for _, se := range ts.Series {
@@ -404,7 +451,128 @@ func report(w *strings.Builder, ts tsDoc, pk picksDoc, sl sloDoc, haveSLO bool, 
 			fmt.Fprintf(w, "  … and %d more sampled ops in the rings\n", len(rows)-len(shown))
 		}
 	}
-	return nonzero, paging
+
+	// Closed-loop controller: per-policy state machine, knob values with the
+	// knob-history sparkline (the engine writes knob values back into the
+	// tsdb every evaluation, so the trend comes from the same rings), and the
+	// newest decision records with full provenance.
+	if haveCTL && ct.Totals.Instances > 0 {
+		t := ct.Totals
+		fmt.Fprintf(w, "\ncontrol plane — %d policies / %d systems, %d evaluations, %d actuations, %d suppressed (active: %d armed, %d acted)\n",
+			t.Instances, t.Systems, t.Evaluations, t.Actuations, t.Suppressed, t.ActiveArmed, t.ActiveActed)
+		type crow struct {
+			sys, name, signal, st string
+			streak                int
+			val                   float64
+			flap                  bool
+		}
+		var rows []crow
+		for _, sys := range ct.Systems {
+			for _, in := range sys.Instances {
+				if in.Flapping {
+					flapping++
+				}
+				rows = append(rows, crow{sys.System, in.Name, in.Signal, in.State, in.Streak, in.Value, in.Flapping})
+			}
+		}
+		rank := func(st string) int {
+			switch st {
+			case "acted":
+				return 0
+			case "armed":
+				return 1
+			}
+			return 2
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if a, b := rank(rows[i].st), rank(rows[j].st); a != b {
+				return a < b
+			}
+			if rows[i].sys != rows[j].sys {
+				return rows[i].sys < rows[j].sys
+			}
+			return rows[i].name < rows[j].name
+		})
+		fmt.Fprintf(w, "%-42s %-34s %-6s %6s %10s\n",
+			"system/policy", "signal", "state", "streak", "value")
+		shown := rows
+		if len(shown) > 14 {
+			shown = shown[:14]
+		}
+		for _, r := range shown {
+			mark := ""
+			if r.flap {
+				mark = "  <-- FLAPPING"
+			}
+			fmt.Fprintf(w, "%-42s %-34s %-6s %6d %10.2f%s\n",
+				r.sys+"/"+r.name, r.signal, r.st, r.streak, r.val, mark)
+		}
+		if len(rows) > len(shown) {
+			fmt.Fprintf(w, "  … and %d more policies (all %s)\n", len(rows)-len(shown), shown[len(shown)-1].st)
+		}
+
+		// Knob values per system, with the actuation-history sparkline drawn
+		// from the engine's "<sys>.control.knob.<name>" series.
+		fmt.Fprintf(w, "%-42s %12s  %s\n", "system/knob", "value", "knob trend")
+		knobRows := 0
+	knobLoop:
+		for _, sys := range ct.Systems {
+			for _, k := range sys.Knobs {
+				if knobRows >= 10 {
+					fmt.Fprintln(w, "  … more knobs not shown")
+					break knobLoop
+				}
+				fmt.Fprintf(w, "%-42s %12.0f  %s\n",
+					sys.System+"/"+k.Name, k.Value,
+					spark(bySeries[sys.System+".control.knob."+k.Name], 16))
+				knobRows++
+			}
+		}
+
+		// Newest decision records across systems, fired decisions and
+		// suppressions alike — the full provenance chain in one line each.
+		type rrow struct {
+			sys  string
+			rec  int // index into the system's record slice
+			cp   uint64
+			line string
+		}
+		var recs []rrow
+		for _, sys := range ct.Systems {
+			for i, r := range sys.Records {
+				verdict := fmt.Sprintf("%s %.0f -> %.0f", r.Knob, r.Old, r.New)
+				if !r.Fired {
+					verdict = "suppressed:" + r.Reason
+				}
+				recs = append(recs, rrow{sys.System, i, r.CP,
+					fmt.Sprintf("  cp %-6d %-28s %-14s %s = %.3f — %s",
+						r.CP, sys.System, r.Instance, r.Signal, r.Value, verdict)})
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].cp != recs[j].cp {
+				return recs[i].cp > recs[j].cp
+			}
+			if recs[i].sys != recs[j].sys {
+				return recs[i].sys < recs[j].sys
+			}
+			return recs[i].rec > recs[j].rec
+		})
+		if len(recs) > 0 {
+			fmt.Fprintln(w, "newest decisions:")
+			shown := recs
+			if len(shown) > 6 {
+				shown = shown[:6]
+			}
+			for _, r := range shown {
+				fmt.Fprintln(w, r.line)
+			}
+			if len(recs) > len(shown) {
+				fmt.Fprintf(w, "  … and %d more records in the rings\n", len(recs)-len(shown))
+			}
+		}
+	}
+	return nonzero, paging, flapping
 }
 
 // stageBar renders a width-character bar whose segments are the attribution
@@ -435,7 +603,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	count := flag.Int("count", 0, "number of refreshes before exiting (0 = until interrupted)")
 	snapshot := flag.Bool("snapshot", false,
-		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet or any SLO instance is paging")
+		"fetch once, print one report, and exit nonzero if no per-CP series carries data yet, any SLO instance is paging, or any controller policy is flapping")
 	jsonOut := flag.Bool("json", false,
 		"fetch once, emit the raw endpoint documents as one combined JSON object on stdout, and exit with -snapshot's status semantics")
 	flag.Parse()
@@ -467,15 +635,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		// Benches built before the SLO engine or op tracer have no
-		// /debug/slo or /debug/optrace; skip those panels rather than
-		// failing the whole viewer.
+		// Benches built before the SLO engine, op tracer, or controller
+		// have no /debug/slo, /debug/optrace, or /debug/control; skip
+		// those panels rather than failing the whole viewer.
 		slRaw, slErr := fetchRaw(client, base+"/debug/slo")
 		haveSLO := slErr == nil && json.Unmarshal(slRaw, &sl) == nil
 		otRaw, otErr := fetchRaw(client, base+"/debug/optrace")
 		haveOT := otErr == nil && json.Unmarshal(otRaw, &ot) == nil
+		var ct ctlDoc
+		ctRaw, ctErr := fetchRaw(client, base+"/debug/control")
+		haveCTL := ctErr == nil && json.Unmarshal(ctRaw, &ct) == nil
 		var b strings.Builder
-		nonzero, paging := report(&b, ts, pk, sl, haveSLO, ot, haveOT)
+		nonzero, paging, flapping := report(&b, ts, pk, sl, haveSLO, ot, haveOT, ct, haveCTL)
 		if *snapshot || *jsonOut {
 			if *jsonOut {
 				doc := map[string]json.RawMessage{
@@ -487,6 +658,9 @@ func main() {
 				}
 				if haveOT {
 					doc["optrace"] = otRaw
+				}
+				if haveCTL {
+					doc["control"] = ctRaw
 				}
 				enc := json.NewEncoder(os.Stdout)
 				enc.SetIndent("", "  ")
@@ -503,6 +677,10 @@ func main() {
 			}
 			if paging > 0 {
 				fmt.Fprintf(os.Stderr, "wafltop: %d SLO instance(s) in page state\n", paging)
+				os.Exit(1)
+			}
+			if flapping > 0 {
+				fmt.Fprintf(os.Stderr, "wafltop: %d controller polic(ies) mid-flap\n", flapping)
 				os.Exit(1)
 			}
 			return

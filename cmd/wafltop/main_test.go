@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The control panel must render the policy state machine, the knob values,
+// and the decision records, and the returned flapping count — the
+// -snapshot exit-1 criterion — must count exactly the mid-flap instances.
+func TestReportControlPanelAndFlapping(t *testing.T) {
+	var ts tsDoc
+	if err := json.Unmarshal([]byte(`{"capacity":8,"series":[
+		{"name":"arm.wafl.cps","points":[{"cp_first":1,"cp_last":1,"sum":1,"count":1}]},
+		{"name":"arm.control.knob.delayed_budget","points":[{"cp_first":1,"cp_last":1,"sum":1024,"count":1}]}
+	]}`), &ts); err != nil {
+		t.Fatal(err)
+	}
+	var ct ctlDoc
+	if err := json.Unmarshal([]byte(`{
+		"totals":{"systems":1,"instances":2,"evaluations":10,"actuations":3,"suppressed":1,"active_armed":1,"active_acted":1},
+		"systems":[{"system":"arm","actuations":3,"suppressed":1,
+			"knobs":[{"name":"delayed_budget","value":1024}],
+			"instances":[
+				{"name":"shed.v0","signal":"arm.vol.v0.delayed.pending","state":"acted","value":9000,"streak":4,"flapping":true},
+				{"name":"shed.v1","signal":"arm.vol.v1.delayed.pending","state":"ok","value":10,"streak":0,"flapping":false}],
+			"records":[{"cp":7,"instance":"shed.v0","signal":"arm.vol.v0.delayed.pending","value":9000,
+				"knob":"delayed_budget","old":2048,"new":1024,"fired":true}]}]}`), &ct); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	nonzero, paging, flapping := report(&b, ts, picksDoc{}, sloDoc{}, false, otDoc{}, false, ct, true)
+	if nonzero == 0 {
+		t.Fatal("nonzero series not counted")
+	}
+	if paging != 0 {
+		t.Fatalf("paging = %d with no SLO doc", paging)
+	}
+	if flapping != 1 {
+		t.Fatalf("flapping = %d, want 1", flapping)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"control plane — 2 policies / 1 systems",
+		"arm/shed.v0", "<-- FLAPPING",
+		"arm/delayed_budget", "1024",
+		"newest decisions:", "delayed_budget 2048 -> 1024",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without the endpoint the panel and the flap criterion both disappear.
+	var b2 strings.Builder
+	if _, _, f := report(&b2, ts, picksDoc{}, sloDoc{}, false, otDoc{}, false, ctlDoc{}, false); f != 0 {
+		t.Fatalf("flapping = %d without control doc", f)
+	}
+	if strings.Contains(b2.String(), "control plane") {
+		t.Fatal("control panel rendered without the endpoint")
+	}
+}

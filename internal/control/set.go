@@ -1,0 +1,167 @@
+package control
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"waflfs/internal/obs/tsdb"
+)
+
+// Set holds one policy portfolio and the engines it has spawned, one per
+// system (arm). A Set is shared across every arm of an experiment run so
+// artifact gates can split actuation totals by arm-name prefix. All
+// methods are nil-safe.
+type Set struct {
+	mu      sync.Mutex
+	pols    []Policy
+	engines map[string]*Engine
+	order   []string
+}
+
+// NewSet builds a set from a portfolio; policies are normalized in place.
+func NewSet(pols []Policy) *Set {
+	if len(pols) == 0 {
+		return nil
+	}
+	s := &Set{pols: append([]Policy(nil), pols...), engines: map[string]*Engine{}}
+	for i := range s.pols {
+		s.pols[i].normalize()
+	}
+	return s
+}
+
+// Policies returns the normalized portfolio.
+func (s *Set) Policies() []Policy {
+	if s == nil {
+		return nil
+	}
+	return append([]Policy(nil), s.pols...)
+}
+
+// Engine returns the engine for sys, creating one bound to the given
+// store and actuator on first use. A later call with the same sys and
+// store rebinds the actuator but keeps the engine (systems are re-armed
+// on remount with a fresh knob surface but the same store, so instance
+// state and the decision log survive); a different store replaces the
+// engine entirely.
+func (s *Set) Engine(sys string, store *tsdb.Store, act Actuator) *Engine {
+	if s == nil || store == nil || act == nil {
+		return nil
+	}
+	e := NewEngine(sys, s.pols, store, act)
+	if e == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.engines[sys]; ok && prev.store == store {
+		prev.setActuator(act)
+		return prev
+	}
+	if _, ok := s.engines[sys]; !ok {
+		s.order = append(s.order, sys)
+	}
+	s.engines[sys] = e
+	return e
+}
+
+func (s *Set) sorted() []*Engine {
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	out := make([]*Engine, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.engines[n])
+	}
+	return out
+}
+
+// Totals aggregates actuation activity across engines.
+type Totals struct {
+	Systems     int    `json:"systems"`
+	Instances   int    `json:"instances"`
+	Evaluations uint64 `json:"evaluations"`
+	Actuations  uint64 `json:"actuations"`
+	Suppressed  uint64 `json:"suppressed"`
+	Transitions uint64 `json:"transitions"`
+	ActiveArmed int    `json:"active_armed"`
+	ActiveActed int    `json:"active_acted"`
+}
+
+func (t *Totals) absorb(e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.Systems++
+	t.Instances += len(e.insts)
+	t.Evaluations += e.evals
+	t.Actuations += e.acts
+	t.Suppressed += e.suppr
+	t.Transitions += e.trans
+	for _, in := range e.insts {
+		switch in.state {
+		case StateArmed:
+			t.ActiveArmed++
+		case StateActed:
+			t.ActiveActed++
+		}
+	}
+}
+
+// Totals sums actuation activity over every system in the set.
+func (s *Set) Totals() Totals {
+	return s.TotalsWhere(func(string) bool { return true })
+}
+
+// TotalsWhere sums actuation activity over systems whose name passes the
+// filter — the artifact gate uses this to split crash arms from clean.
+func (s *Set) TotalsWhere(match func(sys string) bool) Totals {
+	var t Totals
+	if s == nil {
+		return t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.sorted() {
+		if match(e.sys) {
+			t.absorb(e)
+		}
+	}
+	return t
+}
+
+// Status reports every engine, sorted by system name.
+func (s *Set) Status() []SystemStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	engines := s.sorted()
+	s.mu.Unlock()
+	out := make([]SystemStatus, 0, len(engines))
+	for _, e := range engines {
+		out = append(out, e.Status())
+	}
+	return out
+}
+
+// statusDoc is the /debug/control document shape.
+type statusDoc struct {
+	Totals  Totals         `json:"totals"`
+	Systems []SystemStatus `json:"systems"`
+}
+
+// WriteJSON writes the full deterministic status document: totals plus
+// per-system knob values, instance states, decision records, and
+// transition logs. Byte-identical for identical evaluation histories, so
+// the serial-equivalence test compares it directly across worker widths.
+func (s *Set) WriteJSON(w io.Writer) error {
+	doc := statusDoc{Systems: []SystemStatus{}}
+	if s != nil {
+		doc.Totals = s.Totals()
+		doc.Systems = s.Status()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

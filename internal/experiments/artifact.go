@@ -10,6 +10,7 @@ import (
 
 	"waflfs/internal/aa"
 	"waflfs/internal/benchfmt"
+	"waflfs/internal/control"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/optrace"
@@ -59,6 +60,12 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	// the rings cheap; the coverage gate below audits the attribution math.
 	if cfg.Obs.OpTrace == nil {
 		cfg.Obs.OpTrace = optrace.NewRecorder(optrace.Config{Rate: 16, Seed: cfg.Seed})
+	}
+	// The closed-loop controller rides every arm when gated in: the stock
+	// portfolio must stay idle on clean arms (do-no-harm) while the crash
+	// matrix's recovery pages trip the scrub-kick clause (does-act).
+	if cfg.Control && cfg.Obs.Control == nil {
+		cfg.Obs.Control = control.NewSet(control.DefaultPolicies())
 	}
 
 	art := benchfmt.Artifact{
@@ -286,6 +293,53 @@ func CollectArtifact(cfg Config, name, gitRev string, w io.Writer) (benchfmt.Art
 	}
 	if cfg.Pipeline && pipeCrashTot.Pages == 0 {
 		return art, fmt.Errorf("experiments: pipelined crash matrix fired no SLO pages — the overlap-window recovery SLI is dead")
+	}
+
+	// Closed-loop control families (gated: legacy artifacts keep their metric
+	// set). The audit splits by arm prefix like the SLO one: the stock
+	// portfolio actuating on a clean arm is a zero-tolerance failure (the
+	// do-no-harm contract), while a crash matrix that never trips the
+	// recovery scrub-kick clause means the controller's SLO coupling is dead.
+	if cfg.Control {
+		ctlCrash := cfg.Obs.Control.TotalsWhere(func(sys string) bool { return strings.HasPrefix(sys, "crash.") })
+		ctlClean := cfg.Obs.Control.TotalsWhere(func(sys string) bool { return !strings.HasPrefix(sys, "crash.") })
+		art.Add("control.evaluations", float64(ctlClean.Evaluations+ctlCrash.Evaluations), "count", 0.25)
+		art.Add("control.instances", float64(ctlClean.Instances+ctlCrash.Instances), "count", 0.25)
+		art.Add("control.actuations_clean", float64(ctlClean.Actuations), "count", 0.001)
+		art.Add("control.suppressed_clean", float64(ctlClean.Suppressed), "count", 0.001)
+		art.Add("control.actuations_crash", float64(ctlCrash.Actuations), "count", 0.25)
+		if ctlClean.Evaluations == 0 {
+			return art, fmt.Errorf("experiments: controller armed but never evaluated")
+		}
+		if ctlClean.Actuations != 0 || ctlClean.Suppressed != 0 {
+			return art, fmt.Errorf("experiments: stock portfolio made %d actuations / %d suppressed decisions on clean arms",
+				ctlClean.Actuations, ctlClean.Suppressed)
+		}
+		if ctlCrash.Actuations == 0 {
+			return art, fmt.Errorf("experiments: crash matrix tripped no actuations — the recovery scrub-kick clause is dead")
+		}
+
+		// Adversarial storm: the controller must actually help under attack.
+		// Hard floors, not tolerance bands: a closed loop that costs wall
+		// time, or never fires, fails collection outright.
+		sb := RunStorm(cfg, w)
+		art.Add("control.storm.evaluations", float64(sb.Evaluations), "count", 0.25)
+		art.Add("control.storm.actuations", float64(sb.Actuations), "count", 0.25)
+		art.Add("control.storm.suppressed", float64(sb.Suppressed), "count", 0.25)
+		art.Add("control.storm.wall_static_ns", float64(sb.WallStatic), "ns", 0.10)
+		art.Add("control.storm.wall_closed_ns", float64(sb.WallClosed), "ns", 0.10)
+		if sb.WallStatic > 0 {
+			art.Add("control.storm.wall_ratio", float64(sb.WallClosed)/float64(sb.WallStatic), "x", 0.10)
+		}
+		if sb.Actuations == 0 {
+			return art, fmt.Errorf("experiments: storm fired no actuations — the backlog-shed clause is dead")
+		}
+		if sb.WallClosed > sb.WallStatic {
+			return art, fmt.Errorf("experiments: closed-loop storm wall %v exceeds static %v", sb.WallClosed, sb.WallStatic)
+		}
+		if !sb.Identical() {
+			return art, fmt.Errorf("experiments: storm arms diverged (written %d vs %d)", sb.WrittenClosed, sb.WrittenStatic)
+		}
 	}
 
 	// Op-trace audit: sampling must have fired, and the per-stage attribution

@@ -16,6 +16,7 @@ import (
 	"io"
 	"time"
 
+	"waflfs/internal/control"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/optrace"
@@ -58,6 +59,12 @@ type Config struct {
 	// matrix (crash.pipeline.*). Off by default so legacy artifacts keep
 	// their exact metric set; waflbench -pipeline turns it on.
 	Pipeline bool
+	// Control gates the closed-loop control families into artifact
+	// collection: the controller do-no-harm/does-act audit (control.*) and
+	// the adversarial snapshot-storm benchmark (control.storm.*). Off by
+	// default so legacy artifacts keep their exact metric set; waflbench
+	// -control turns it on.
+	Control bool
 }
 
 // ObsSink is the shared observability plumbing for an experiment run. Every
@@ -98,6 +105,11 @@ type ObsSink struct {
 	// (rings are keyed by arm-prefixed volume names); per-stage latency
 	// attribution surfaces as <arm>.vol.<v>.attr.<stage>_ns metrics.
 	OpTrace *optrace.Recorder
+	// Control, when non-nil together with TSDB, arms the closed-loop policy
+	// portfolio on every arm at each CP boundary; per-arm engines register
+	// under the arm name so actuation totals can be split by prefix (clean
+	// vs crash.*).
+	Control *control.Set
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -135,6 +147,7 @@ func (c Config) tunablesNamed(name string) wafl.Tunables {
 			Live:             c.Obs.Live,
 			SLO:              c.Obs.SLO,
 			OpTrace:          c.Obs.OpTrace,
+			Control:          c.Obs.Control,
 		}
 	}
 	return tun

@@ -163,7 +163,7 @@ func TestFig10Directional(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 7 {
+	if len(all) != 8 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	for _, e := range all {

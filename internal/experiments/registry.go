@@ -52,6 +52,11 @@ func All() []Experiment {
 			Run:         func(cfg Config, w io.Writer) { RunCrashMatrix(cfg, w) },
 		},
 		{
+			Name:        "storm",
+			Description: "closed-loop control: adversarial aging + snapshot storm, SLO/backlog-driven budget shedding vs static",
+			Run:         func(cfg Config, w io.Writer) { RunStorm(cfg, w) },
+		},
+		{
 			Name:        "ablations",
 			Description: "design-choice ablations: HBPS bin width, AA size, write-bias threshold",
 			Run:         func(cfg Config, w io.Writer) { RunAblations(cfg, w) },

@@ -244,3 +244,100 @@ func TestSampleHistogramBucketSeries(t *testing.T) {
 		t.Errorf("unexpected bucket series without filter: %+v", pts)
 	}
 }
+
+// The double-wrap regression: after the ring folds twice, old history is
+// held in two-deep folded points ([1..8] at capacity 8). A window starting
+// exactly on a fold boundary must stay exact — CounterDelta endpoints on
+// retained boundaries resolve precisely, endpoints inside a fold resolve
+// conservatively to the fold's start, and WindowStats includes folded
+// points whole. These exact values are pinned because the SLO burn-rate
+// and controller signal reads depend on them.
+func TestWindowQueriesAfterDoubleWrap(t *testing.T) {
+	s := NewStore(Config{Capacity: 8})
+	for cp := uint64(1); cp <= 20; cp++ {
+		s.Observe("x", cp, time.Duration(cp)*time.Millisecond, float64(cp))
+	}
+	// Fold trace at capacity 8: add 9 folds to pairs, add 13 folds again
+	// (second wrap), add 17 folds a third time. Final ring:
+	//   [1..8] [9..12] [13,14] [15,16] 17 18 19 20
+	pts := s.Points("x")
+	if len(pts) != 8 {
+		t.Fatalf("ring length = %d, want 8", len(pts))
+	}
+	wantRanges := [][2]uint64{{1, 8}, {9, 12}, {13, 14}, {15, 16}, {17, 17}, {18, 18}, {19, 19}, {20, 20}}
+	for i, r := range wantRanges {
+		if pts[i].CPFirst != r[0] || pts[i].CPLast != r[1] {
+			t.Fatalf("point %d spans [%d,%d], want [%d,%d]", i, pts[i].CPFirst, pts[i].CPLast, r[0], r[1])
+		}
+	}
+
+	// ValueAt on fold boundaries is exact; inside a fold it returns the
+	// fold's starting value (newest exactly-known value at-or-before cp).
+	valueAt := []struct {
+		cp   uint64
+		want float64
+	}{{0, 0}, {1, 1}, {7, 1}, {8, 8}, {9, 9}, {10, 9}, {11, 9}, {12, 12}, {13, 13}, {20, 20}}
+	for _, c := range valueAt {
+		if v, ok := s.ValueAt("x", c.cp); !ok || v != c.want {
+			t.Errorf("ValueAt(%d) = %v,%v, want %v", c.cp, v, ok, c.want)
+		}
+	}
+
+	// CounterDelta with both endpoints on fold boundaries is exact even
+	// across two folds; endpoints inside a fold clamp conservatively.
+	deltas := []struct {
+		from, to uint64
+		want     float64
+	}{
+		{8, 20, 12}, // boundary → live point: exact
+		{9, 12, 3},  // fold start (conservative 9) → fold end (exact 12)
+		{10, 11, 0}, // both inside one fold: conservative zero
+		{1, 8, 7},   // within the deepest fold, boundary to boundary
+		{12, 13, 1}, // fold end → next fold start
+		{0, 20, 20}, // before first sample → 0 baseline
+		{16, 18, 2}, // second-wrap fold boundary into singles
+	}
+	for _, c := range deltas {
+		if d, ok := s.CounterDelta("x", c.from, c.to); !ok || d != c.want {
+			t.Errorf("CounterDelta(%d,%d) = %v,%v, want %v", c.from, c.to, d, ok, c.want)
+		}
+	}
+
+	// Window starting exactly on the second wrap's fold boundary (cp 9).
+	w, ok := s.WindowStats("x", 9, 20)
+	if !ok || w.Points != 7 || w.CPFirst != 9 || w.CPLast != 20 {
+		t.Fatalf("[9,20] = ok %v, %d points [%d,%d], want 7 points [9,20]", ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Count != 12 || w.Sum != 174 || w.Min != 9 || w.Max != 20 {
+		t.Fatalf("[9,20] count/sum/min/max = %d/%v/%v/%v", w.Count, w.Sum, w.Min, w.Max)
+	}
+	if w.FirstMin != 9 || w.LastMax != 20 {
+		t.Fatalf("[9,20] FirstMin/LastMax = %v/%v, want 9/20", w.FirstMin, w.LastMax)
+	}
+
+	// Exactly one folded point, boundary to boundary.
+	w, ok = s.WindowStats("x", 9, 12)
+	if !ok || w.Points != 1 || w.CPFirst != 9 || w.CPLast != 12 || w.Count != 4 || w.Sum != 42 {
+		t.Fatalf("[9,12] = %+v ok=%v, want 1 whole folded point", w, ok)
+	}
+
+	// A window reaching into a fold includes it whole: coverage widens.
+	w, ok = s.WindowStats("x", 10, 13)
+	if !ok || w.Points != 2 || w.CPFirst != 9 || w.CPLast != 14 {
+		t.Fatalf("[10,13] = ok %v, %d points [%d,%d], want 2 points [9,14]", ok, w.Points, w.CPFirst, w.CPLast)
+	}
+	if w.Count != 6 || w.Sum != 69 || w.FirstMin != 9 || w.LastMax != 14 {
+		t.Fatalf("[10,13] count/sum/FirstMin/LastMax = %d/%v/%v/%v", w.Count, w.Sum, w.FirstMin, w.LastMax)
+	}
+
+	// The deepest (twice-folded) point, addressed exactly.
+	w, ok = s.WindowStats("x", 1, 8)
+	if !ok || w.Points != 1 || w.CPFirst != 1 || w.CPLast != 8 || w.Count != 8 || w.Sum != 36 {
+		t.Fatalf("[1,8] = %+v ok=%v, want the whole twice-folded point", w, ok)
+	}
+
+	// Beyond the newest point: no intersection.
+	if _, ok := s.WindowStats("x", 21, 30); ok {
+		t.Fatal("[21,30] intersected nothing but reported ok")
+	}
+}

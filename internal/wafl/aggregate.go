@@ -9,6 +9,7 @@ import (
 	"waflfs/internal/aa"
 	"waflfs/internal/bitmap"
 	"waflfs/internal/block"
+	"waflfs/internal/control"
 	"waflfs/internal/faultinject"
 	"waflfs/internal/heapcache"
 	"waflfs/internal/obs"
@@ -63,6 +64,11 @@ type Aggregate struct {
 	// series at every CP boundary (nil unless both ObsOptions.SLO and
 	// ObsOptions.TSDB are armed; all uses are nil-safe).
 	sloEng *slo.Engine
+	// ctl is the closed-loop controller, evaluated right after sloEng in
+	// the CP tail (nil unless both ObsOptions.Control and ObsOptions.TSDB
+	// are armed; all uses are nil-safe). Armed from NewSystem — the knob
+	// surface it actuates belongs to the System.
+	ctl *control.Engine
 }
 
 // NewAggregate builds an aggregate from RAID-group specs. The seed makes

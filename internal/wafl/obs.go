@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"waflfs/internal/control"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/optrace"
@@ -101,6 +102,18 @@ type ObsOptions struct {
 	// "<Name>.slo.*" series. Scalar totals surface as slo.* metrics. The
 	// set may be shared across systems (arms); totals then aggregate.
 	SLO *slo.Set
+	// Control, when non-nil together with TSDB, arms the closed-loop
+	// controller for this system: the policy portfolio is evaluated at
+	// every CP boundary on the modeled clock, immediately after the SLO
+	// engine, reading "<Name>.*" series (including the slo.* alert states
+	// written that same CP) and actuating the System's bounded knob
+	// surface (delayed-free budget, alloc batch, fragscan stride, scrub
+	// kicks). Decisions land in a bounded provenance ring; per-knob values
+	// are written back as "<Name>.control.knob.*" series and scalar totals
+	// surface as control.* metrics. The set may be shared across systems
+	// (arms); totals then aggregate. Clean runs with the default portfolio
+	// actuate nothing and stay byte-identical to Control=nil.
+	Control *control.Set
 }
 
 func (o *ObsOptions) normalized() ObsOptions {
@@ -307,6 +320,15 @@ func (ag *Aggregate) initObs() {
 	ag.reg.CounterFunc("slo.warns", func() uint64 { return ag.sloEng.Warns() })
 	ag.reg.CounterFunc("slo.pages", func() uint64 { return ag.sloEng.Pages() })
 	ag.reg.CounterFunc("slo.transitions", func() uint64 { return ag.sloEng.Transitions() })
+
+	// Closed-loop controller scalars. The engine itself is armed from
+	// NewSystem (it actuates the System's knob surface, which does not
+	// exist yet here); these views are registered unconditionally like the
+	// slo.* block above — a nil engine reads 0.
+	ag.reg.CounterFunc("control.evaluations", func() uint64 { return ag.ctl.Evaluations() })
+	ag.reg.CounterFunc("control.actuations", func() uint64 { return ag.ctl.Actuations() })
+	ag.reg.CounterFunc("control.suppressed", func() uint64 { return ag.ctl.Suppressed() })
+	ag.reg.CounterFunc("control.transitions", func() uint64 { return ag.ctl.Transitions() })
 
 	ag.reg.CounterFunc("agg.bitmap.pages_dirtied", func() uint64 { return ag.bm.Stats().PagesDirtied })
 	ag.reg.CounterFunc("agg.bitmap.pages_flushed", func() uint64 { return ag.bm.Stats().PagesFlushed })

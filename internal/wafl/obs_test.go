@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"waflfs/internal/aa"
+	"waflfs/internal/control"
 	"waflfs/internal/obs"
 	"waflfs/internal/obs/fragscan"
 	"waflfs/internal/obs/optrace"
@@ -34,6 +35,17 @@ func obsRunMode(t *testing.T, workers int, pipeline bool) (*System, *obs.Registr
 	tun.CPEveryOps = 1 << 30 // CP only when the test says so, so all CPStats are captured
 	tun.DelayedVirtFrees = true
 	tun.Pipeline = pipeline
+	// A harness portfolio that is guaranteed to actuate mid-run: cp.count
+	// breaches from CP 4 on (stepping fragscan sampling until its max
+	// clamps, so the stream holds both fired and suppressed decisions), and
+	// the per-volume pick counters breach once warm (stepping the allocator
+	// batch, exercising the wildcard expansion and exemplar join).
+	ctlPols, err := control.ParsePolicies(
+		"name=scan_backoff,signal=cp.count,op=>,value=3,hold=2,action=frag_every,step=+1,max=4;" +
+			"name=vol_batch,signal=vol.*.alloc.picks,op=>,value=1000,hold=3,action=alloc_batch,step=+8,max=32")
+	if err != nil {
+		t.Fatalf("control policies: %v", err)
+	}
 	tun.Obs = &ObsOptions{
 		Name:      "arm",
 		Export:    export,
@@ -45,6 +57,7 @@ func obsRunMode(t *testing.T, workers int, pipeline bool) (*System, *obs.Registr
 		Watchdogs: true,
 		SLO:       slo.NewSet(slo.DefaultSpecs()),
 		OpTrace:   optrace.NewRecorder(optrace.Config{Rate: 4, Capacity: 128, Seed: 11}),
+		Control:   control.NewSet(ctlPols),
 	}
 	s := NewSystem(testSpecs(),
 		[]VolSpec{
@@ -260,6 +273,40 @@ func TestObsSerialEquivalence(t *testing.T) {
 	}
 	if sj1.String() != sj8.String() {
 		t.Fatalf("slo status diverged across worker counts:\n%s\nvs\n%s", sj1.String(), sj8.String())
+	}
+
+	// The closed-loop actuation stream is part of the contract: the harness
+	// portfolio fires (and clamps) mid-run, so knob trajectories, instance
+	// states, decision records with exemplar joins, and transition logs must
+	// all be byte-identical at any worker width. (The per-CP control.*.state
+	// and control.knob.* series ride the tsdb comparison above.)
+	c1, c8 := s1.Agg.obsOpts.Control, s8.Agg.obsOpts.Control
+	ctot := c1.Totals()
+	if ctot.Evaluations == 0 {
+		t.Fatal("controller never evaluated")
+	}
+	if ctot.Actuations == 0 {
+		t.Fatal("harness portfolio never actuated — the test is not exercising the loop")
+	}
+	if ctot.Suppressed == 0 {
+		t.Fatal("harness portfolio never clamped — the suppression path is untested")
+	}
+	var cj1, cj8 strings.Builder
+	if err := c1.WriteJSON(&cj1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c8.WriteJSON(&cj8); err != nil {
+		t.Fatal(err)
+	}
+	if cj1.String() != cj8.String() {
+		t.Fatalf("control status diverged across worker counts:\n%s\nvs\n%s", cj1.String(), cj8.String())
+	}
+	// The knob trajectory actually landed on the live surface and the clamp
+	// held: frag_every walked 1→4 and stopped at the policy max.
+	for i, s := range []*System{s1, s8} {
+		if v, ok := s.Actuator().Knob(control.KnobFragEvery); !ok || v != 4 {
+			t.Errorf("system %d: frag_every knob = %v,%v, want 4", i, v, ok)
+		}
 	}
 
 	// Pick-provenance streams replay in canonical order at any worker width.

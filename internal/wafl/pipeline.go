@@ -463,4 +463,7 @@ func (s *System) pipeTail() {
 	if e := s.Agg.sloEng; e != nil {
 		e.Evaluate(s.c.CPs, tot)
 	}
+	if c := s.Agg.ctl; c != nil {
+		c.Evaluate(s.c.CPs, tot)
+	}
 }

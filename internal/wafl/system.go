@@ -42,6 +42,8 @@ type System struct {
 	// tracer's modeled clock; both terms are worker-count invariant, so
 	// trace timestamps are too.
 	obsMark time.Duration
+	// act is the closed-loop controller's knob surface (see actuator.go).
+	act sysActuator
 }
 
 // deviceStatser is satisfied by all concrete device models.
@@ -98,7 +100,19 @@ func NewSystem(specs []GroupSpec, vols []VolSpec, tun Tunables, seed int64) *Sys
 		tun:     ag.tun,
 		pending: make(map[*LUN]map[uint64]struct{}),
 	}
+	s.act.s = s
 	s.registerSystemObs()
+	if o := &ag.obsOpts; o.Control != nil && o.TSDB != nil {
+		// The closed-loop controller needs the System's knob surface, so it
+		// arms here rather than in initObs; the control.* counter views
+		// registered there read through ag.ctl nil-safely either way.
+		ag.ctl = o.Control.Engine(o.Name, o.TSDB, &s.act)
+		if o.OpTrace != nil {
+			// Actuation records link to a representative sampled trace from
+			// the triggering signal's volume.
+			ag.ctl.SetExemplarSource(o.OpTrace)
+		}
+	}
 	return s
 }
 
@@ -519,6 +533,14 @@ func (s *System) CP() CPStats {
 		// alert state for this CP lands in the store immediately; the
 		// slo.* scalar counters appear in CSV/live rows at the next CP.
 		e.Evaluate(s.c.CPs, tot)
+	}
+	if c := s.Agg.ctl; c != nil {
+		// Close the loop: the controller reads the series sampled above
+		// (including the alert states the SLO engine just wrote) and
+		// actuates knobs that take effect from the next CP on. Inputs and
+		// knob trajectory are worker-invariant, so the actuation stream is
+		// byte-identical at any worker width.
+		c.Evaluate(s.c.CPs, tot)
 	}
 	return st
 }

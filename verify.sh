@@ -30,12 +30,16 @@ go test -run '^$' -fuzz '^FuzzParseSLOSpec$' -fuzztime 5s ./internal/obs/slo
 # Optrace trace-ID / config-spec parser fuzzer: anything accepted must
 # round-trip through its canonical formatting.
 go test -run '^$' -fuzz '^FuzzParseOptrace$' -fuzztime 5s ./internal/obs/optrace
+# Control-policy parser fuzzer: any accepted clause string must round-trip
+# through its canonical formatting to an identical portfolio.
+go test -run '^$' -fuzz '^FuzzParseControlPolicy$' -fuzztime 5s ./internal/control
 
 # Observability smoke test: a small bench run must serve /metrics (the bench
 # self-checks the endpoint and exits nonzero if it cannot fetch it) and
 # produce non-empty CSV and trace files. The default SLO portfolio rides
 # along: the clean figure run must fire no warn or page (-slo-expect none
-# exits nonzero otherwise).
+# exits nonzero otherwise). The closed-loop controller rides along too and
+# must keep its hands off a healthy run (-control-expect none).
 tmpdir=$(mktemp -d)
 live_pid=""
 cleanup() {
@@ -61,7 +65,8 @@ go build -o "$tmpdir/waflbench" ./cmd/waflbench
     -metrics-addr 127.0.0.1:0 \
     -csv-out "$tmpdir/bench.csv" \
     -trace-out "$tmpdir/bench.jsonl" \
-    -slo default -slo-expect none >/dev/null
+    -slo default -slo-expect none \
+    -control default -control-expect none >/dev/null
 test -s "$tmpdir/bench.csv"
 test -s "$tmpdir/bench.jsonl"
 
@@ -78,7 +83,7 @@ test -s "$tmpdir/pick.folded"
 # auto-selected (highest-numbered BENCH_<n>.json) and must self-compare
 # clean too, proving the gate can read what the repo ships.
 go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
-"$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -pipeline -scale 0.05 >/dev/null
+"$tmpdir/waflbench" -bench-json "$tmpdir/BENCH_smoke.json" -pipeline -control default -scale 0.05 >/dev/null
 test -s "$tmpdir/BENCH_smoke.json"
 "$tmpdir/benchdiff" "$tmpdir/BENCH_smoke.json" "$tmpdir/BENCH_smoke.json"
 latest=$("$tmpdir/benchdiff" -print-latest)
@@ -89,9 +94,12 @@ test -s "$latest"
 # the bench exits nonzero if any recovered AA cache silently disagrees with
 # the bitmap metafiles (see internal/faultinject and the mount-time scrub).
 # The SLO portfolio must see the damage: -slo-expect alerts exits nonzero
-# unless at least one crash cell pages the recovery SLI.
+# unless at least one crash cell pages the recovery SLI. The controller must
+# act on it: -control-expect actuations exits nonzero unless the recovery
+# page actually kicked a scrub somewhere in the matrix.
 "$tmpdir/waflbench" -faults matrix -scale 0.05 \
-    -slo default -slo-expect alerts >/dev/null
+    -slo default -slo-expect alerts \
+    -control default -control-expect actuations >/dev/null
 
 # Pipelined-CP gate both ways: the clean overlap benchmark must clear its
 # 1.3x floor with byte-identical final states and fire no SLO alert, and a
@@ -104,16 +112,18 @@ test -s "$latest"
     -slo default -slo-expect alerts >/dev/null
 
 # Live-introspection smoke test: hold the live endpoints after a small run
-# (with the SLO engine and op tracer armed) and point wafltop -snapshot at
-# them; it exits nonzero unless the embedded time-series store serves nonzero
-# per-CP series, and also if any SLO instance is paging. The snapshot must
-# include the SLO and slowest-ops panels, /debug/slo must serve a populated
-# status document, and /debug/optrace must serve a sampled trace that can be
-# fetched back individually by its ID (the "explain this exemplar" path).
+# (with the SLO engine, op tracer, and closed-loop controller armed) and
+# point wafltop -snapshot at them; it exits nonzero unless the embedded
+# time-series store serves nonzero per-CP series, and also if any SLO
+# instance is paging or any controller policy is mid-flap. The snapshot must
+# include the SLO, slowest-ops, and control-plane panels, /debug/slo and
+# /debug/control must serve populated status documents, and /debug/optrace
+# must serve a sampled trace that can be fetched back individually by its ID
+# (the "explain this exemplar" path).
 go build -o "$tmpdir/wafltop" ./cmd/wafltop
 "$tmpdir/waflbench" -exp fig9 -scale 0.05 \
     -metrics-addr 127.0.0.1:0 -slo default -optrace rate=2 \
-    -hold 60s >"$tmpdir/live.out" 2>&1 &
+    -control default -hold 60s >"$tmpdir/live.out" 2>&1 &
 live_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -130,10 +140,15 @@ fetch() {
 "$tmpdir/wafltop" -addr "$addr" -snapshot >"$tmpdir/snap.out"
 grep -q "SLO portfolio" "$tmpdir/snap.out"
 grep -q "slowest sampled ops" "$tmpdir/snap.out"
+grep -q "control plane" "$tmpdir/snap.out"
 "$tmpdir/wafltop" -addr "$addr" -json >"$tmpdir/top.json"
 grep -q '"optrace"' "$tmpdir/top.json"
+grep -q '"control"' "$tmpdir/top.json"
 fetch "http://$addr/debug/slo" >"$tmpdir/slo.json"
 grep -q '"evaluations"' "$tmpdir/slo.json"
+fetch "http://$addr/debug/control" >"$tmpdir/control.json"
+grep -q '"actuations"' "$tmpdir/control.json"
+grep -q '"knobs"' "$tmpdir/control.json"
 fetch "http://$addr/debug/optrace?limit=3" >"$tmpdir/optrace.json"
 grep -q '"sampled"' "$tmpdir/optrace.json"
 # Newest surviving trace ID in the document (trace arrays follow the

@@ -93,7 +93,7 @@ func TestPublicQueueModel(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 7 {
+	if len(Experiments()) != 8 {
 		t.Fatalf("experiments = %d", len(Experiments()))
 	}
 	if _, err := LookupExperiment("fig10"); err != nil {
